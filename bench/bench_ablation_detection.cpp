@@ -1,0 +1,58 @@
+// Ablation D (section 2.3): the two 3D keypoint detection routes —
+// per-view 2D detection + learned lifting vs direct RGB-D extraction —
+// compared on accuracy, dropout and simulated inference latency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+#include "semholo/capture/keypoints.hpp"
+
+using namespace semholo;
+
+int main() {
+    bench::banner("Ablation D: 2D+lifting vs direct RGB-D keypoint detection");
+
+    const body::BodyModel model(body::ShapeParams{}, 72);
+    capture::RigConfig rigCfg;
+    rigCfg.addNoise = false;  // detector noise modelled separately
+    const capture::CaptureRig rig(rigCfg);
+
+    const body::MotionGenerator gen(body::MotionKind::Collaborate, model.shape());
+
+    double errLifted = 0.0, errDirect = 0.0;
+    double latLifted = 0.0, latDirect = 0.0;
+    double confLifted = 0.0, confDirect = 0.0;
+    constexpr int kFrames = 6;
+    for (int f = 0; f < kFrames; ++f) {
+        const body::Pose pose = gen.poseAt(f * 0.4);
+        const auto frames = rig.capture(model.deform(pose), 100 + f);
+        const auto lifted = capture::detectKeypoints2DLifted(
+            rig, frames, pose, static_cast<std::uint64_t>(f) + 1);
+        const auto direct = capture::detectKeypoints3DDirect(
+            rig, frames, pose, static_cast<std::uint64_t>(f) + 1);
+        errLifted += capture::keypointError(lifted, pose);
+        errDirect += capture::keypointError(direct, pose);
+        latLifted += lifted.simulatedLatencyMs;
+        latDirect += direct.simulatedLatencyMs;
+        for (const float c : lifted.confidence) confLifted += c;
+        for (const float c : direct.confidence) confDirect += c;
+    }
+    const double norm = 1.0 / kFrames;
+    const double confNorm = norm / static_cast<double>(body::kJointCount);
+
+    bench::Table table({"route", "mean error (mm)", "mean confidence",
+                        "sim latency (ms)", "input"});
+    table.addRow({"2D detection + lifting", bench::fmt("%.1f", errLifted * norm * 1e3),
+                  bench::fmt("%.2f", confLifted * confNorm),
+                  bench::fmt("%.1f", latLifted * norm), "RGB only"});
+    table.addRow({"direct 3D from RGB-D", bench::fmt("%.1f", errDirect * norm * 1e3),
+                  bench::fmt("%.2f", confDirect * confNorm),
+                  bench::fmt("%.1f", latDirect * norm), "RGB-D"});
+    table.print();
+
+    std::printf(
+        "\nShape check (section 2.3): the direct RGB-D route is both faster and\n"
+        "more accurate than 2D-then-lift, at the cost of requiring depth sensors.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Figure 2: visual quality of meshes reconstructed from
+// keypoints at increasing output resolutions, against the ground-truth
+// capture mesh (RGB-D textured mesh in the paper).
+//
+// The paper shows the comparison qualitatively; we quantify it with
+// Chamfer distance, Hausdorff distance and normal consistency, and
+// verify the two paper observations: (1) detail increases with
+// resolution, (2) 512-class output ~ 1024-class output because clothing
+// folds are unrecoverable from keypoints.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+#include "semholo/mesh/metrics.hpp"
+#include "semholo/recon/keypoint_recon.hpp"
+
+using namespace semholo;
+
+int main() {
+    bench::banner("Figure 2: reconstruction quality vs output resolution");
+
+    const body::BodyModel model(body::ShapeParams{}, 110);
+    const body::Pose pose =
+        body::MotionGenerator(body::MotionKind::Talk, model.shape()).poseAt(0.6);
+    const mesh::TriMesh groundTruth = model.deform(pose);
+
+    bench::Table table({"resolution", "chamfer (mm)", "hausdorff (mm)",
+                        "normal consistency", "triangles", "paper observation"});
+    double prevChamfer = 0.0;
+    for (const int res : {16, 24, 32, 64, 128, 192}) {
+        recon::ReconstructionOptions opt;
+        opt.resolution = res;
+        opt.shape = model.shape();
+        opt.device = recon::DeviceProfile::host();
+        const auto recon = recon::reconstructFromPose(pose, opt);
+        const auto err = mesh::compareMeshes(groundTruth, recon.mesh, 20000);
+        const char* note = res <= 24    ? "coarse blobs (Fig 2b)"
+                           : res <= 64  ? "limbs resolved (Fig 2c)"
+                           : res == 128 ? "hands/face contours (Fig 2d)"
+                                        : "saturating: folds missing";
+        table.addRow({std::to_string(res), bench::fmt("%.2f", err.chamfer * 1000.0),
+                      bench::fmt("%.1f", err.hausdorff * 1000.0),
+                      bench::fmt("%.3f", err.normalConsistency),
+                      std::to_string(recon.mesh.triangleCount()), note});
+        if (res == 128) prevChamfer = err.chamfer;
+    }
+    table.print();
+
+    // Saturation check corresponding to "512 is similar to 1024".
+    recon::ReconstructionOptions hi;
+    hi.resolution = 192;
+    hi.shape = model.shape();
+    hi.device = recon::DeviceProfile::host();
+    const auto reconHi = recon::reconstructFromPose(pose, hi);
+    const double hiChamfer =
+        mesh::compareMeshes(groundTruth, reconHi.mesh, 20000).chamfer;
+    std::printf(
+        "\nSaturation: chamfer improves only %.0f%% from 128 to 192 "
+        "(paper: 512 ~= 1024); the clothing-fold floor dominates.\n",
+        100.0 * (prevChamfer - hiChamfer) / prevChamfer);
+    return 0;
+}

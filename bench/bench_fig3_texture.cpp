@@ -1,0 +1,96 @@
+// Regenerates Figure 3: ground-truth texture vs the texture/expression a
+// learned avatar produces.
+//
+// Paper observation: the X-Avatar-learned appearance misses fine
+// expression detail — the subject's open mouth is reproduced but the
+// pout is lost. We reproduce both effects: (a) the capacity-limited
+// learned texture loses high-frequency colour detail (cloth stripes);
+// (b) a learned avatar that carries only the dominant expression channel
+// (jaw) misses the secondary ones (pout), measured as face-region
+// geometry error.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+#include "semholo/mesh/metrics.hpp"
+#include "semholo/recon/texture.hpp"
+
+using namespace semholo;
+
+namespace {
+
+// Face-region vertex error between two deformations of the same template.
+double faceRegionError(const mesh::TriMesh& a, const mesh::TriMesh& b,
+                       const mesh::TriMesh& restTemplate) {
+    const geom::Vec3f mouth{0.0f, 0.66f, 0.10f};
+    double err = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < restTemplate.vertexCount(); ++i) {
+        if ((restTemplate.vertices[i] - mouth).norm() > 0.08f) continue;
+        err += (a.vertices[i] - b.vertices[i]).norm();
+        ++n;
+    }
+    return n > 0 ? err / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Figure 3: ground-truth vs learned texture & expression");
+
+    const body::BodyModel model(body::ShapeParams{}, 110);
+
+    // (a) Texture detail: learned (low-pass) vs delivered ground truth.
+    mesh::TriMesh gtTex = model.templateMesh();
+    mesh::TriMesh learnedTex = gtTex;
+    recon::applyLearnedTexture(learnedTex);
+    mesh::TriMesh projectedTex = gtTex;
+    // Re-projected compressed texture: what section 3.1 proposes instead.
+    recon::projectTexture(projectedTex, gtTex);
+
+    bench::Table texTable({"appearance path", "mean color error", "paper analogue"});
+    texTable.addRow({"delivered texture (projection mapping)",
+                     bench::fmt("%.4f", recon::colorError(gtTex, projectedTex)),
+                     "raw RGB-D texture (Fig 3 left)"});
+    texTable.addRow({"learned texture (capacity-limited)",
+                     bench::fmt("%.4f", recon::colorError(gtTex, learnedTex)),
+                     "X-Avatar learned (Fig 3 right)"});
+    texTable.print();
+
+    // (b) Expression detail: open mouth with a pout.
+    body::Pose expressive;
+    expressive.shape = model.shape();
+    expressive.expression.coeffs[0] = 1.0;  // mouth open
+    expressive.expression.coeffs[1] = 0.9;  // pout
+
+    body::Pose learnedPose = expressive;
+    learnedPose.expression.coeffs[1] = 0.0;  // learned avatar drops the pout
+    body::Pose neutralPose = expressive;
+    neutralPose.expression.coeffs[0] = 0.0;
+    neutralPose.expression.coeffs[1] = 0.0;
+
+    const mesh::TriMesh gtFace = model.deform(expressive);
+    const mesh::TriMesh learnedFace = model.deform(learnedPose);
+    const mesh::TriMesh neutralFace = model.deform(neutralPose);
+    const double learnedErr =
+        faceRegionError(gtFace, learnedFace, model.templateMesh());
+    const double neutralErr =
+        faceRegionError(gtFace, neutralFace, model.templateMesh());
+
+    bench::Table exprTable({"avatar", "face-region error (mm)", "interpretation"});
+    exprTable.addRow({"ground truth (open mouth + pout)", "0.00", "Fig 3 left"});
+    exprTable.addRow({"learned (open mouth only)", bench::fmt("%.2f", learnedErr * 1e3),
+                      "pout missing (Fig 3 right)"});
+    exprTable.addRow({"no expression", bench::fmt("%.2f", neutralErr * 1e3),
+                      "everything missing"});
+    exprTable.print();
+
+    std::printf(
+        "\nShape check: the learned avatar reproduces the dominant action "
+        "(%.0f%% of the\nfull expression error recovered) but a measurable "
+        "residual remains where the\npout should be — the Figure 3 failure "
+        "mode.\n",
+        100.0 * (1.0 - learnedErr / neutralErr));
+    return 0;
+}

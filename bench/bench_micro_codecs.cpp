@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks for the compression substrates: LZC
+// on the 1.91 KB pose payload (the per-frame sender hot path of the
+// keypoint channel) and the mesh codec on the body template (the
+// traditional channel hot path). These quantify the codec contribution
+// to the Table 1 extraction overheads.
+#include <benchmark/benchmark.h>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+#include "semholo/compress/lzc.hpp"
+#include "semholo/compress/meshcodec.hpp"
+#include "semholo/compress/texturecodec.hpp"
+
+namespace semholo {
+namespace {
+
+const body::BodyModel& sharedModel() {
+    static const body::BodyModel model{body::ShapeParams{}, 72};
+    return model;
+}
+
+std::vector<std::uint8_t> posePayload() {
+    const body::MotionGenerator gen(body::MotionKind::Talk);
+    return body::serializePose(gen.poseAt(0.5));
+}
+
+void BM_LzcCompressPosePayload(benchmark::State& state) {
+    const auto payload = posePayload();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::lzcCompress(payload));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_LzcCompressPosePayload);
+
+void BM_LzcDecompressPosePayload(benchmark::State& state) {
+    const auto compressed = compress::lzcCompress(posePayload());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::lzcDecompress(compressed));
+    }
+}
+BENCHMARK(BM_LzcDecompressPosePayload);
+
+void BM_MeshEncode(benchmark::State& state) {
+    const mesh::TriMesh& m = sharedModel().templateMesh();
+    compress::MeshCodecOptions opt;
+    opt.encodeColors = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::encodeMesh(m, opt));
+    }
+    state.counters["raw_bytes"] = static_cast<double>(m.rawGeometryBytes());
+    state.counters["enc_bytes"] =
+        static_cast<double>(compress::encodeMesh(m, opt).size());
+}
+BENCHMARK(BM_MeshEncode);
+
+void BM_MeshDecode(benchmark::State& state) {
+    compress::MeshCodecOptions opt;
+    opt.encodeColors = false;
+    const auto data = compress::encodeMesh(sharedModel().templateMesh(), opt);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::decodeMesh(data));
+    }
+}
+BENCHMARK(BM_MeshDecode);
+
+void BM_TextureBlocks(benchmark::State& state) {
+    const auto& colors = sharedModel().templateMesh().colors;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::encodeColorBlocks(colors));
+    }
+    state.counters["colors"] = static_cast<double>(colors.size());
+}
+BENCHMARK(BM_TextureBlocks);
+
+void BM_PoseSerialize(benchmark::State& state) {
+    const body::MotionGenerator gen(body::MotionKind::Talk);
+    const body::Pose pose = gen.poseAt(0.5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(body::serializePose(pose));
+    }
+}
+BENCHMARK(BM_PoseSerialize);
+
+}  // namespace
+}  // namespace semholo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment harnesses: fixed-width table
+// printing in the style of the paper's tables, and common workload
+// setup. Each bench binary regenerates one table or figure (see the
+// DESIGN.md experiment index) and prints paper-vs-measured rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace semholo::bench {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto printRow = [&](const std::vector<std::string>& row) {
+            std::printf("|");
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                const std::string& cell = c < row.size() ? row[c] : std::string();
+                std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+            }
+            std::printf("\n");
+        };
+        printRow(headers_);
+        std::printf("|");
+        for (const std::size_t w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+            std::printf("|");
+        }
+        std::printf("\n");
+        for (const auto& row : rows_) printRow(row);
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+inline void banner(const char* title) {
+    std::printf("\n==== %s ====\n\n", title);
+}
+
+}  // namespace semholo::bench

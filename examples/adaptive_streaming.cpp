@@ -1,0 +1,129 @@
+// Adaptive image-semantics streaming (section 3.2): a slimmable NeRF
+// receiver under a fluctuating link. A harmonic-mean throughput
+// estimator feeds a buffer-aware ABR controller that picks the image
+// resolution + sub-network width each second; the receiver fine-tunes
+// the matching sub-network and renders the remote participant.
+#include <cstdio>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+#include "semholo/capture/rasterizer.hpp"
+#include "semholo/net/abr.hpp"
+#include "semholo/net/simulator.hpp"
+#include "semholo/nerf/trainer.hpp"
+
+using namespace semholo;
+
+namespace {
+
+struct Level {
+    net::QualityLevel q;
+    int imgW, imgH;
+    float width;
+};
+
+std::vector<nerf::TrainView> renderViews(const body::BodyModel& model,
+                                         const body::Pose& pose, int w, int h) {
+    std::vector<nerf::TrainView> views;
+    const mesh::TriMesh gt = model.deform(pose);
+    for (int i = 0; i < 3; ++i) {
+        const float angle = 2.0f * static_cast<float>(M_PI) * i / 3.0f;
+        const geom::Vec3f eye{2.6f * std::sin(angle), 0.2f, 2.6f * std::cos(angle)};
+        const auto cam = geom::Camera::lookAt(
+            eye, {0, 0, 0}, {0, 1, 0}, geom::CameraIntrinsics::fromFov(w, h, 0.8f));
+        views.push_back({cam, capture::rasterize(gt, cam).color});
+    }
+    return views;
+}
+
+std::size_t viewBytes(const std::vector<nerf::TrainView>& views) {
+    std::size_t bytes = 0;
+    for (const auto& v : views)
+        bytes += v.image.pixelCount() / 2;  // block codec: ~0.5 B/pixel
+    return bytes;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("SemHolo adaptive image-semantics streaming\n\n");
+
+    // Ladder bitrates = the actual one-second segment rates of each level
+    // (3 views/frame, 30 frames/s, block codec ~0.5 B/pixel).
+    const std::vector<Level> ladder{
+        {{"low 16x12 / width 0.25", 0.07e6, 1.0}, 16, 12, 0.25f},
+        {{"mid 24x18 / width 0.5", 0.16e6, 2.0}, 24, 18, 0.5f},
+        {{"high 32x24 / width 1.0", 0.28e6, 3.0}, 32, 24, 1.0f},
+    };
+    std::vector<net::QualityLevel> qualities;
+    for (const Level& l : ladder) qualities.push_back(l.q);
+    net::BufferAwareAbr abr(qualities, 0.3, 0.85);
+    net::HarmonicEstimator estimator(4);
+
+    // A last-mile that collapses mid-call: 0.4 Mbps for 5 s, then a
+    // congestion episode at 0.09 Mbps, then recovery.
+    net::LinkConfig linkCfg;
+    linkCfg.bandwidth = net::BandwidthTrace::square(0.4e6, 0.09e6, 5.0);
+    linkCfg.propagationDelayS = 0.005;
+    net::LinkSimulator link(linkCfg);
+
+    const body::BodyModel model{body::ShapeParams{}};
+    const body::MotionGenerator motion(body::MotionKind::Talk, model.shape());
+
+    // One shared slimmable field serving the entire ladder.
+    nerf::FieldConfig fc;
+    fc.hiddenWidth = 48;
+    fc.hiddenLayers = 3;
+    nerf::RadianceField field(fc);
+    bool coldStarted = false;
+    std::vector<nerf::TrainView> previous;
+    double bufferS = 0.3;
+
+    std::printf("%6s %26s %10s %12s %10s %10s\n", "t(s)", "level", "est Mbps",
+                "transfer ms", "PSNR dB", "buffer s");
+    for (int second = 0; second < 14; ++second) {
+        const double t = static_cast<double>(second);
+        const std::size_t levelIdx =
+            estimator.hasEstimate() ? abr.chooseLevel(estimator.estimate(), bufferS)
+                                    : 0;
+        const Level& level = ladder[levelIdx];
+
+        const body::Pose pose = motion.poseAt(t);
+        const auto views = renderViews(model, pose, level.imgW, level.imgH);
+        // One DASH-style segment: a second's worth of frames at this level.
+        const std::size_t segmentBytes = viewBytes(views) * 30;
+        const auto transfer = link.sendMessage(segmentBytes, t);
+        const double serializationS =
+            std::max(1e-4, transfer.durationS() - linkCfg.propagationDelayS);
+        estimator.addSample(static_cast<double>(segmentBytes) * 8.0 / serializationS);
+        // Buffer drains while the segment downloads, refills by 1 s of it.
+        bufferS = std::max(0.0, bufferS - transfer.durationS()) + 1.0 / 3.0;
+
+        nerf::TrainerConfig tc;
+        tc.render.near = 1.3f;
+        tc.render.far = 3.9f;
+        tc.render.samplesPerRay = 18;
+        tc.render.widthFraction = level.width;
+        tc.raysPerStep = 96;
+        nerf::NerfTrainer trainer(field, tc);
+        if (!coldStarted) {
+            trainer.pretrain(views, 120);  // section 3.2 cold start
+            coldStarted = true;
+        } else {
+            trainer.fineTuneOnChanges(previous, views, 12);
+        }
+        previous = views;
+
+        const double psnr = trainer.evaluatePSNR(views[0]);
+        std::printf("%6.0f %26s %10.2f %12.0f %10.1f %10.2f\n", t,
+                    level.q.name.c_str(), estimator.estimate() / 1e6,
+                    transfer.durationS() * 1000.0, psnr, bufferS);
+    }
+
+    std::printf(
+        "\nThe controller rides out the congestion episode: width and\n"
+        "resolution step down together as throughput collapses and recover\n"
+        "afterwards — one shared slimmable model, no per-level retraining\n"
+        "(the section 3.2 design).\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Procedural pose sequences standing in for captured motion data.
+//
+// The X-Avatar dataset the paper uses is real mocap; these generators
+// produce deterministic, human-plausible motion (walking, waving,
+// talking with facial expression, a remote-collaboration gesture mix)
+// so every experiment has a reproducible workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semholo/body/pose.hpp"
+
+namespace semholo::body {
+
+enum class MotionKind {
+    Idle,        // subtle breathing sway
+    Walk,        // gait cycle in place
+    Wave,        // right-arm wave with finger motion
+    Talk,        // jaw/expression-driven conversation, small head motion
+    Collaborate, // pointing + reaching, the remote-collaboration workload
+};
+
+std::string motionName(MotionKind kind);
+
+class MotionGenerator {
+public:
+    MotionGenerator(MotionKind kind, ShapeParams shape = {}, std::uint32_t seed = 1);
+
+    // Pose at time t (seconds). Deterministic in (kind, shape, seed, t).
+    Pose poseAt(double tSeconds) const;
+
+    // Convenience: sample 'frames' poses at 'fps'.
+    std::vector<Pose> sequence(std::size_t frames, double fps = 30.0) const;
+
+    MotionKind kind() const { return kind_; }
+
+private:
+    MotionKind kind_;
+    ShapeParams shape_;
+    std::uint32_t seed_;
+};
+
+}  // namespace semholo::body

@@ -1,0 +1,96 @@
+// The parametric body surface model.
+//
+// Two complementary representations, mirroring the paper's pipeline:
+//
+//  * BodyModel — an explicit template mesh built once per subject (shape
+//    betas), deformed per frame with linear blend skinning. This plays
+//    the role of the ground-truth capture mesh ("textured mesh generated
+//    from RGB-D data", Fig. 2a): it is what the traditional pipeline
+//    streams and what reconstructions are scored against.
+//
+//  * bodySignedDistance — an implicit skeleton-conditioned field for a
+//    given pose. The keypoint-reconstruction path (X-Avatar stand-in)
+//    evaluates this field on an R^3 grid and runs iso-surface extraction,
+//    reproducing the resolution/quality/FPS trade-offs of Figs. 2 and 4.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "semholo/body/pose.hpp"
+#include "semholo/body/skeleton.hpp"
+#include "semholo/mesh/trimesh.hpp"
+#include "semholo/mesh/voxelgrid.hpp"
+
+namespace semholo::body {
+
+using mesh::ScalarField;
+using mesh::TriMesh;
+
+// Smooth-minimum blending radius for the implicit body field; larger
+// values merge limbs more organically.
+inline constexpr float kFieldBlend = 0.02f;
+
+struct BodyFieldOptions {
+    // Add high-frequency clothing-fold displacement to the surface. The
+    // ground-truth capture template enables this; reconstruction from
+    // keypoints cannot (keypoints carry no garment information), which
+    // is exactly the quality gap Figure 2 reports ("cannot recover the
+    // details of the clothes, such as folds").
+    bool clothingDetail{false};
+    float clothingAmplitude{0.008f};
+};
+
+// Signed distance to the posed body surface: negative inside. Built from
+// shape-scaled capsules along every bone plus head/torso ellipsoids, with
+// expression-driven face offsets (jaw open, pout, smile).
+ScalarField bodySignedDistance(const Pose& pose,
+                               const Skeleton& skeleton = Skeleton::canonical(),
+                               const BodyFieldOptions& options = {});
+
+// Loose world-space bounds of the posed body (for grid placement).
+geom::AABB bodyBounds(const Pose& pose,
+                      const Skeleton& skeleton = Skeleton::canonical());
+
+// Per-vertex skinning: up to 4 (joint, weight) pairs.
+struct SkinWeights {
+    std::array<std::uint16_t, 4> joints{};
+    std::array<float, 4> weights{};
+};
+
+class BodyModel {
+public:
+    // Build the subject template in the rest pose. 'templateResolution'
+    // is the iso-surface grid resolution for the template. The default
+    // (47) yields ~10.5k vertices / ~21k triangles — the same scale as
+    // the SMPL-X template the paper streams — so the raw per-frame mesh
+    // payload lands on Table 2's ~398 KB.
+    explicit BodyModel(const ShapeParams& shape, int templateResolution = 47);
+
+    const TriMesh& templateMesh() const { return template_; }
+    const ShapeParams& shape() const { return shape_; }
+    const std::vector<SkinWeights>& skinWeights() const { return weights_; }
+
+    // Deform the template to 'pose' with linear blend skinning and apply
+    // expression displacements. The returned mesh carries the template's
+    // per-vertex colours (the "ground-truth texture").
+    TriMesh deform(const Pose& pose) const;
+
+private:
+    void computeSkinWeights();
+    void paintTexture();
+
+    ShapeParams shape_{};
+    TriMesh template_;
+    std::vector<SkinWeights> weights_;
+    SkeletonState restState_{};
+};
+
+// Procedural ground-truth texture: skin tone with clothing bands; also
+// used to score the Figure 3 learned-texture comparison.
+Vec3f groundTruthAlbedo(Vec3f restPosition);
+
+// Expression displacement applied to a rest-space point near the face.
+Vec3f expressionOffset(Vec3f restPosition, const ExpressionParams& expression);
+
+}  // namespace semholo::body

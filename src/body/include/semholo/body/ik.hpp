@@ -1,0 +1,43 @@
+// Keypoints -> pose alignment (inverse kinematics).
+//
+// The receiver in the keypoint pipeline gets 3D joint positions (possibly
+// noisy, from the detector simulators) and must express them as SMPL-X-
+// style pose parameters before reconstruction, exactly as the paper's
+// proof-of-concept aligns detected keypoints with SMPL-X. We solve it
+// hierarchically: each joint's world rotation is chosen to map its rest-
+// pose child offsets onto the observed child directions (two-axis frame
+// alignment when two or more children are available, shortest-arc
+// otherwise); local rotations follow by composing with the parent.
+#pragma once
+
+#include <array>
+
+#include "semholo/body/pose.hpp"
+
+namespace semholo::body {
+
+struct IkOptions {
+    // Shape used for bone lengths during alignment (session constant).
+    ShapeParams shape{};
+    // Keypoints whose confidence is below this are ignored (their joints
+    // inherit the parent direction). Matches detector dropout handling.
+    float minConfidence{0.05f};
+};
+
+struct IkResult {
+    Pose pose;
+    // RMS distance between the observed keypoints and the keypoints of
+    // the recovered pose (metres): the alignment residual.
+    float residual{};
+};
+
+// Fit a pose to observed world-space keypoints. 'confidence' may be all
+// ones when the detector does not provide it.
+IkResult fitPoseToKeypoints(const std::array<Vec3f, kJointCount>& keypoints,
+                            const std::array<float, kJointCount>& confidence,
+                            const IkOptions& options = {});
+
+IkResult fitPoseToKeypoints(const std::array<Vec3f, kJointCount>& keypoints,
+                            const IkOptions& options = {});
+
+}  // namespace semholo::body

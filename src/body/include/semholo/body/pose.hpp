@@ -1,0 +1,88 @@
+// Pose and shape parameterisation plus forward kinematics.
+//
+// The serialized pose payload is the paper's keypoint-semantics wire
+// format: "3D pose aligned with SMPL-X" at 1.91 KB per frame (Table 2).
+// Our layout lands on exactly 1956 bytes = 1.91 KB: a 4-byte frame id
+// followed by 244 doubles (55 joint axis-angle rotations, root
+// translation, 16 shape betas, 60 expression coefficients).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semholo/body/skeleton.hpp"
+#include "semholo/geometry/quat.hpp"
+
+namespace semholo::body {
+
+using geom::Quat;
+
+// Per-subject shape parameters (constant over a session).
+struct ShapeParams {
+    // Identity blendshape coefficients; ~N(0,1). beta[0] scales overall
+    // height, beta[1] limb length, beta[2] girth; the rest perturb
+    // individual bone groups.
+    std::array<double, 16> betas{};
+    bool operator==(const ShapeParams&) const = default;
+};
+
+// Facial expression coefficients (per frame). Drives the face region of
+// the template; exercised by the Figure 3 texture/expression experiment.
+struct ExpressionParams {
+    // coeff[0] = jaw open, coeff[1] = mouth pout, coeff[2] = smile,
+    // coeff[3] = brow raise; the rest are reserved fine-detail channels.
+    std::array<double, 60> coeffs{};
+    bool operator==(const ExpressionParams&) const = default;
+};
+
+struct Pose {
+    // Axis-angle rotation of every joint relative to its parent.
+    std::array<Vec3f, kJointCount> jointRotations{};
+    Vec3f rootTranslation{};
+    ShapeParams shape{};
+    ExpressionParams expression{};
+    std::uint32_t frameId{};
+
+    Vec3f& rotation(JointId id) { return jointRotations[index(id)]; }
+    const Vec3f& rotation(JointId id) const { return jointRotations[index(id)]; }
+
+    static Pose rest() { return Pose{}; }
+};
+
+// Exact on-the-wire size of a serialized pose (1.91 KB, Table 2).
+inline constexpr std::size_t kPosePayloadBytes = 4 + (165 + 3 + 16 + 60) * 8;
+static_assert(kPosePayloadBytes == 1956);
+
+std::vector<std::uint8_t> serializePose(const Pose& pose);
+std::optional<Pose> deserializePose(std::span<const std::uint8_t> bytes);
+
+// Result of forward kinematics: world transform of every joint, in
+// topological order.
+struct SkeletonState {
+    std::array<RigidTransform, kJointCount> worldFromJoint{};
+
+    Vec3f position(JointId id) const { return worldFromJoint[index(id)].translation; }
+};
+
+// Bone-length scaling derived from shape betas: multiplies each joint's
+// rest offset. Deterministic and smooth in the betas.
+float boneScale(const ShapeParams& shape, JointId joint);
+
+// Forward kinematics over the canonical skeleton.
+SkeletonState forwardKinematics(const Pose& pose,
+                                const Skeleton& skeleton = Skeleton::canonical());
+
+// All 55 world-space joint positions — the raw "3D keypoints" the
+// detection stage produces and the reconstruction stage consumes.
+std::array<Vec3f, kJointCount> jointKeypoints(const Pose& pose);
+
+// Linear interpolation in parameter space (per-joint quaternion slerp).
+Pose interpolatePoses(const Pose& a, const Pose& b, float t);
+
+// Root-mean-square joint rotation distance between two poses (radians).
+float poseDistance(const Pose& a, const Pose& b);
+
+}  // namespace semholo::body

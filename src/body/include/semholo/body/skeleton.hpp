@@ -1,0 +1,141 @@
+// The SemHolo parametric humanoid skeleton.
+//
+// Substitution note (see DESIGN.md): the paper's proof-of-concept encodes
+// keypoints into SMPL-X parameters. SMPL-X itself is a licensed model, so
+// we define an SMPL-X-*shaped* synthetic skeleton from scratch: the same
+// 55-joint layout (22 body joints, jaw, two eyes, and 15 joints per hand)
+// with a canonical T-pose rest configuration. Everything downstream (pose
+// payload size, LBS deformation, keypoint alignment) only depends on this
+// structure, not on the licensed template.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "semholo/geometry/transform.hpp"
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::body {
+
+using geom::RigidTransform;
+using geom::Vec3f;
+
+// Joint ids. Order matters: parents always precede children, so a single
+// forward pass computes world transforms.
+enum class JointId : std::uint8_t {
+    Pelvis = 0,
+    Spine1,
+    Spine2,
+    Spine3,
+    Neck,
+    Head,
+    Jaw,
+    LeftEye,
+    RightEye,
+    LeftClavicle,
+    LeftShoulder,
+    LeftElbow,
+    LeftWrist,
+    RightClavicle,
+    RightShoulder,
+    RightElbow,
+    RightWrist,
+    LeftHip,
+    LeftKnee,
+    LeftAnkle,
+    LeftFoot,
+    RightHip,
+    RightKnee,
+    RightAnkle,
+    RightFoot,
+    // Left hand: thumb, index, middle, ring, pinky x (proximal, middle, distal).
+    LeftThumb1,
+    LeftThumb2,
+    LeftThumb3,
+    LeftIndex1,
+    LeftIndex2,
+    LeftIndex3,
+    LeftMiddle1,
+    LeftMiddle2,
+    LeftMiddle3,
+    LeftRing1,
+    LeftRing2,
+    LeftRing3,
+    LeftPinky1,
+    LeftPinky2,
+    LeftPinky3,
+    // Right hand.
+    RightThumb1,
+    RightThumb2,
+    RightThumb3,
+    RightIndex1,
+    RightIndex2,
+    RightIndex3,
+    RightMiddle1,
+    RightMiddle2,
+    RightMiddle3,
+    RightRing1,
+    RightRing2,
+    RightRing3,
+    RightPinky1,
+    RightPinky2,
+    RightPinky3,
+    Count
+};
+
+inline constexpr std::size_t kJointCount = static_cast<std::size_t>(JointId::Count);
+inline constexpr std::size_t kBodyJointCount = 25;  // joints before the hands
+
+constexpr std::size_t index(JointId id) { return static_cast<std::size_t>(id); }
+
+struct Joint {
+    JointId id{};
+    JointId parent{};         // == id for the root
+    Vec3f restOffset{};       // offset from parent in the T-pose, metres
+    float boneRadius{0.05f};  // capsule radius for the template surface
+    std::string_view name{};
+};
+
+// Static description of the humanoid rig.
+class Skeleton {
+public:
+    // Canonical adult skeleton (1.7 m tall) in T-pose, pelvis at origin.
+    static const Skeleton& canonical();
+
+    const std::vector<Joint>& joints() const { return joints_; }
+    const Joint& joint(JointId id) const { return joints_[index(id)]; }
+    std::size_t size() const { return joints_.size(); }
+    bool isRoot(JointId id) const { return joint(id).parent == id; }
+
+    // Rest position of every joint in model space (T-pose, pelvis origin).
+    const std::vector<Vec3f>& restPositions() const { return restPositions_; }
+    Vec3f restPosition(JointId id) const { return restPositions_[index(id)]; }
+
+    // Children lists (topological order guaranteed by the enum order).
+    const std::vector<std::vector<JointId>>& children() const { return children_; }
+
+    std::string_view name(JointId id) const { return joint(id).name; }
+
+private:
+    Skeleton();
+
+    std::vector<Joint> joints_;
+    std::vector<Vec3f> restPositions_;
+    std::vector<std::vector<JointId>> children_;
+};
+
+// The bones used to build the template surface: (joint, parent) pairs with
+// capsule radii; excludes zero-length virtual bones like the eyes.
+struct Bone {
+    JointId child{};
+    JointId parent{};
+    float radiusAtParent{};
+    float radiusAtChild{};
+};
+
+// All bones of the canonical skeleton with anthropometric radii.
+const std::vector<Bone>& canonicalBones();
+
+}  // namespace semholo::body

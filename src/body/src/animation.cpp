@@ -1,0 +1,182 @@
+#include "semholo/body/animation.hpp"
+
+#include <cmath>
+
+namespace semholo::body {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+// Cheap deterministic per-seed phase offsets.
+float phase(std::uint32_t seed, int channel) {
+    const std::uint32_t h = (seed * 2654435761u) ^ (static_cast<std::uint32_t>(channel) *
+                                                    2246822519u);
+    return static_cast<float>(h % 6283u) / 1000.0f;
+}
+
+void applyBreathing(Pose& pose, float t, float amp) {
+    pose.rotation(JointId::Spine2).z = amp * 0.02f * std::sin(t * 0.9f);
+    pose.rotation(JointId::Spine3).x = amp * 0.015f * std::sin(t * 0.9f + 0.6f);
+    pose.rotation(JointId::Neck).x = amp * 0.01f * std::sin(t * 1.1f);
+    // Postural sway: every joint of a live human micro-moves, so every
+    // serialized pose coefficient is non-zero — as in real mocap streams.
+    // Amplitude stays below the text-captioner quantisation step.
+    for (std::size_t j = 0; j < kJointCount; ++j) {
+        const float fj = 0.7f + 0.05f * static_cast<float>(j % 11);
+        const float pj = 0.37f * static_cast<float>(j);
+        Vec3f& r = pose.jointRotations[j];
+        r.x += amp * 0.006f * std::sin(fj * t + pj);
+        r.y += amp * 0.005f * std::sin(1.3f * fj * t + 2.0f * pj);
+        r.z += amp * 0.004f * std::sin(0.8f * fj * t + 3.0f * pj);
+    }
+}
+
+void applyWalk(Pose& pose, float t) {
+    const float w = 2.0f * kPi * 0.9f;  // ~0.9 Hz gait
+    const float swing = 0.55f;
+    pose.rotation(JointId::LeftHip).x = swing * std::sin(w * t);
+    pose.rotation(JointId::RightHip).x = -swing * std::sin(w * t);
+    pose.rotation(JointId::LeftKnee).x =
+        0.7f * std::max(0.0f, -std::sin(w * t + 0.5f));
+    pose.rotation(JointId::RightKnee).x =
+        0.7f * std::max(0.0f, std::sin(w * t + 0.5f));
+    // Counter-swinging arms (shoulder flexion about x).
+    pose.rotation(JointId::LeftShoulder).x = -0.35f * std::sin(w * t);
+    pose.rotation(JointId::RightShoulder).x = 0.35f * std::sin(w * t);
+    pose.rotation(JointId::LeftElbow).x = -0.2f - 0.1f * std::sin(w * t);
+    pose.rotation(JointId::RightElbow).x = -0.2f + 0.1f * std::sin(w * t);
+    // Pelvis bob.
+    pose.rootTranslation.y = 0.02f * std::sin(2.0f * w * t);
+    pose.rotation(JointId::Pelvis).y = 0.08f * std::sin(w * t);
+}
+
+void applyWave(Pose& pose, float t) {
+    // Right arm raised, forearm oscillating; T-pose arms point along +-x,
+    // so raising means rotating the shoulder about z.
+    pose.rotation(JointId::RightShoulder).z = -1.1f;
+    pose.rotation(JointId::RightElbow).z = -0.5f + 0.45f * std::sin(2.0f * kPi * 1.6f * t);
+    pose.rotation(JointId::RightWrist).z = 0.2f * std::sin(2.0f * kPi * 1.6f * t + 0.8f);
+    // Finger curl oscillation on the waving hand.
+    const float curl = 0.25f + 0.2f * std::sin(2.0f * kPi * 1.6f * t);
+    for (const JointId j : {JointId::RightIndex2, JointId::RightMiddle2,
+                            JointId::RightRing2, JointId::RightPinky2})
+        pose.rotation(j).z = curl;
+    // Left arm relaxed at the side.
+    pose.rotation(JointId::LeftShoulder).z = 1.25f;
+    pose.rotation(JointId::LeftElbow).z = 0.15f;
+}
+
+void applyTalk(Pose& pose, float t, std::uint32_t seed) {
+    // Conversation: jaw, pout, smile and brows driven by layered sines so
+    // expression channels carry measurable detail.
+    const float p0 = phase(seed, 0), p1 = phase(seed, 1), p2 = phase(seed, 2);
+    pose.expression.coeffs[0] =
+        0.5 + 0.5 * std::sin(2.0f * kPi * 2.8f * t + p0);  // jaw ~ syllables
+    pose.expression.coeffs[1] =
+        std::max(0.0, 0.7 * std::sin(2.0f * kPi * 0.4f * t + p1));  // pout
+    pose.expression.coeffs[2] =
+        std::max(0.0, 0.8 * std::sin(2.0f * kPi * 0.23f * t + p2));  // smile
+    pose.expression.coeffs[3] = 0.4 + 0.4 * std::sin(2.0f * kPi * 0.3f * t);
+    // Fine-detail channels: high-frequency, low-amplitude.
+    for (std::size_t c = 4; c < 20; ++c)
+        pose.expression.coeffs[c] =
+            0.15 * std::sin(2.0f * kPi * (1.0f + 0.13f * static_cast<float>(c)) * t +
+                            phase(seed, static_cast<int>(c)));
+    // Head gestures: nods and tilts.
+    pose.rotation(JointId::Head).x = 0.1f * std::sin(2.0f * kPi * 0.5f * t + p1);
+    pose.rotation(JointId::Head).z = 0.06f * std::sin(2.0f * kPi * 0.33f * t + p2);
+    pose.rotation(JointId::Jaw).x =
+        0.25f * static_cast<float>(pose.expression.coeffs[0]);
+    // Arms relaxed.
+    pose.rotation(JointId::LeftShoulder).z = 1.2f;
+    pose.rotation(JointId::RightShoulder).z = -1.2f;
+}
+
+void applyCollaborate(Pose& pose, float t, std::uint32_t seed) {
+    // Alternating phases: point at the shared object, reach, manipulate.
+    const float cycle = std::fmod(t, 6.0f);
+    applyTalk(pose, t, seed);  // collaborators talk while working
+    if (cycle < 2.0f) {
+        // Point forward with the right arm.
+        const float s = geom::clamp(cycle, 0.0f, 1.0f);
+        pose.rotation(JointId::RightShoulder).z = -0.9f * s;
+        pose.rotation(JointId::RightShoulder).x = -0.7f * s;
+        pose.rotation(JointId::RightElbow).z = -0.1f;
+        // Index extended, other fingers curled.
+        for (const JointId j : {JointId::RightMiddle1, JointId::RightRing1,
+                                JointId::RightPinky1, JointId::RightThumb2})
+            pose.rotation(j).z = 1.2f * s;
+    } else if (cycle < 4.0f) {
+        // Two-handed reach.
+        const float s = geom::clamp(cycle - 2.0f, 0.0f, 1.0f);
+        pose.rotation(JointId::RightShoulder).x = -1.0f * s;
+        pose.rotation(JointId::LeftShoulder).x = -1.0f * s;
+        pose.rotation(JointId::RightShoulder).z = -0.4f * s;
+        pose.rotation(JointId::LeftShoulder).z = 0.4f * s;
+        pose.rotation(JointId::Spine2).x = 0.25f * s;
+    } else {
+        // Manipulate: wrists rotating, fingers working.
+        const float w = 2.0f * kPi * 1.2f * (t - 4.0f);
+        pose.rotation(JointId::RightWrist).x = 0.4f * std::sin(w);
+        pose.rotation(JointId::LeftWrist).x = 0.4f * std::sin(w + 1.2f);
+        const float curl = 0.5f + 0.4f * std::sin(w);
+        for (const JointId j :
+             {JointId::RightIndex1, JointId::RightMiddle1, JointId::LeftIndex1,
+              JointId::LeftMiddle1})
+            pose.rotation(j).z = curl;
+    }
+}
+
+}  // namespace
+
+std::string motionName(MotionKind kind) {
+    switch (kind) {
+        case MotionKind::Idle: return "idle";
+        case MotionKind::Walk: return "walk";
+        case MotionKind::Wave: return "wave";
+        case MotionKind::Talk: return "talk";
+        case MotionKind::Collaborate: return "collaborate";
+    }
+    return "unknown";
+}
+
+MotionGenerator::MotionGenerator(MotionKind kind, ShapeParams shape, std::uint32_t seed)
+    : kind_(kind), shape_(shape), seed_(seed) {}
+
+Pose MotionGenerator::poseAt(double tSeconds) const {
+    const auto t = static_cast<float>(tSeconds);
+    Pose pose;
+    pose.shape = shape_;
+    applyBreathing(pose, t, 1.0f);
+    switch (kind_) {
+        case MotionKind::Idle:
+            break;
+        case MotionKind::Walk:
+            applyWalk(pose, t);
+            break;
+        case MotionKind::Wave:
+            applyWave(pose, t);
+            break;
+        case MotionKind::Talk:
+            applyTalk(pose, t, seed_);
+            break;
+        case MotionKind::Collaborate:
+            applyCollaborate(pose, t, seed_);
+            break;
+    }
+    return pose;
+}
+
+std::vector<Pose> MotionGenerator::sequence(std::size_t frames, double fps) const {
+    std::vector<Pose> out;
+    out.reserve(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+        Pose p = poseAt(static_cast<double>(i) / fps);
+        p.frameId = static_cast<std::uint32_t>(i);
+        out.push_back(p);
+    }
+    return out;
+}
+
+}  // namespace semholo::body

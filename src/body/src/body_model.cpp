@@ -1,0 +1,249 @@
+#include "semholo/body/body_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "semholo/mesh/isosurface.hpp"
+
+namespace semholo::body {
+
+namespace {
+
+// Polynomial smooth minimum (Quilez): blends capsule fields organically.
+float smin(float a, float b, float k) {
+    const float h = geom::clamp(0.5f + 0.5f * (b - a) / k, 0.0f, 1.0f);
+    return geom::lerp(b, a, h) - k * h * (1.0f - h);
+}
+
+// Distance to a capsule with linearly varying radius (a "round cone").
+float capsuleDistance(Vec3f p, Vec3f a, Vec3f b, float ra, float rb) {
+    float t;
+    const float d = geom::pointSegmentDistance(p, a, b, t);
+    return d - geom::lerp(ra, rb, t);
+}
+
+// Girth multiplier from shape betas (beta[2] = overall girth).
+float girth(const ShapeParams& shape) {
+    return 1.0f + 0.06f * static_cast<float>(shape.betas[2]);
+}
+
+struct PosedBone {
+    Vec3f a, b;
+    float ra, rb;
+};
+
+std::vector<PosedBone> posedBones(const SkeletonState& state, const ShapeParams& shape,
+                                  const Skeleton& skeleton) {
+    std::vector<PosedBone> out;
+    const float g = girth(shape);
+    for (const Bone& bone : canonicalBones()) {
+        const Vec3f a = state.worldFromJoint[index(bone.parent)].translation;
+        const Vec3f b = state.worldFromJoint[index(bone.child)].translation;
+        out.push_back({a, b, bone.radiusAtParent * g, bone.radiusAtChild * g});
+    }
+    // Head: a sphere centred slightly above the head joint.
+    const Vec3f headPos = state.worldFromJoint[index(JointId::Head)].translation;
+    const Vec3f headUp =
+        state.worldFromJoint[index(JointId::Head)].rotation.rotate({0, 1, 0});
+    out.push_back({headPos + headUp * 0.04f, headPos + headUp * 0.09f, 0.105f * g,
+                   0.095f * g});
+    // Torso volume: widen the spine capsules with two extra "slabs".
+    const Vec3f spine1 = state.worldFromJoint[index(JointId::Spine1)].translation;
+    const Vec3f spine3 = state.worldFromJoint[index(JointId::Spine3)].translation;
+    const Vec3f right =
+        state.worldFromJoint[index(JointId::Spine2)].rotation.rotate({1, 0, 0});
+    out.push_back({spine1 + right * 0.06f, spine3 + right * 0.07f, 0.09f * g, 0.09f * g});
+    out.push_back({spine1 - right * 0.06f, spine3 - right * 0.07f, 0.09f * g, 0.09f * g});
+    (void)skeleton;
+    return out;
+}
+
+}  // namespace
+
+Vec3f expressionOffset(Vec3f restPosition, const ExpressionParams& expression) {
+    // Face region in the rest pose: around the head at (0, ~0.70, ~+0.09).
+    const Vec3f mouthCenter{0.0f, 0.66f, 0.10f};
+    const Vec3f browCenter{0.0f, 0.75f, 0.10f};
+    const float dMouth = (restPosition - mouthCenter).norm();
+    const float dBrow = (restPosition - browCenter).norm();
+    Vec3f offset{};
+    // Jaw open: pull the lower-lip region down.
+    if (dMouth < 0.06f && restPosition.y < mouthCenter.y) {
+        const float w = 1.0f - dMouth / 0.06f;
+        offset.y -= 0.02f * w * static_cast<float>(expression.coeffs[0]);
+    }
+    // Pout: push the lip region forward (+z).
+    if (dMouth < 0.045f) {
+        const float w = 1.0f - dMouth / 0.045f;
+        offset.z += 0.015f * w * static_cast<float>(expression.coeffs[1]);
+    }
+    // Smile: stretch mouth corners outward in x.
+    if (dMouth < 0.07f) {
+        const float w = 1.0f - dMouth / 0.07f;
+        offset.x += 0.012f * w * static_cast<float>(expression.coeffs[2]) *
+                    (restPosition.x >= 0.0f ? 1.0f : -1.0f);
+    }
+    // Brow raise.
+    if (dBrow < 0.05f && restPosition.y > browCenter.y - 0.01f) {
+        const float w = 1.0f - dBrow / 0.05f;
+        offset.y += 0.008f * w * static_cast<float>(expression.coeffs[3]);
+    }
+    return offset;
+}
+
+namespace {
+
+// Procedural clothing folds: high-frequency displacement confined to the
+// clothed body regions (pelvis-local frame so folds move with the root).
+float clothingFoldDisplacement(Vec3f pLocal, float amplitude) {
+    if (pLocal.y > 0.45f || pLocal.y < -0.95f) return 0.0f;  // skin regions
+    return amplitude * std::sin(55.0f * pLocal.y) *
+           std::sin(35.0f * pLocal.x + 20.0f * pLocal.z);
+}
+
+}  // namespace
+
+ScalarField bodySignedDistance(const Pose& pose, const Skeleton& skeleton,
+                               const BodyFieldOptions& options) {
+    const SkeletonState state = forwardKinematics(pose, skeleton);
+    auto bones = posedBones(state, pose.shape, skeleton);
+    const ExpressionParams expr = pose.expression;
+
+    // Rest-space face anchors posed into world space for expression
+    // displacement of the implicit surface.
+    const RigidTransform headXf = state.worldFromJoint[index(JointId::Head)];
+    const Vec3f headRest = Skeleton::canonical().restPosition(JointId::Head);
+    const RigidTransform rootInv =
+        state.worldFromJoint[index(JointId::Pelvis)].inverse();
+
+    return [bones = std::move(bones), expr, headXf, headRest, rootInv,
+            options](Vec3f p) {
+        // Expression: warp the query point near the face inverse to the
+        // desired offset (standard implicit-deformation trick).
+        const Vec3f pHeadLocal = headXf.inverse().apply(p) + headRest;
+        const Vec3f offset = expressionOffset(pHeadLocal, expr);
+        Vec3f q = p;
+        if (offset.norm2() > 0.0f) q = p - headXf.applyVector(offset);
+
+        float d = std::numeric_limits<float>::max();
+        for (const PosedBone& b : bones)
+            d = smin(d, capsuleDistance(q, b.a, b.b, b.ra, b.rb), kFieldBlend);
+        if (options.clothingDetail)
+            d += clothingFoldDisplacement(rootInv.apply(p),
+                                          options.clothingAmplitude);
+        return d;
+    };
+}
+
+geom::AABB bodyBounds(const Pose& pose, const Skeleton& skeleton) {
+    const SkeletonState state = forwardKinematics(pose, skeleton);
+    geom::AABB box;
+    for (const auto& xf : state.worldFromJoint) box.expand(xf.translation);
+    box.inflate(0.18f);  // largest capsule radius + blend margin
+    return box;
+}
+
+BodyModel::BodyModel(const ShapeParams& shape, int templateResolution) : shape_(shape) {
+    Pose rest;
+    rest.shape = shape;
+    restState_ = forwardKinematics(rest);
+    // The capture-quality template carries clothing-fold detail that
+    // keypoint-based reconstruction cannot represent (Figure 2 gap).
+    BodyFieldOptions fieldOpt;
+    fieldOpt.clothingDetail = true;
+    const ScalarField field =
+        bodySignedDistance(rest, Skeleton::canonical(), fieldOpt);
+    template_ = mesh::extractIsoSurface(field, bodyBounds(rest), templateResolution);
+    computeSkinWeights();
+    paintTexture();
+}
+
+void BodyModel::computeSkinWeights() {
+    const auto& bones = canonicalBones();
+    const float g = girth(shape_);
+    weights_.resize(template_.vertexCount());
+    for (std::size_t vi = 0; vi < template_.vertexCount(); ++vi) {
+        const Vec3f v = template_.vertices[vi];
+        // Distance to each bone's surface; keep the best four.
+        std::array<std::pair<float, std::uint16_t>, 4> best;
+        best.fill({std::numeric_limits<float>::max(), 0});
+        for (const Bone& bone : bones) {
+            const Vec3f a = restState_.worldFromJoint[index(bone.parent)].translation;
+            const Vec3f b = restState_.worldFromJoint[index(bone.child)].translation;
+            const float d = std::max(
+                0.0f, capsuleDistance(v, a, b, bone.radiusAtParent * g,
+                                      bone.radiusAtChild * g));
+            // Weight attaches to the child joint (the bone's own joint).
+            const auto j = static_cast<std::uint16_t>(index(bone.child));
+            if (d < best[3].first) {
+                best[3] = {d, j};
+                std::sort(best.begin(), best.end(),
+                          [](const auto& x, const auto& y) { return x.first < y.first; });
+            }
+        }
+        SkinWeights w;
+        float total = 0.0f;
+        const float sigma = 0.07f;
+        for (std::size_t k = 0; k < 4; ++k) {
+            const float wk = std::exp(-best[k].first * best[k].first / (sigma * sigma));
+            w.joints[k] = best[k].second;
+            w.weights[k] = wk;
+            total += wk;
+        }
+        if (total < 1e-9f) {
+            w.weights = {1, 0, 0, 0};
+        } else {
+            for (float& wk : w.weights) wk /= total;
+        }
+        weights_[vi] = w;
+    }
+}
+
+Vec3f groundTruthAlbedo(Vec3f p) {
+    // Skin / clothing bands with high-frequency detail so texture error is
+    // measurable: shirt between shoulders and hips, trousers below, skin
+    // elsewhere; stripes give the "folds" detail the learned texture loses.
+    const Vec3f skin{0.87f, 0.67f, 0.53f};
+    const Vec3f shirt{0.20f, 0.35f, 0.65f};
+    const Vec3f trousers{0.25f, 0.22f, 0.20f};
+    Vec3f base = skin;
+    if (p.y < -0.05f && p.y > -0.95f) base = trousers;
+    if (p.y >= -0.05f && p.y < 0.42f && std::fabs(p.x) < 0.35f) base = shirt;
+    // High-frequency stripe detail (simulates cloth folds).
+    const float stripes = 0.06f * std::sin(60.0f * p.y) * std::sin(40.0f * p.x);
+    return {geom::clamp(base.x + stripes, 0.0f, 1.0f),
+            geom::clamp(base.y + stripes, 0.0f, 1.0f),
+            geom::clamp(base.z + stripes, 0.0f, 1.0f)};
+}
+
+void BodyModel::paintTexture() {
+    template_.colors.resize(template_.vertexCount());
+    for (std::size_t i = 0; i < template_.vertexCount(); ++i)
+        template_.colors[i] = groundTruthAlbedo(template_.vertices[i]);
+}
+
+TriMesh BodyModel::deform(const Pose& pose) const {
+    TriMesh out = template_;
+    const SkeletonState state = forwardKinematics(pose);
+
+    // Per-joint skinning transforms: world(pose) * world(rest)^-1.
+    std::array<RigidTransform, kJointCount> skin;
+    for (std::size_t j = 0; j < kJointCount; ++j)
+        skin[j] = state.worldFromJoint[j] * restState_.worldFromJoint[j].inverse();
+
+    for (std::size_t vi = 0; vi < out.vertexCount(); ++vi) {
+        const Vec3f rest = template_.vertices[vi] +
+                           expressionOffset(template_.vertices[vi], pose.expression);
+        const SkinWeights& w = weights_[vi];
+        Vec3f blended{};
+        for (std::size_t k = 0; k < 4; ++k) {
+            if (w.weights[k] <= 0.0f) continue;
+            blended += skin[w.joints[k]].apply(rest) * w.weights[k];
+        }
+        out.vertices[vi] = blended;
+    }
+    out.computeVertexNormals();
+    return out;
+}
+
+}  // namespace semholo::body

@@ -1,0 +1,173 @@
+#include "semholo/body/skeleton.hpp"
+
+namespace semholo::body {
+
+namespace {
+
+struct JointSpec {
+    JointId id;
+    JointId parent;
+    Vec3f offset;
+    float radius;
+    std::string_view name;
+};
+
+// Canonical T-pose, metres. +y up, +x to the model's left, +z forward.
+// Proportions follow standard anthropometric tables for a 1.7 m adult.
+constexpr float kShoulderY = 0.40f;  // above pelvis
+const JointSpec kSpecs[] = {
+    {JointId::Pelvis, JointId::Pelvis, {0.0f, 0.0f, 0.0f}, 0.11f, "pelvis"},
+    {JointId::Spine1, JointId::Pelvis, {0.0f, 0.12f, 0.0f}, 0.10f, "spine1"},
+    {JointId::Spine2, JointId::Spine1, {0.0f, 0.13f, 0.0f}, 0.11f, "spine2"},
+    {JointId::Spine3, JointId::Spine2, {0.0f, 0.13f, 0.0f}, 0.12f, "spine3"},
+    {JointId::Neck, JointId::Spine3, {0.0f, 0.10f, 0.0f}, 0.05f, "neck"},
+    {JointId::Head, JointId::Neck, {0.0f, 0.10f, 0.0f}, 0.10f, "head"},
+    {JointId::Jaw, JointId::Head, {0.0f, -0.02f, 0.06f}, 0.03f, "jaw"},
+    {JointId::LeftEye, JointId::Head, {0.032f, 0.04f, 0.08f}, 0.012f, "left_eye"},
+    {JointId::RightEye, JointId::Head, {-0.032f, 0.04f, 0.08f}, 0.012f, "right_eye"},
+    {JointId::LeftClavicle, JointId::Spine3, {0.02f, kShoulderY - 0.38f + 0.06f, 0.0f},
+     0.04f, "left_clavicle"},
+    {JointId::LeftShoulder, JointId::LeftClavicle, {0.16f, 0.0f, 0.0f}, 0.05f,
+     "left_shoulder"},
+    {JointId::LeftElbow, JointId::LeftShoulder, {0.28f, 0.0f, 0.0f}, 0.04f,
+     "left_elbow"},
+    {JointId::LeftWrist, JointId::LeftElbow, {0.25f, 0.0f, 0.0f}, 0.03f, "left_wrist"},
+    {JointId::RightClavicle, JointId::Spine3, {-0.02f, kShoulderY - 0.38f + 0.06f, 0.0f},
+     0.04f, "right_clavicle"},
+    {JointId::RightShoulder, JointId::RightClavicle, {-0.16f, 0.0f, 0.0f}, 0.05f,
+     "right_shoulder"},
+    {JointId::RightElbow, JointId::RightShoulder, {-0.28f, 0.0f, 0.0f}, 0.04f,
+     "right_elbow"},
+    {JointId::RightWrist, JointId::RightElbow, {-0.25f, 0.0f, 0.0f}, 0.03f,
+     "right_wrist"},
+    {JointId::LeftHip, JointId::Pelvis, {0.09f, -0.06f, 0.0f}, 0.08f, "left_hip"},
+    {JointId::LeftKnee, JointId::LeftHip, {0.0f, -0.42f, 0.0f}, 0.06f, "left_knee"},
+    {JointId::LeftAnkle, JointId::LeftKnee, {0.0f, -0.40f, 0.0f}, 0.04f, "left_ankle"},
+    {JointId::LeftFoot, JointId::LeftAnkle, {0.0f, -0.06f, 0.12f}, 0.03f, "left_foot"},
+    {JointId::RightHip, JointId::Pelvis, {-0.09f, -0.06f, 0.0f}, 0.08f, "right_hip"},
+    {JointId::RightKnee, JointId::RightHip, {0.0f, -0.42f, 0.0f}, 0.06f, "right_knee"},
+    {JointId::RightAnkle, JointId::RightKnee, {0.0f, -0.40f, 0.0f}, 0.04f,
+     "right_ankle"},
+    {JointId::RightFoot, JointId::RightAnkle, {0.0f, -0.06f, 0.12f}, 0.03f,
+     "right_foot"},
+    // Left hand. The wrist is at x=+0.71 in the T-pose; fingers extend +x.
+    {JointId::LeftThumb1, JointId::LeftWrist, {0.03f, -0.01f, 0.025f}, 0.012f,
+     "left_thumb1"},
+    {JointId::LeftThumb2, JointId::LeftThumb1, {0.032f, 0.0f, 0.012f}, 0.010f,
+     "left_thumb2"},
+    {JointId::LeftThumb3, JointId::LeftThumb2, {0.028f, 0.0f, 0.008f}, 0.009f,
+     "left_thumb3"},
+    {JointId::LeftIndex1, JointId::LeftWrist, {0.09f, 0.0f, 0.025f}, 0.011f,
+     "left_index1"},
+    {JointId::LeftIndex2, JointId::LeftIndex1, {0.035f, 0.0f, 0.0f}, 0.009f,
+     "left_index2"},
+    {JointId::LeftIndex3, JointId::LeftIndex2, {0.025f, 0.0f, 0.0f}, 0.008f,
+     "left_index3"},
+    {JointId::LeftMiddle1, JointId::LeftWrist, {0.095f, 0.0f, 0.008f}, 0.011f,
+     "left_middle1"},
+    {JointId::LeftMiddle2, JointId::LeftMiddle1, {0.04f, 0.0f, 0.0f}, 0.009f,
+     "left_middle2"},
+    {JointId::LeftMiddle3, JointId::LeftMiddle2, {0.028f, 0.0f, 0.0f}, 0.008f,
+     "left_middle3"},
+    {JointId::LeftRing1, JointId::LeftWrist, {0.09f, 0.0f, -0.01f}, 0.010f,
+     "left_ring1"},
+    {JointId::LeftRing2, JointId::LeftRing1, {0.036f, 0.0f, 0.0f}, 0.009f,
+     "left_ring2"},
+    {JointId::LeftRing3, JointId::LeftRing2, {0.026f, 0.0f, 0.0f}, 0.008f,
+     "left_ring3"},
+    {JointId::LeftPinky1, JointId::LeftWrist, {0.08f, 0.0f, -0.028f}, 0.009f,
+     "left_pinky1"},
+    {JointId::LeftPinky2, JointId::LeftPinky1, {0.028f, 0.0f, 0.0f}, 0.008f,
+     "left_pinky2"},
+    {JointId::LeftPinky3, JointId::LeftPinky2, {0.02f, 0.0f, 0.0f}, 0.007f,
+     "left_pinky3"},
+    // Right hand (mirrored in x).
+    {JointId::RightThumb1, JointId::RightWrist, {-0.03f, -0.01f, 0.025f}, 0.012f,
+     "right_thumb1"},
+    {JointId::RightThumb2, JointId::RightThumb1, {-0.032f, 0.0f, 0.012f}, 0.010f,
+     "right_thumb2"},
+    {JointId::RightThumb3, JointId::RightThumb2, {-0.028f, 0.0f, 0.008f}, 0.009f,
+     "right_thumb3"},
+    {JointId::RightIndex1, JointId::RightWrist, {-0.09f, 0.0f, 0.025f}, 0.011f,
+     "right_index1"},
+    {JointId::RightIndex2, JointId::RightIndex1, {-0.035f, 0.0f, 0.0f}, 0.009f,
+     "right_index2"},
+    {JointId::RightIndex3, JointId::RightIndex2, {-0.025f, 0.0f, 0.0f}, 0.008f,
+     "right_index3"},
+    {JointId::RightMiddle1, JointId::RightWrist, {-0.095f, 0.0f, 0.008f}, 0.011f,
+     "right_middle1"},
+    {JointId::RightMiddle2, JointId::RightMiddle1, {-0.04f, 0.0f, 0.0f}, 0.009f,
+     "right_middle2"},
+    {JointId::RightMiddle3, JointId::RightMiddle2, {-0.028f, 0.0f, 0.0f}, 0.008f,
+     "right_middle3"},
+    {JointId::RightRing1, JointId::RightWrist, {-0.09f, 0.0f, -0.01f}, 0.010f,
+     "right_ring1"},
+    {JointId::RightRing2, JointId::RightRing1, {-0.036f, 0.0f, 0.0f}, 0.009f,
+     "right_ring2"},
+    {JointId::RightRing3, JointId::RightRing2, {-0.026f, 0.0f, 0.0f}, 0.008f,
+     "right_ring3"},
+    {JointId::RightPinky1, JointId::RightWrist, {-0.08f, 0.0f, -0.028f}, 0.009f,
+     "right_pinky1"},
+    {JointId::RightPinky2, JointId::RightPinky1, {-0.028f, 0.0f, 0.0f}, 0.008f,
+     "right_pinky2"},
+    {JointId::RightPinky3, JointId::RightPinky2, {-0.02f, 0.0f, 0.0f}, 0.007f,
+     "right_pinky3"},
+};
+
+static_assert(std::size(kSpecs) == kJointCount, "joint table incomplete");
+
+}  // namespace
+
+Skeleton::Skeleton() {
+    joints_.resize(kJointCount);
+    restPositions_.resize(kJointCount);
+    children_.resize(kJointCount);
+    // Raise the torso so the pelvis sits at standing height; keeps the
+    // model's feet near y = -0.9 and head near y = +0.75.
+    for (const JointSpec& s : kSpecs) {
+        Joint j;
+        j.id = s.id;
+        j.parent = s.parent;
+        j.restOffset = s.offset;
+        j.boneRadius = s.radius;
+        j.name = s.name;
+        joints_[index(s.id)] = j;
+    }
+    // Fix up the clavicle y-offsets: they hang off spine3 towards the
+    // shoulders at roughly the same height.
+    joints_[index(JointId::LeftClavicle)].restOffset = {0.06f, 0.06f, 0.0f};
+    joints_[index(JointId::RightClavicle)].restOffset = {-0.06f, 0.06f, 0.0f};
+
+    for (std::size_t i = 0; i < kJointCount; ++i) {
+        const Joint& j = joints_[i];
+        if (index(j.parent) == i) {
+            restPositions_[i] = j.restOffset;
+        } else {
+            restPositions_[i] = restPositions_[index(j.parent)] + j.restOffset;
+            children_[index(j.parent)].push_back(j.id);
+        }
+    }
+}
+
+const Skeleton& Skeleton::canonical() {
+    static const Skeleton instance;
+    return instance;
+}
+
+const std::vector<Bone>& canonicalBones() {
+    static const std::vector<Bone> bones = [] {
+        std::vector<Bone> out;
+        const Skeleton& sk = Skeleton::canonical();
+        for (const Joint& j : sk.joints()) {
+            if (sk.isRoot(j.id)) continue;
+            // Eyes are surface markers, not structural bones.
+            if (j.id == JointId::LeftEye || j.id == JointId::RightEye) continue;
+            const Joint& parent = sk.joint(j.parent);
+            out.push_back({j.id, j.parent, parent.boneRadius, j.boneRadius});
+        }
+        return out;
+    }();
+    return bones;
+}
+
+}  // namespace semholo::body

@@ -1,0 +1,69 @@
+// Minimal typed 2D image buffers for the synthetic RGB-D pipeline.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::capture {
+
+template <typename T>
+class Image {
+public:
+    Image() = default;
+    Image(int width, int height, T fill = T{})
+        : width_(width), height_(height),
+          data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                fill) {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    bool empty() const { return data_.empty(); }
+    std::size_t pixelCount() const { return data_.size(); }
+
+    T& at(int x, int y) {
+        assert(inBounds(x, y));
+        return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                     static_cast<std::size_t>(x)];
+    }
+    const T& at(int x, int y) const {
+        assert(inBounds(x, y));
+        return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                     static_cast<std::size_t>(x)];
+    }
+    bool inBounds(int x, int y) const {
+        return x >= 0 && y >= 0 && x < width_ && y < height_;
+    }
+
+    const std::vector<T>& data() const { return data_; }
+    std::vector<T>& data() { return data_; }
+
+private:
+    int width_{0};
+    int height_{0};
+    std::vector<T> data_;
+};
+
+using RGBImage = Image<geom::Vec3f>;   // linear RGB in [0,1]
+using DepthImage = Image<float>;        // metres; 0 = no return
+
+// An RGB-D frame as produced by one camera of the rig.
+struct RGBDFrame {
+    RGBImage color;
+    DepthImage depth;
+    double timestamp{0.0};
+
+    int width() const { return color.width(); }
+    int height() const { return color.height(); }
+};
+
+// Mean absolute per-pixel colour difference; the 2D image quality metric
+// for the NeRF experiments.
+double imageMAE(const RGBImage& a, const RGBImage& b);
+
+// Peak signal-to-noise ratio between two RGB images (peak = 1.0).
+double imagePSNR(const RGBImage& a, const RGBImage& b);
+
+}  // namespace semholo::capture

@@ -1,0 +1,103 @@
+// Keypoint detector simulators (DESIGN.md substitution for DL models).
+//
+// Section 2.3 contrasts two 3D keypoint detection routes:
+//  (a) 2D detection per view + learned lifting to 3D — RGB only, extra
+//      compute and error from the lifting stage;
+//  (b) direct 3D from RGB-D depth — faster, more accurate, needs depth.
+//
+// We simulate both against the ground-truth joints of the synthetic
+// subject: per-joint pixel/depth noise, occlusion-driven confidence and
+// dropout, and an explicit *simulated* inference-cost model calibrated
+// to published detector timings (OpenPose-class 2D, VideoPose3D-class
+// lifting, Kinect-SDK-class direct 3D). The cost model is documented
+// data, not measured compute — it drives the Table 1 / Ablation D
+// comparisons deterministically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "semholo/body/pose.hpp"
+#include "semholo/capture/rig.hpp"
+
+namespace semholo::capture {
+
+using body::kJointCount;
+
+// Keypoint extraction granularity (the section 3.1 trade-off between the
+// number of extracted keypoints, computation overhead and visual
+// quality). Body25 is an OpenPose-class body-only detector; Extended40
+// adds per-finger base joints and the face anchors; Full55 is the whole
+// SMPL-X-style rig including every finger segment.
+enum class KeypointSet : std::uint8_t { Body25, Extended40, Full55 };
+
+// Which joints a detector of the given granularity reports.
+std::array<bool, kJointCount> keypointSetMask(KeypointSet set);
+std::size_t keypointSetCount(KeypointSet set);
+std::string_view keypointSetName(KeypointSet set);
+
+struct KeypointObservation {
+    std::array<geom::Vec3f, kJointCount> positions{};
+    std::array<float, kJointCount> confidence{};  // 0 = dropped out
+    // Simulated inference cost of producing this observation (ms).
+    double simulatedLatencyMs{0.0};
+};
+
+struct DetectorNoise {
+    // 2D detection error in pixels (per coordinate std dev).
+    float pixelSigma{2.0f};
+    // Additional metres of error introduced by the 2D->3D lifting net.
+    float liftingSigma{0.015f};
+    // Direct-3D per-axis error in metres (depth-derived).
+    float directSigma{0.008f};
+    // Confidence decay with occlusion: a joint whose ground-truth
+    // position is behind the rendered depth by more than this margin is
+    // considered occluded in that view. Joint centres lie *inside* the
+    // body, so the margin must exceed the largest capsule radius
+    // (~0.12 m) plus sensor noise for a joint under its own surface to
+    // count as visible.
+    float occlusionMargin{0.16f};
+    // Probability a visible joint still drops out (detector miss).
+    float missRate{0.01f};
+};
+
+// Simulated per-frame inference cost model (milliseconds). Values follow
+// published orders of magnitude on workstation GPUs.
+struct DetectorCostModel {
+    double detect2dPerMegapixelMs{18.0};  // OpenPose-class per view
+    double liftPerJointMs{0.05};          // temporal-conv lifting
+    double direct3dPerMegapixelMs{6.0};   // depth-based extraction
+    double triangulationPerJointMs{0.002};
+    // Per-keypoint regression-head cost: richer keypoint sets (hands,
+    // face) need extra heads — the section 3.1 "intricate models" cost.
+    double perKeypointHeadMs{0.08};
+};
+
+// Route (a): per-view 2D detection (pixel noise + occlusion dropout),
+// multi-view triangulation, then a lifting-noise term. Uses only the RGB
+// and depth-for-occlusion of the frames.
+KeypointObservation detectKeypoints2DLifted(const CaptureRig& rig,
+                                            const std::vector<RGBDFrame>& frames,
+                                            const body::Pose& groundTruth,
+                                            std::uint64_t seed,
+                                            const DetectorNoise& noise = {},
+                                            const DetectorCostModel& cost = {},
+                                            KeypointSet set = KeypointSet::Full55);
+
+// Route (b): direct 3D extraction from the RGB-D frames.
+KeypointObservation detectKeypoints3DDirect(const CaptureRig& rig,
+                                            const std::vector<RGBDFrame>& frames,
+                                            const body::Pose& groundTruth,
+                                            std::uint64_t seed,
+                                            const DetectorNoise& noise = {},
+                                            const DetectorCostModel& cost = {},
+                                            KeypointSet set = KeypointSet::Full55);
+
+// Mean position error of an observation vs the ground-truth joints,
+// over joints with confidence above 'minConfidence'.
+double keypointError(const KeypointObservation& obs, const body::Pose& groundTruth,
+                     float minConfidence = 0.05f);
+
+}  // namespace semholo::capture

@@ -1,0 +1,61 @@
+// Multi-camera RGB-D capture rig: N synchronised, calibrated sensors on
+// a ring around the subject, with fusion into a world-space point cloud
+// (synchronisation, calibration, filtering — section 2.1's capture
+// pipeline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "semholo/capture/noise.hpp"
+#include "semholo/capture/rasterizer.hpp"
+#include "semholo/geometry/camera.hpp"
+#include "semholo/mesh/pointcloud.hpp"
+#include "semholo/mesh/trimesh.hpp"
+
+namespace semholo::capture {
+
+struct RigConfig {
+    int cameraCount{4};
+    float ringRadius{2.2f};   // metres from the subject
+    float ringHeight{0.2f};   // camera height relative to subject pelvis
+    int imageWidth{320};
+    int imageHeight{240};
+    float fovY{1.05f};        // ~60 degrees
+    DepthNoiseModel depthNoise{};
+    ColorNoiseModel colorNoise{};
+    bool addNoise{true};
+};
+
+struct FusionOptions {
+    int pixelStride{2};         // back-projection subsampling
+    float voxelSize{0.012f};    // downsample leaf size
+    int outlierNeighbors{8};
+    float outlierStddev{2.0f};
+};
+
+class CaptureRig {
+public:
+    explicit CaptureRig(const RigConfig& config = {});
+
+    const std::vector<geom::Camera>& cameras() const { return cameras_; }
+    const RigConfig& config() const { return config_; }
+
+    // Capture one synchronized multi-view frame of 'subject'.
+    std::vector<RGBDFrame> capture(const mesh::TriMesh& subject,
+                                   std::uint64_t frameSeed) const;
+
+    // Fuse multi-view frames into a filtered world-space point cloud.
+    mesh::PointCloud fuse(const std::vector<RGBDFrame>& frames,
+                          const FusionOptions& options = {}) const;
+
+    // Convenience: capture + fuse.
+    mesh::PointCloud captureCloud(const mesh::TriMesh& subject, std::uint64_t frameSeed,
+                                  const FusionOptions& options = {}) const;
+
+private:
+    RigConfig config_{};
+    std::vector<geom::Camera> cameras_;
+};
+
+}  // namespace semholo::capture

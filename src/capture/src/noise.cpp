@@ -1,0 +1,39 @@
+#include "semholo/capture/noise.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace semholo::capture {
+
+void applyDepthNoise(DepthImage& depth, const DepthNoiseModel& model,
+                     std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<float> gauss(0.0f, 1.0f);
+    std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+    for (float& z : depth.data()) {
+        if (z <= 0.0f) continue;
+        if (z < model.minRange || z > model.maxRange || uni(rng) < model.dropoutRate) {
+            z = 0.0f;
+            continue;
+        }
+        const float sigma = model.sigmaBase + model.sigmaQuad * z * z;
+        z += gauss(rng) * sigma;
+        // Disparity-like quantisation: step grows with z^2.
+        const float step = model.quantizationStep * z * z;
+        if (step > 0.0f) z = std::round(z / step) * step;
+        if (z <= 0.0f) z = 0.0f;
+    }
+}
+
+void applyColorNoise(RGBImage& color, const ColorNoiseModel& model,
+                     std::uint64_t seed) {
+    std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+    std::normal_distribution<float> gauss(0.0f, model.sigma);
+    for (geom::Vec3f& c : color.data()) {
+        c.x = geom::clamp(c.x + gauss(rng), 0.0f, 1.0f);
+        c.y = geom::clamp(c.y + gauss(rng), 0.0f, 1.0f);
+        c.z = geom::clamp(c.z + gauss(rng), 0.0f, 1.0f);
+    }
+}
+
+}  // namespace semholo::capture

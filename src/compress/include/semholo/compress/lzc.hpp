@@ -1,0 +1,29 @@
+// LZC: an LZMA-class lossless compressor (LZ77 hash-chain match finder
+// feeding the adaptive binary range coder). Used wherever the paper uses
+// LZMA — most importantly compressing the 1.91 KB keypoint payload of
+// Table 2 — and as the entropy backend of the mesh and text codecs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace semholo::compress {
+
+struct LzcOptions {
+    // Maximum match-finder chain walks per position (speed/ratio knob).
+    int maxChainSteps{64};
+    // Context bits of the previous byte used for literal coding.
+    int literalContextBits{3};
+};
+
+// Compress 'data'. Output embeds the uncompressed size.
+std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
+                                      const LzcOptions& options = {});
+
+// Decompress; returns nullopt on malformed input.
+std::optional<std::vector<std::uint8_t>> lzcDecompress(
+    std::span<const std::uint8_t> compressed);
+
+}  // namespace semholo::compress

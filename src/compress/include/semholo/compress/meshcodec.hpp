@@ -1,0 +1,33 @@
+// Draco-class lossy mesh codec: position quantisation within the mesh
+// bounds, delta prediction along the (spatially coherent) vertex order,
+// high-watermark connectivity coding, and LZC entropy coding on top.
+// This is the "traditional communication w/ compression" path of
+// Table 2 (~10x on raw geometry, quantisation-bounded error).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semholo/mesh/trimesh.hpp"
+
+namespace semholo::compress {
+
+struct MeshCodecOptions {
+    // Bits per position component (Draco default is 11).
+    int positionBits{11};
+    // Encode per-vertex colours (5 bits/channel) when the mesh has them.
+    bool encodeColors{true};
+};
+
+std::vector<std::uint8_t> encodeMesh(const mesh::TriMesh& m,
+                                     const MeshCodecOptions& options = {});
+
+std::optional<mesh::TriMesh> decodeMesh(std::span<const std::uint8_t> data);
+
+// Worst-case positional error of the quantisation for a given mesh and
+// bit depth (half a quantisation step along the box diagonal).
+float quantizationError(const mesh::TriMesh& m, int positionBits);
+
+}  // namespace semholo::compress

@@ -1,0 +1,34 @@
+// Octree point-cloud codec (G-PCC/real-time-PCC class): points are
+// quantised into an octree over the cloud bounds; occupancy is coded
+// breadth-first, one child-mask byte per internal node, entropy-coded
+// with LZC. Optional per-point colours ride along in leaf order. This is
+// the "point cloud" half of the paper's traditional volumetric formats
+// (section 2.1), complementing the mesh codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semholo/mesh/pointcloud.hpp"
+
+namespace semholo::compress {
+
+struct PointCloudCodecOptions {
+    // Octree depth: resolution is 2^depth cells per axis (depth 9 ~
+    // 512^3, comparable to Draco's 11-bit quantisation on one axis).
+    int depth{9};
+    bool encodeColors{true};
+};
+
+std::vector<std::uint8_t> encodePointCloud(const mesh::PointCloud& cloud,
+                                           const PointCloudCodecOptions& options = {});
+
+std::optional<mesh::PointCloud> decodePointCloud(std::span<const std::uint8_t> data);
+
+// Worst-case positional error at a given depth for a given cloud
+// (half-diagonal of a leaf cell).
+float pointCloudQuantizationError(const mesh::PointCloud& cloud, int depth);
+
+}  // namespace semholo::compress

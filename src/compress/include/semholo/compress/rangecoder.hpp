@@ -1,0 +1,58 @@
+// Adaptive binary range coder, the entropy-coding core of the LZMA-class
+// codec (DESIGN.md: stand-in for the paper's LZMA keypoint compression).
+// Probabilities are 11-bit adaptive counters exactly as in LZMA.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace semholo::compress {
+
+// Adaptive probability of a bit being 0, in [0, 2048).
+struct BitProb {
+    std::uint16_t p{1024};
+};
+
+class RangeEncoder {
+public:
+    void encodeBit(BitProb& prob, int bit);
+    // Encode 'bits' raw bits of 'value' (MSB first) at probability 1/2.
+    void encodeDirect(std::uint32_t value, int bits);
+    // Encode a value in [0, 2^bits) through an adaptive bit tree of
+    // (1 << bits) - 1 probabilities.
+    void encodeTree(std::span<BitProb> tree, std::uint32_t value, int bits);
+    // Flush remaining state; call exactly once, then take().
+    void finish();
+    std::vector<std::uint8_t> take() { return std::move(out_); }
+    std::size_t sizeBytes() const { return out_.size(); }
+
+private:
+    void shiftLow();
+
+    std::uint64_t low_{0};
+    std::uint32_t range_{0xFFFFFFFFu};
+    std::uint8_t cache_{0};
+    std::uint64_t cacheSize_{1};
+    std::vector<std::uint8_t> out_;
+};
+
+class RangeDecoder {
+public:
+    explicit RangeDecoder(std::span<const std::uint8_t> data);
+
+    int decodeBit(BitProb& prob);
+    std::uint32_t decodeDirect(int bits);
+    std::uint32_t decodeTree(std::span<BitProb> tree, int bits);
+    bool exhausted() const { return pos_ > data_.size() + 8; }
+
+private:
+    std::uint8_t nextByte();
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_{0};
+    std::uint32_t range_{0xFFFFFFFFu};
+    std::uint32_t code_{0};
+};
+
+}  // namespace semholo::compress

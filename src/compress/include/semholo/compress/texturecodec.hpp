@@ -1,0 +1,26 @@
+// Block texture codec (BC1/ASTC-class): groups of 16 RGB samples are
+// approximated by two endpoint colours and per-sample 2-bit indices on
+// the segment between them — 4 bits/sample vs 96 raw. Used for the
+// "directly deliver the compressed 2D texture" path of section 3.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::compress {
+
+// Encode a flat sequence of RGB colours (e.g. per-vertex colours in
+// vertex order, or image scanlines). Lossy.
+std::vector<std::uint8_t> encodeColorBlocks(std::span<const geom::Vec3f> colors);
+
+std::optional<std::vector<geom::Vec3f>> decodeColorBlocks(
+    std::span<const std::uint8_t> data);
+
+// Compression ratio of the block codec (raw float RGB : encoded).
+double colorBlockRatio(std::size_t colorCount, std::size_t encodedBytes);
+
+}  // namespace semholo::compress

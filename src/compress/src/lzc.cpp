@@ -1,0 +1,172 @@
+#include "semholo/compress/lzc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+
+#include "semholo/compress/rangecoder.hpp"
+
+namespace semholo::compress {
+
+namespace {
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 273;
+constexpr int kLenBits = 9;        // match length - kMinMatch in [0, 271)
+constexpr int kDistSlotBits = 5;   // distance slot 0..31
+constexpr std::uint32_t kWindow = 1u << 20;
+constexpr std::uint32_t kHashSize = 1u << 16;
+
+std::uint32_t hash3(const std::uint8_t* p) {
+    // Multiplicative hash over 3 bytes.
+    const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> 16;
+}
+
+// Distance is coded as a 5-bit slot (bit length) + raw low bits: the
+// LZMA "distance slot" scheme with a flat low-bit model.
+int distanceSlot(std::uint32_t dist) {
+    int bits = 0;
+    while ((dist >> bits) > 1) ++bits;
+    return bits;
+}
+
+struct Models {
+    BitProb isMatch[2]{};  // context: previous op was match?
+    std::array<std::array<BitProb, 256>, 8> literal{};  // ctx: prev byte top bits
+    std::array<BitProb, (1u << kLenBits) - 1> len{};
+    std::array<BitProb, (1u << kDistSlotBits) - 1> distSlot{};
+};
+
+void putU32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
+                                      const LzcOptions& options) {
+    std::vector<std::uint8_t> header;
+    putU32le(header, static_cast<std::uint32_t>(data.size()));
+    if (data.empty()) return header;
+
+    auto models = std::make_unique<Models>();
+    RangeEncoder enc;
+
+    // Hash-chain match finder.
+    std::vector<std::int32_t> head(kHashSize, -1);
+    std::vector<std::int32_t> prev(data.size(), -1);
+
+    const int ctxShift = 8 - options.literalContextBits;
+    std::size_t pos = 0;
+    bool lastWasMatch = false;
+    while (pos < data.size()) {
+        // Find the best match at 'pos'.
+        std::uint32_t bestLen = 0, bestDist = 0;
+        if (pos + kMinMatch <= data.size()) {
+            const std::uint32_t h = hash3(&data[pos]);
+            std::int32_t cand = head[h];
+            int steps = options.maxChainSteps;
+            while (cand >= 0 && steps-- > 0 &&
+                   pos - static_cast<std::size_t>(cand) <= kWindow) {
+                const std::size_t cpos = static_cast<std::size_t>(cand);
+                const std::size_t maxLen =
+                    std::min<std::size_t>(kMaxMatch, data.size() - pos);
+                std::size_t len = 0;
+                while (len < maxLen && data[cpos + len] == data[pos + len]) ++len;
+                if (len >= kMinMatch && len > bestLen) {
+                    bestLen = static_cast<std::uint32_t>(len);
+                    bestDist = static_cast<std::uint32_t>(pos - cpos);
+                    if (len == maxLen) break;
+                }
+                cand = prev[cpos];
+            }
+        }
+
+        if (bestLen >= kMinMatch) {
+            enc.encodeBit(models->isMatch[lastWasMatch ? 1 : 0], 1);
+            enc.encodeTree(models->len, bestLen - kMinMatch, kLenBits);
+            const int slot = distanceSlot(bestDist);
+            enc.encodeTree(models->distSlot, static_cast<std::uint32_t>(slot),
+                           kDistSlotBits);
+            if (slot > 0)
+                enc.encodeDirect(bestDist & ((1u << slot) - 1u), slot);
+            // Insert all covered positions into the hash chains.
+            const std::size_t end = pos + bestLen;
+            while (pos < end && pos + kMinMatch <= data.size()) {
+                const std::uint32_t h = hash3(&data[pos]);
+                prev[pos] = head[h];
+                head[h] = static_cast<std::int32_t>(pos);
+                ++pos;
+            }
+            pos = end;
+            lastWasMatch = true;
+        } else {
+            enc.encodeBit(models->isMatch[lastWasMatch ? 1 : 0], 0);
+            const std::uint8_t ctx =
+                pos > 0 ? static_cast<std::uint8_t>(data[pos - 1] >> ctxShift) : 0;
+            enc.encodeTree(
+                std::span<BitProb>(models->literal[ctx & 7].data(), 256),
+                data[pos], 8);
+            if (pos + kMinMatch <= data.size()) {
+                const std::uint32_t h = hash3(&data[pos]);
+                prev[pos] = head[h];
+                head[h] = static_cast<std::int32_t>(pos);
+            }
+            ++pos;
+            lastWasMatch = false;
+        }
+    }
+
+    enc.finish();
+    std::vector<std::uint8_t> out = std::move(header);
+    const auto payload = enc.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>> lzcDecompress(
+    std::span<const std::uint8_t> compressed) {
+    if (compressed.size() < 4) return std::nullopt;
+    std::uint32_t size = 0;
+    for (int i = 0; i < 4; ++i)
+        size |= static_cast<std::uint32_t>(compressed[i]) << (8 * i);
+    std::vector<std::uint8_t> out;
+    if (size == 0) return out;
+    // Guard against absurd headers (corrupt input).
+    if (size > (1u << 30)) return std::nullopt;
+    out.reserve(size);
+
+    auto models = std::make_unique<Models>();
+    RangeDecoder dec(compressed.subspan(4));
+    const int ctxShift = 8 - LzcOptions{}.literalContextBits;
+
+    bool lastWasMatch = false;
+    while (out.size() < size) {
+        if (dec.exhausted()) return std::nullopt;
+        if (dec.decodeBit(models->isMatch[lastWasMatch ? 1 : 0]) == 1) {
+            const std::uint32_t len =
+                dec.decodeTree(models->len, kLenBits) + kMinMatch;
+            const int slot =
+                static_cast<int>(dec.decodeTree(models->distSlot, kDistSlotBits));
+            std::uint32_t dist = slot > 0 ? (1u << slot) | dec.decodeDirect(slot) : 1u;
+            if (dist > out.size()) return std::nullopt;
+            if (out.size() + len > size) return std::nullopt;
+            const std::size_t from = out.size() - dist;
+            for (std::uint32_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+            lastWasMatch = true;
+        } else {
+            const std::uint8_t ctx =
+                out.empty() ? 0 : static_cast<std::uint8_t>(out.back() >> ctxShift);
+            out.push_back(static_cast<std::uint8_t>(dec.decodeTree(
+                std::span<BitProb>(models->literal[ctx & 7].data(), 256), 8)));
+            lastWasMatch = false;
+        }
+    }
+    return out;
+}
+
+}  // namespace compress

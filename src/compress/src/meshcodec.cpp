@@ -1,0 +1,218 @@
+#include "semholo/compress/meshcodec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "semholo/compress/lzc.hpp"
+
+namespace semholo::compress {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53484D43;  // "SHMC"
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putF32(std::vector<std::uint8_t>& out, float f) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    putU32(out, bits);
+}
+
+// Zigzag + LEB128 varint for signed deltas.
+void putVarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+    std::uint64_t z = (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63);
+    while (z >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(z) | 0x80);
+        z >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(z));
+}
+
+struct Reader {
+    std::span<const std::uint8_t> data;
+    std::size_t pos{0};
+    bool fail{false};
+
+    std::uint32_t u32() {
+        if (pos + 4 > data.size()) {
+            fail = true;
+            return 0;
+        }
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+    float f32() {
+        const std::uint32_t bits = u32();
+        float f;
+        std::memcpy(&f, &bits, sizeof(f));
+        return f;
+    }
+    std::int64_t varint() {
+        std::uint64_t z = 0;
+        int shift = 0;
+        while (true) {
+            if (pos >= data.size() || shift > 63) {
+                fail = true;
+                return 0;
+            }
+            const std::uint8_t b = data[pos++];
+            z |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80)) break;
+            shift += 7;
+        }
+        return static_cast<std::int64_t>(z >> 1) ^
+               -static_cast<std::int64_t>(z & 1);
+    }
+};
+
+}  // namespace
+
+float quantizationError(const mesh::TriMesh& m, int positionBits) {
+    const auto ext = m.bounds().extent();
+    const float maxExt = std::max({ext.x, ext.y, ext.z, 1e-9f});
+    const float step = maxExt / static_cast<float>((1u << positionBits) - 1);
+    // Half-step per axis; sqrt(3)/2 along the diagonal.
+    return step * 0.8660254f;
+}
+
+std::vector<std::uint8_t> encodeMesh(const mesh::TriMesh& m,
+                                     const MeshCodecOptions& options) {
+    std::vector<std::uint8_t> raw;
+    const auto bounds = m.bounds();
+    const geom::Vec3f lo = m.empty() ? geom::Vec3f{} : bounds.lo;
+    const geom::Vec3f ext = m.empty() ? geom::Vec3f{} : bounds.extent();
+    const int bits = geom::clamp(options.positionBits, 4, 24);
+    const auto maxQ = static_cast<float>((1u << bits) - 1);
+    const bool colors = options.encodeColors && m.hasColors();
+
+    putU32(raw, kMagic);
+    putU32(raw, static_cast<std::uint32_t>(m.vertexCount()));
+    putU32(raw, static_cast<std::uint32_t>(m.triangleCount()));
+    putU32(raw, static_cast<std::uint32_t>(bits) | (colors ? 0x80000000u : 0u));
+    putF32(raw, lo.x);
+    putF32(raw, lo.y);
+    putF32(raw, lo.z);
+    putF32(raw, ext.x);
+    putF32(raw, ext.y);
+    putF32(raw, ext.z);
+
+    // Positions: quantise then delta-code against the previous vertex.
+    // Iso-surface output is spatially coherent so deltas stay small.
+    std::array<std::int64_t, 3> prevQ{0, 0, 0};
+    for (const geom::Vec3f& v : m.vertices) {
+        for (int a = 0; a < 3; ++a) {
+            const float extA = ext[static_cast<std::size_t>(a)];
+            const float norm =
+                extA > 0.0f
+                    ? (v[static_cast<std::size_t>(a)] - lo[static_cast<std::size_t>(a)]) /
+                          extA
+                    : 0.0f;
+            const auto q = static_cast<std::int64_t>(
+                std::lround(geom::clamp(norm, 0.0f, 1.0f) * maxQ));
+            putVarint(raw, q - prevQ[static_cast<std::size_t>(a)]);
+            prevQ[static_cast<std::size_t>(a)] = q;
+        }
+    }
+
+    // Connectivity: high-watermark coding. Each index is stored as
+    // (watermark - index); indices near the recently created vertices
+    // yield small values.
+    std::int64_t watermark = 0;
+    for (const mesh::Triangle& t : m.triangles) {
+        for (const std::uint32_t idx : {t.a, t.b, t.c}) {
+            putVarint(raw, watermark - static_cast<std::int64_t>(idx));
+            watermark = std::max(watermark, static_cast<std::int64_t>(idx) + 1);
+        }
+    }
+
+    if (colors) {
+        std::array<std::int64_t, 3> prevC{0, 0, 0};
+        for (const geom::Vec3f& c : m.colors) {
+            for (int a = 0; a < 3; ++a) {
+                const auto q = static_cast<std::int64_t>(std::lround(
+                    geom::clamp(c[static_cast<std::size_t>(a)], 0.0f, 1.0f) * 31.0f));
+                putVarint(raw, q - prevC[static_cast<std::size_t>(a)]);
+                prevC[static_cast<std::size_t>(a)] = q;
+            }
+        }
+    }
+
+    // Entropy-code the prediction residual stream.
+    return lzcCompress(raw);
+}
+
+std::optional<mesh::TriMesh> decodeMesh(std::span<const std::uint8_t> data) {
+    const auto rawOpt = lzcDecompress(data);
+    if (!rawOpt) return std::nullopt;
+    Reader r{*rawOpt};
+
+    if (r.u32() != kMagic) return std::nullopt;
+    const std::uint32_t nv = r.u32();
+    const std::uint32_t nt = r.u32();
+    const std::uint32_t bitsWord = r.u32();
+    const int bits = static_cast<int>(bitsWord & 0x7FFFFFFFu);
+    const bool colors = (bitsWord & 0x80000000u) != 0;
+    if (bits < 4 || bits > 24) return std::nullopt;
+    geom::Vec3f lo{r.f32(), r.f32(), r.f32()};
+    geom::Vec3f ext{r.f32(), r.f32(), r.f32()};
+    if (r.fail) return std::nullopt;
+    const auto maxQ = static_cast<float>((1u << bits) - 1);
+
+    mesh::TriMesh out;
+    out.vertices.reserve(nv);
+    std::array<std::int64_t, 3> prevQ{0, 0, 0};
+    for (std::uint32_t i = 0; i < nv; ++i) {
+        geom::Vec3f v;
+        for (int a = 0; a < 3; ++a) {
+            prevQ[static_cast<std::size_t>(a)] += r.varint();
+            const float norm =
+                static_cast<float>(prevQ[static_cast<std::size_t>(a)]) / maxQ;
+            v[static_cast<std::size_t>(a)] =
+                lo[static_cast<std::size_t>(a)] +
+                norm * ext[static_cast<std::size_t>(a)];
+        }
+        if (r.fail) return std::nullopt;
+        out.vertices.push_back(v);
+    }
+
+    out.triangles.reserve(nt);
+    std::int64_t watermark = 0;
+    for (std::uint32_t i = 0; i < nt; ++i) {
+        std::array<std::uint32_t, 3> idx{};
+        for (int k = 0; k < 3; ++k) {
+            const std::int64_t v = watermark - r.varint();
+            if (r.fail || v < 0 || v >= static_cast<std::int64_t>(nv))
+                return std::nullopt;
+            idx[static_cast<std::size_t>(k)] = static_cast<std::uint32_t>(v);
+            watermark = std::max(watermark, v + 1);
+        }
+        out.triangles.push_back({idx[0], idx[1], idx[2]});
+    }
+
+    if (colors) {
+        out.colors.reserve(nv);
+        std::array<std::int64_t, 3> prevC{0, 0, 0};
+        for (std::uint32_t i = 0; i < nv; ++i) {
+            geom::Vec3f c;
+            for (int a = 0; a < 3; ++a) {
+                prevC[static_cast<std::size_t>(a)] += r.varint();
+                c[static_cast<std::size_t>(a)] = geom::clamp(
+                    static_cast<float>(prevC[static_cast<std::size_t>(a)]) / 31.0f,
+                    0.0f, 1.0f);
+            }
+            if (r.fail) return std::nullopt;
+            out.colors.push_back(c);
+        }
+    }
+
+    out.computeVertexNormals();
+    return out;
+}
+
+}  // namespace semholo::compress

@@ -1,0 +1,96 @@
+// End-to-end telepresence session: sender pipeline -> simulated Internet
+// path -> receiver pipeline, per-frame accounting of every Figure 1
+// stage, and (optionally sampled) reconstruction quality against the
+// ground-truth capture mesh.
+#pragma once
+
+#include <limits>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/core/channel.hpp"
+#include "semholo/net/simulator.hpp"
+
+namespace semholo::core {
+
+struct SessionConfig {
+    double fps{30.0};
+    std::size_t frames{60};
+    net::LinkConfig link{};
+    net::TransferOptions transfer{};
+    body::MotionKind motion{body::MotionKind::Talk};
+    std::uint32_t motionSeed{1};
+    // Evaluate decoded-mesh quality vs ground truth every N frames
+    // (0 = never; quality evaluation costs mesh sampling time).
+    std::size_t qualityEvalInterval{0};
+    std::size_t qualitySamples{6000};
+    // Viewer state fed to gaze-aware channels.
+    geom::RigidTransform viewerHead{geom::Quat::identity(), {0.0f, 0.2f, -2.5f}};
+    // Sender extraction and receiver reconstruction are single pipeline
+    // stages: when true, a frame that arrives while its stage is still
+    // busy with an earlier frame is dropped (live-streaming behaviour);
+    // when false, frames queue and latency grows without bound for
+    // stages slower than the frame interval.
+    bool dropWhenBusy{true};
+};
+
+struct FrameStats {
+    std::uint32_t frameId{};
+    std::size_t bytes{};
+    double extractMs{};    // measured + simulated sender inference
+    double transferMs{};   // network (queue + serialisation + propagation)
+    double reconMs{};      // measured + simulated receiver inference
+    double e2eMs{};        // capture-to-render
+    bool delivered{false};
+    bool decoded{false};
+    bool droppedAtSender{false};    // extractor still busy at capture time
+    bool droppedAtReceiver{false};  // reconstructor still busy at arrival
+    // Chamfer distance vs ground truth when evaluated, NaN otherwise.
+    double chamfer{std::numeric_limits<double>::quiet_NaN()};
+};
+
+struct SessionStats {
+    std::vector<FrameStats> frames;
+
+    std::size_t deliveredFrames{};
+    std::size_t decodedFrames{};
+    std::size_t droppedSenderFrames{};
+    std::size_t droppedReceiverFrames{};
+    double meanBytesPerFrame{};
+    double bandwidthMbps{};       // meanBytes * 8 * fps / 1e6
+    double meanExtractMs{};
+    double meanTransferMs{};
+    double meanReconMs{};
+    double meanE2eMs{};
+    double p95E2eMs{};
+    // Pipeline-limited frame rate: 1000 / mean(max(extract, recon)) —
+    // stages pipeline across frames, so the slower stage bounds FPS.
+    double achievableFps{};
+    // Mean Chamfer over evaluated frames (NaN when never evaluated).
+    double meanChamfer{std::numeric_limits<double>::quiet_NaN()};
+};
+
+// Run a one-way session (site A captures, site B renders).
+SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
+                        const SessionConfig& config);
+
+// ---- Multi-user sessions -------------------------------------------------
+//
+// N participants upload through one shared bottleneck (the conference-
+// server model of the multi-user volumetric delivery literature the
+// paper builds on). Every user runs their own channel instance and
+// motion seed; their frames interleave on the shared link in capture
+// order, so heavy channels congest each other.
+
+struct MultiSessionStats {
+    std::vector<SessionStats> perUser;
+    double aggregateMbps{};
+    double meanE2eMs{};
+    // Users whose mean end-to-end latency meets 'budgetMs'.
+    std::size_t usersWithinLatency(double budgetMs) const;
+};
+
+MultiSessionStats runMultiUserSession(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base);
+
+}  // namespace semholo::core

@@ -1,0 +1,46 @@
+#include "semholo/core/qoe.hpp"
+
+#include <cmath>
+
+namespace semholo::core {
+
+QoEBreakdown computeQoE(const SessionStats& stats, const QoEModel& model) {
+    QoEBreakdown out;
+
+    // Quality from Chamfer: 1 at "excellent", 0 at "poor", log-linear in
+    // between. Sessions that never evaluated quality get a neutral 0.5.
+    if (std::isnan(stats.meanChamfer)) {
+        out.qualityTerm = 0.5;
+    } else {
+        const double c =
+            std::clamp(stats.meanChamfer, model.chamferExcellent, model.chamferPoor);
+        out.qualityTerm = 1.0 - (std::log(c) - std::log(model.chamferExcellent)) /
+                                    (std::log(model.chamferPoor) -
+                                     std::log(model.chamferExcellent));
+    }
+
+    // Latency: exponential decay beyond the interactive budget.
+    const double over = std::max(0.0, stats.meanE2eMs - model.latencyBudgetMs);
+    out.latencyTerm = std::exp2(-over / model.latencyHalfLifeMs);
+
+    // Smoothness: achieved pipeline FPS relative to the target.
+    out.fpsTerm = std::clamp(stats.achievableFps / model.targetFps, 0.0, 1.0);
+
+    // Delivery counts network failures only. Frames shed by a busy
+    // pipeline stage are already captured by the smoothness term —
+    // counting them here would double-penalise slow reconstruction.
+    const std::size_t attempted = stats.frames.size() - stats.droppedSenderFrames -
+                                  stats.droppedReceiverFrames;
+    out.deliveryTerm = attempted == 0
+                           ? 0.0
+                           : static_cast<double>(stats.deliveredFrames) /
+                                 static_cast<double>(attempted);
+
+    const double weighted = model.qualityWeight * out.qualityTerm +
+                            model.latencyWeight * out.latencyTerm +
+                            model.fpsWeight * out.fpsTerm;
+    out.mos = 5.0 * weighted * out.deliveryTerm;
+    return out;
+}
+
+}  // namespace semholo::core

@@ -1,0 +1,273 @@
+#include "semholo/core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "semholo/mesh/metrics.hpp"
+#include "semholo/net/abr.hpp"
+
+namespace semholo::core {
+
+SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
+                        const SessionConfig& config) {
+    SessionStats stats;
+    channel.reset();
+    net::LinkSimulator link(config.link);
+    const body::MotionGenerator motion(config.motion, model.shape(),
+                                       config.motionSeed);
+
+    // Sender extractor and receiver reconstructor are sequential pipeline
+    // stages with their own availability clocks.
+    double extractorFreeAt = 0.0;
+    double reconFreeAt = 0.0;
+    // Receiver throughput feedback loop for rate-adaptive channels.
+    net::HarmonicEstimator throughput(5);
+
+    for (std::size_t f = 0; f < config.frames; ++f) {
+        const double captureTime = static_cast<double>(f) / config.fps;
+        FrameContext ctx;
+        ctx.pose = motion.poseAt(captureTime);
+        ctx.pose.frameId = static_cast<std::uint32_t>(f);
+        ctx.model = &model;
+        ctx.timestamp = captureTime;
+        ctx.viewerHead = config.viewerHead;
+        if (throughput.hasEstimate())
+            ctx.estimatedBandwidthBps = throughput.estimate();
+
+        FrameStats frame;
+        frame.frameId = ctx.pose.frameId;
+
+        if (config.dropWhenBusy && extractorFreeAt > captureTime) {
+            frame.droppedAtSender = true;
+            stats.frames.push_back(std::move(frame));
+            continue;
+        }
+
+        const EncodedFrame encoded = channel.encode(ctx);
+        frame.bytes = encoded.bytes();
+        frame.extractMs = encoded.extractMs();
+        const double extractStart = std::max(captureTime, extractorFreeAt);
+        const double sendTime = extractStart + frame.extractMs / 1000.0;
+        extractorFreeAt = sendTime;
+
+        const auto transfer =
+            link.sendMessage(encoded.bytes(), sendTime, config.transfer);
+        frame.delivered = transfer.delivered;
+        frame.transferMs = transfer.durationS() * 1000.0;
+        if (transfer.delivered && encoded.bytes() > 0) {
+            // Serialization-dominated throughput sample (propagation
+            // subtracted) so small payloads do not bias the estimate low.
+            const double serialS = std::max(
+                1e-5, transfer.durationS() - config.link.propagationDelayS);
+            throughput.addSample(static_cast<double>(encoded.bytes()) * 8.0 /
+                                 serialS);
+        }
+
+        if (transfer.delivered) {
+            const double arrival = transfer.completionTime;
+            if (config.dropWhenBusy && reconFreeAt > arrival) {
+                frame.droppedAtReceiver = true;
+                stats.frames.push_back(std::move(frame));
+                continue;
+            }
+            DecodedFrame decoded = channel.decode(encoded);
+            frame.decoded = decoded.valid;
+            frame.reconMs = decoded.reconMs();
+            const double reconStart = std::max(arrival, reconFreeAt);
+            const double renderTime = reconStart + frame.reconMs / 1000.0;
+            reconFreeAt = renderTime;
+            frame.e2eMs = (renderTime - captureTime) * 1000.0;
+            if (decoded.valid && config.qualityEvalInterval > 0 &&
+                f % config.qualityEvalInterval == 0 && !decoded.mesh.empty()) {
+                const mesh::TriMesh gt = ctx.groundTruth();
+                frame.chamfer =
+                    mesh::compareMeshes(gt, decoded.mesh, config.qualitySamples)
+                        .chamfer;
+            }
+        } else {
+            frame.e2eMs = (transfer.completionTime - captureTime) * 1000.0;
+        }
+        stats.frames.push_back(std::move(frame));
+    }
+
+    // Aggregate over processed (non-dropped) frames; byte/time means are
+    // over frames that actually ran the stage in question.
+    double sumBytes = 0.0, sumExtract = 0.0, sumTransfer = 0.0, sumRecon = 0.0,
+           sumE2e = 0.0, sumStage = 0.0, sumChamfer = 0.0;
+    std::size_t sent = 0, reconCount = 0, evaluated = 0;
+    std::vector<double> e2es;
+    for (const FrameStats& frame : stats.frames) {
+        if (frame.droppedAtSender) {
+            ++stats.droppedSenderFrames;
+            continue;
+        }
+        sumBytes += static_cast<double>(frame.bytes);
+        sumExtract += frame.extractMs;
+        sumTransfer += frame.transferMs;
+        ++sent;
+        if (frame.droppedAtReceiver) {
+            ++stats.droppedReceiverFrames;
+            continue;
+        }
+        if (frame.delivered) {
+            ++stats.deliveredFrames;
+            sumE2e += frame.e2eMs;
+            e2es.push_back(frame.e2eMs);
+        }
+        if (frame.decoded) {
+            ++stats.decodedFrames;
+            sumRecon += frame.reconMs;
+            ++reconCount;
+        }
+        sumStage += std::max(frame.extractMs, frame.reconMs);
+        if (!std::isnan(frame.chamfer)) {
+            sumChamfer += frame.chamfer;
+            ++evaluated;
+        }
+    }
+    if (sent > 0) {
+        stats.meanBytesPerFrame = sumBytes / static_cast<double>(sent);
+        stats.meanExtractMs = sumExtract / static_cast<double>(sent);
+        stats.meanTransferMs = sumTransfer / static_cast<double>(sent);
+        // Effective bandwidth: bytes actually sent over the session span.
+        const double spanS = static_cast<double>(config.frames) / config.fps;
+        stats.bandwidthMbps = sumBytes * 8.0 / spanS / 1e6;
+    }
+    if (reconCount > 0) {
+        stats.meanReconMs = sumRecon / static_cast<double>(reconCount);
+        const double meanStage = sumStage / static_cast<double>(reconCount);
+        stats.achievableFps = meanStage > 0.0 ? 1000.0 / meanStage : config.fps;
+    }
+    if (stats.deliveredFrames > 0) {
+        stats.meanE2eMs = sumE2e / static_cast<double>(stats.deliveredFrames);
+        std::sort(e2es.begin(), e2es.end());
+        stats.p95E2eMs = e2es[static_cast<std::size_t>(
+            0.95 * static_cast<double>(e2es.size() - 1))];
+    }
+    if (evaluated > 0) stats.meanChamfer = sumChamfer / static_cast<double>(evaluated);
+    return stats;
+}
+
+std::size_t MultiSessionStats::usersWithinLatency(double budgetMs) const {
+    std::size_t n = 0;
+    for (const SessionStats& s : perUser)
+        if (s.deliveredFrames > 0 && s.meanE2eMs <= budgetMs) ++n;
+    return n;
+}
+
+MultiSessionStats runMultiUserSession(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base) {
+    MultiSessionStats out;
+    const std::size_t users = channels.size();
+    out.perUser.resize(users);
+    if (users == 0) return out;
+
+    net::LinkSimulator shared(base.link);
+    std::vector<body::MotionGenerator> motions;
+    std::vector<double> extractorFreeAt(users, 0.0);
+    std::vector<double> reconFreeAt(users, 0.0);
+    for (std::size_t u = 0; u < users; ++u) {
+        channels[u]->reset();
+        motions.emplace_back(base.motion, model.shape(),
+                             base.motionSeed + static_cast<std::uint32_t>(u));
+    }
+
+    for (std::size_t f = 0; f < base.frames; ++f) {
+        const double captureTime = static_cast<double>(f) / base.fps;
+        for (std::size_t u = 0; u < users; ++u) {
+            FrameContext ctx;
+            ctx.pose = motions[u].poseAt(captureTime);
+            ctx.pose.frameId = static_cast<std::uint32_t>(f);
+            ctx.model = &model;
+            ctx.timestamp = captureTime;
+            ctx.viewerHead = base.viewerHead;
+
+            FrameStats frame;
+            frame.frameId = ctx.pose.frameId;
+            if (base.dropWhenBusy && extractorFreeAt[u] > captureTime) {
+                frame.droppedAtSender = true;
+                out.perUser[u].frames.push_back(frame);
+                continue;
+            }
+            const EncodedFrame encoded = channels[u]->encode(ctx);
+            frame.bytes = encoded.bytes();
+            frame.extractMs = encoded.extractMs();
+            const double sendTime = std::max(captureTime, extractorFreeAt[u]) +
+                                    frame.extractMs / 1000.0;
+            extractorFreeAt[u] = sendTime;
+
+            // All users share the same bottleneck.
+            const auto transfer =
+                shared.sendMessage(encoded.bytes(), sendTime, base.transfer);
+            frame.delivered = transfer.delivered;
+            frame.transferMs = transfer.durationS() * 1000.0;
+            if (transfer.delivered) {
+                const double arrival = transfer.completionTime;
+                if (base.dropWhenBusy && reconFreeAt[u] > arrival) {
+                    frame.droppedAtReceiver = true;
+                } else {
+                    const DecodedFrame decoded = channels[u]->decode(encoded);
+                    frame.decoded = decoded.valid;
+                    frame.reconMs = decoded.reconMs();
+                    const double renderTime =
+                        std::max(arrival, reconFreeAt[u]) + frame.reconMs / 1000.0;
+                    reconFreeAt[u] = renderTime;
+                    frame.e2eMs = (renderTime - captureTime) * 1000.0;
+                }
+            }
+            out.perUser[u].frames.push_back(frame);
+        }
+    }
+
+    // Per-user aggregation mirrors runSession's.
+    double totalBytes = 0.0, totalE2e = 0.0;
+    std::size_t e2eCount = 0;
+    const double spanS = static_cast<double>(base.frames) / base.fps;
+    for (SessionStats& s : out.perUser) {
+        double bytes = 0.0, e2e = 0.0, extract = 0.0, transferTotal = 0.0,
+               recon = 0.0;
+        std::size_t sent = 0, reconN = 0;
+        for (const FrameStats& frame : s.frames) {
+            if (frame.droppedAtSender) {
+                ++s.droppedSenderFrames;
+                continue;
+            }
+            bytes += static_cast<double>(frame.bytes);
+            extract += frame.extractMs;
+            transferTotal += frame.transferMs;
+            ++sent;
+            if (frame.droppedAtReceiver) {
+                ++s.droppedReceiverFrames;
+                continue;
+            }
+            if (frame.delivered) {
+                ++s.deliveredFrames;
+                e2e += frame.e2eMs;
+            }
+            if (frame.decoded) {
+                ++s.decodedFrames;
+                recon += frame.reconMs;
+                ++reconN;
+            }
+        }
+        if (sent > 0) {
+            s.meanBytesPerFrame = bytes / static_cast<double>(sent);
+            s.meanExtractMs = extract / static_cast<double>(sent);
+            s.meanTransferMs = transferTotal / static_cast<double>(sent);
+            s.bandwidthMbps = bytes * 8.0 / spanS / 1e6;
+        }
+        if (reconN > 0) s.meanReconMs = recon / static_cast<double>(reconN);
+        if (s.deliveredFrames > 0) {
+            s.meanE2eMs = e2e / static_cast<double>(s.deliveredFrames);
+            totalE2e += e2e;
+            e2eCount += s.deliveredFrames;
+        }
+        totalBytes += bytes;
+    }
+    out.aggregateMbps = totalBytes * 8.0 / spanS / 1e6;
+    if (e2eCount > 0) out.meanE2eMs = totalE2e / static_cast<double>(e2eCount);
+    return out;
+}
+
+}  // namespace semholo::core

@@ -1,0 +1,41 @@
+// Foveated region selection over a mesh: given a viewer and a gaze
+// direction, classify each vertex as foveal (needs full-quality mesh) or
+// peripheral (keypoint reconstruction suffices). This drives the hybrid
+// channel of section 3.1 and the foveation ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "semholo/gaze/gaze.hpp"
+#include "semholo/geometry/camera.hpp"
+#include "semholo/mesh/trimesh.hpp"
+
+namespace semholo::gaze {
+
+struct FoveationConfig {
+    // Eccentricity threshold (degrees from the gaze ray) inside which
+    // content is foveal; ~5 deg fovea + parafovea margin by default.
+    double fovealRadiusDeg{7.5};
+};
+
+struct FoveatedPartition {
+    std::vector<std::uint32_t> fovealVertices;
+    std::vector<std::uint32_t> peripheralVertices;
+    // Triangles all of whose vertices are foveal.
+    std::vector<std::uint32_t> fovealTriangles;
+    double fovealFraction{0.0};  // fovealVertices / total
+};
+
+// Gaze ray in world space from viewer pose + gaze angles (degrees).
+geom::Ray gazeRay(const geom::RigidTransform& headPose, Vec2f gazeAnglesDeg);
+
+// Partition mesh vertices by eccentricity from the gaze ray.
+FoveatedPartition partitionMesh(const mesh::TriMesh& m, const geom::Ray& gaze,
+                                const FoveationConfig& config = {});
+
+// Extract the sub-mesh of foveal triangles (re-indexed, attributes kept).
+mesh::TriMesh extractFovealMesh(const mesh::TriMesh& m,
+                                const FoveatedPartition& partition);
+
+}  // namespace semholo::gaze

@@ -1,0 +1,64 @@
+#include "semholo/gaze/foveation.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace semholo::gaze {
+
+geom::Ray gazeRay(const geom::RigidTransform& headPose, Vec2f gazeAnglesDeg) {
+    const float az = gazeAnglesDeg.x * static_cast<float>(M_PI) / 180.0f;
+    const float el = gazeAnglesDeg.y * static_cast<float>(M_PI) / 180.0f;
+    // Head-local: +z forward, azimuth rotates about +y, elevation about +x.
+    const geom::Vec3f local{std::sin(az) * std::cos(el), std::sin(el),
+                            std::cos(az) * std::cos(el)};
+    return {headPose.translation, headPose.applyVector(local).normalized()};
+}
+
+FoveatedPartition partitionMesh(const mesh::TriMesh& m, const geom::Ray& gaze,
+                                const FoveationConfig& config) {
+    FoveatedPartition out;
+    if (m.empty()) return out;
+    const float cosThreshold = std::cos(static_cast<float>(
+        config.fovealRadiusDeg * M_PI / 180.0));
+
+    std::vector<bool> isFoveal(m.vertexCount(), false);
+    for (std::size_t i = 0; i < m.vertexCount(); ++i) {
+        const geom::Vec3f toVertex = (m.vertices[i] - gaze.origin).normalized();
+        const bool foveal = toVertex.dot(gaze.direction) >= cosThreshold;
+        isFoveal[i] = foveal;
+        if (foveal)
+            out.fovealVertices.push_back(static_cast<std::uint32_t>(i));
+        else
+            out.peripheralVertices.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t t = 0; t < m.triangleCount(); ++t) {
+        const mesh::Triangle& tri = m.triangles[t];
+        if (isFoveal[tri.a] && isFoveal[tri.b] && isFoveal[tri.c])
+            out.fovealTriangles.push_back(static_cast<std::uint32_t>(t));
+    }
+    out.fovealFraction = static_cast<double>(out.fovealVertices.size()) /
+                         static_cast<double>(m.vertexCount());
+    return out;
+}
+
+mesh::TriMesh extractFovealMesh(const mesh::TriMesh& m,
+                                const FoveatedPartition& partition) {
+    mesh::TriMesh out;
+    std::unordered_map<std::uint32_t, std::uint32_t> remap;
+    remap.reserve(partition.fovealVertices.size());
+    const bool colors = m.hasColors();
+    const bool normals = m.hasNormals();
+    for (const std::uint32_t vi : partition.fovealVertices) {
+        remap.emplace(vi, static_cast<std::uint32_t>(out.vertices.size()));
+        out.vertices.push_back(m.vertices[vi]);
+        if (colors) out.colors.push_back(m.colors[vi]);
+        if (normals) out.normals.push_back(m.normals[vi]);
+    }
+    for (const std::uint32_t ti : partition.fovealTriangles) {
+        const mesh::Triangle& t = m.triangles[ti];
+        out.triangles.push_back({remap.at(t.a), remap.at(t.b), remap.at(t.c)});
+    }
+    return out;
+}
+
+}  // namespace semholo::gaze

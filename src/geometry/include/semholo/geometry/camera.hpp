@@ -1,0 +1,54 @@
+// Pinhole camera model: intrinsics, extrinsics, projection/unprojection.
+// Used by the synthetic RGB-D capture rig and by NeRF ray generation.
+#pragma once
+
+#include "semholo/geometry/transform.hpp"
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::geom {
+
+struct CameraIntrinsics {
+    float fx{500.0f}, fy{500.0f};  // focal lengths in pixels
+    float cx{320.0f}, cy{240.0f};  // principal point
+    int width{640}, height{480};
+
+    // Standard intrinsics for a given resolution and vertical field of view.
+    static CameraIntrinsics fromFov(int width, int height, float fovYRadians);
+
+    // Project a point in camera coordinates (+z forward) to pixel coords.
+    // Returns false when the point is behind the camera.
+    bool project(Vec3f pCam, Vec2f& pixel) const;
+
+    // Back-project a pixel at given depth (z in camera frame) to a 3D point.
+    Vec3f unproject(Vec2f pixel, float depth) const;
+
+    // Ray through a pixel, in camera coordinates, normalized direction.
+    Ray pixelRay(Vec2f pixel) const;
+
+    bool inBounds(Vec2f pixel) const {
+        return pixel.x >= 0.0f && pixel.y >= 0.0f && pixel.x < static_cast<float>(width) &&
+               pixel.y < static_cast<float>(height);
+    }
+};
+
+// A posed camera: worldFromCamera maps camera-frame points into the world.
+struct Camera {
+    CameraIntrinsics intrinsics{};
+    RigidTransform worldFromCamera{};
+
+    // Convenience: place a camera at 'eye' looking at 'target' with +y up.
+    static Camera lookAt(Vec3f eye, Vec3f target, Vec3f up, CameraIntrinsics intr);
+
+    Vec3f worldToCamera(Vec3f pWorld) const {
+        return worldFromCamera.inverse().apply(pWorld);
+    }
+    Vec3f cameraToWorld(Vec3f pCam) const { return worldFromCamera.apply(pCam); }
+
+    // Project a world point; returns false if behind the camera.
+    bool projectWorld(Vec3f pWorld, Vec2f& pixel, float& depth) const;
+
+    // World-space ray through a pixel.
+    Ray pixelRayWorld(Vec2f pixel) const;
+};
+
+}  // namespace semholo::geom

@@ -1,0 +1,27 @@
+// Dense symmetric eigendecomposition (cyclic Jacobi) for the small
+// Gram matrices of the PCA/autoencoder baseline and calibration tasks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace semholo::geom {
+
+struct EigenDecomposition {
+    // Eigenvalues in descending order.
+    std::vector<double> values;
+    // Column-major eigenvectors: vector k is vectors[k * n .. k * n + n).
+    std::vector<double> vectors;
+    std::size_t n{};
+
+    const double* vector(std::size_t k) const { return &vectors[k * n]; }
+};
+
+// Decompose a dense symmetric n x n matrix (row-major). Off-diagonal
+// asymmetry is averaged away. Classic cyclic Jacobi sweeps; suitable for
+// n up to a few hundred.
+EigenDecomposition jacobiEigenSymmetric(const std::vector<double>& matrix,
+                                        std::size_t n, int maxSweeps = 64,
+                                        double tolerance = 1e-12);
+
+}  // namespace semholo::geom

@@ -1,0 +1,92 @@
+// 3x3 and 4x4 matrices (row-major) for rigid transforms, camera
+// projection and the small dense linear algebra used by the body model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::geom {
+
+struct Mat3 {
+    // Row-major storage: m[row*3 + col].
+    std::array<float, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+    static Mat3 identity() { return Mat3{}; }
+    static Mat3 zero() {
+        Mat3 r;
+        r.m.fill(0.0f);
+        return r;
+    }
+    static Mat3 diagonal(Vec3f d);
+    // Outer product a * b^T.
+    static Mat3 outer(Vec3f a, Vec3f b);
+    // Skew-symmetric cross-product matrix [v]_x such that [v]_x w = v x w.
+    static Mat3 skew(Vec3f v);
+    static Mat3 rotationX(float radians);
+    static Mat3 rotationY(float radians);
+    static Mat3 rotationZ(float radians);
+    // Rodrigues' formula: rotation about 'axisAngle' direction by its norm.
+    static Mat3 fromAxisAngle(Vec3f axisAngle);
+
+    float& operator()(std::size_t r, std::size_t c) { return m[r * 3 + c]; }
+    float operator()(std::size_t r, std::size_t c) const { return m[r * 3 + c]; }
+
+    Mat3 operator+(const Mat3& o) const;
+    Mat3 operator-(const Mat3& o) const;
+    Mat3 operator*(const Mat3& o) const;
+    Mat3 operator*(float s) const;
+    Vec3f operator*(Vec3f v) const;
+    bool operator==(const Mat3&) const = default;
+
+    Mat3 transposed() const;
+    float determinant() const;
+    // Inverse via adjugate. Returns identity if the matrix is singular;
+    // callers that care must check determinant() themselves.
+    Mat3 inverse() const;
+    float trace() const { return m[0] + m[4] + m[8]; }
+    Vec3f row(std::size_t r) const { return {m[r * 3], m[r * 3 + 1], m[r * 3 + 2]}; }
+    Vec3f col(std::size_t c) const { return {m[c], m[3 + c], m[6 + c]}; }
+};
+
+struct Mat4 {
+    // Row-major storage: m[row*4 + col].
+    std::array<float, 16> m{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+
+    static Mat4 identity() { return Mat4{}; }
+    static Mat4 zero() {
+        Mat4 r;
+        r.m.fill(0.0f);
+        return r;
+    }
+    static Mat4 translation(Vec3f t);
+    static Mat4 scale(Vec3f s);
+    // Rigid transform from rotation + translation.
+    static Mat4 fromRT(const Mat3& rot, Vec3f t);
+
+    float& operator()(std::size_t r, std::size_t c) { return m[r * 4 + c]; }
+    float operator()(std::size_t r, std::size_t c) const { return m[r * 4 + c]; }
+
+    Mat4 operator*(const Mat4& o) const;
+    Mat4 operator+(const Mat4& o) const;
+    Mat4 operator*(float s) const;
+    Vec4f operator*(Vec4f v) const;
+    bool operator==(const Mat4&) const = default;
+
+    // Transform a point (w = 1, perspective divide applied).
+    Vec3f transformPoint(Vec3f p) const;
+    // Transform a direction (w = 0).
+    Vec3f transformVector(Vec3f v) const;
+
+    Mat4 transposed() const;
+    // General 4x4 inverse (Gauss-Jordan). Returns identity when singular.
+    Mat4 inverse() const;
+    // Fast inverse valid only for rigid transforms (R | t).
+    Mat4 rigidInverse() const;
+
+    Mat3 rotation() const;
+    Vec3f translationPart() const { return {m[3], m[7], m[11]}; }
+};
+
+}  // namespace semholo::geom

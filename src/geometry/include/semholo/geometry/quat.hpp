@@ -1,0 +1,43 @@
+// Unit quaternions for joint rotations, plus the 6D-continuity helpers the
+// paper's §3.1 discussion of rotation representations refers to.
+#pragma once
+
+#include "semholo/geometry/mat.hpp"
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::geom {
+
+struct Quat {
+    float w{1}, x{0}, y{0}, z{0};
+
+    constexpr Quat() = default;
+    constexpr Quat(float w_, float x_, float y_, float z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+    static Quat identity() { return {}; }
+    static Quat fromAxisAngle(Vec3f axisAngle);
+    static Quat fromMatrix(const Mat3& m);
+    // Shortest-arc rotation taking direction 'from' to direction 'to'.
+    static Quat fromTwoVectors(Vec3f from, Vec3f to);
+
+    Quat operator*(const Quat& o) const;
+    Quat operator*(float s) const { return {w * s, x * s, y * s, z * s}; }
+    Quat operator+(const Quat& o) const { return {w + o.w, x + o.x, y + o.y, z + o.z}; }
+    bool operator==(const Quat&) const = default;
+
+    Quat conjugate() const { return {w, -x, -y, -z}; }
+    float norm() const;
+    Quat normalized() const;
+    float dot(const Quat& o) const { return w * o.w + x * o.x + y * o.y + z * o.z; }
+
+    Vec3f rotate(Vec3f v) const;
+    Mat3 toMatrix() const;
+    Vec3f toAxisAngle() const;
+};
+
+// Spherical linear interpolation; takes the shorter arc.
+Quat slerp(const Quat& a, const Quat& b, float t);
+
+// Angular distance in radians between two rotations.
+float angularDistance(const Quat& a, const Quat& b);
+
+}  // namespace semholo::geom

@@ -1,0 +1,97 @@
+// Rigid transforms, rays, and axis-aligned bounding boxes.
+#pragma once
+
+#include <limits>
+
+#include "semholo/geometry/mat.hpp"
+#include "semholo/geometry/quat.hpp"
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::geom {
+
+// A rigid (SE3) transform stored as rotation quaternion + translation.
+// Composes cheaper than Mat4 and never drifts off the manifold.
+struct RigidTransform {
+    Quat rotation{};
+    Vec3f translation{};
+
+    static RigidTransform identity() { return {}; }
+    static RigidTransform fromMat4(const Mat4& m) {
+        return {Quat::fromMatrix(m.rotation()), m.translationPart()};
+    }
+
+    Vec3f apply(Vec3f p) const { return rotation.rotate(p) + translation; }
+    Vec3f applyVector(Vec3f v) const { return rotation.rotate(v); }
+
+    RigidTransform operator*(const RigidTransform& o) const {
+        return {(rotation * o.rotation).normalized(),
+                rotation.rotate(o.translation) + translation};
+    }
+
+    RigidTransform inverse() const {
+        const Quat ri = rotation.conjugate();
+        return {ri, ri.rotate(-translation)};
+    }
+
+    Mat4 toMat4() const { return Mat4::fromRT(rotation.toMatrix(), translation); }
+};
+
+// Interpolate rigid transforms (slerp rotation, lerp translation).
+inline RigidTransform interpolate(const RigidTransform& a, const RigidTransform& b,
+                                  float t) {
+    return {slerp(a.rotation, b.rotation, t), lerp(a.translation, b.translation, t)};
+}
+
+struct Ray {
+    Vec3f origin{};
+    Vec3f direction{};  // expected normalized
+
+    Vec3f at(float t) const { return origin + direction * t; }
+};
+
+struct AABB {
+    Vec3f lo{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+             std::numeric_limits<float>::max()};
+    Vec3f hi{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+             std::numeric_limits<float>::lowest()};
+
+    bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+    void expand(Vec3f p) {
+        lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+        hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+    }
+    void expand(const AABB& b) {
+        if (b.empty()) return;
+        expand(b.lo);
+        expand(b.hi);
+    }
+    // Enlarge by 'margin' on every side.
+    void inflate(float margin) {
+        if (empty()) return;
+        const Vec3f m{margin, margin, margin};
+        lo -= m;
+        hi += m;
+    }
+    Vec3f center() const { return (lo + hi) * 0.5f; }
+    Vec3f extent() const { return hi - lo; }
+    float diagonal() const { return empty() ? 0.0f : extent().norm(); }
+    bool contains(Vec3f p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+               p.z <= hi.z;
+    }
+    bool intersects(const AABB& b) const {
+        return !(b.lo.x > hi.x || b.hi.x < lo.x || b.lo.y > hi.y || b.hi.y < lo.y ||
+                 b.lo.z > hi.z || b.hi.z < lo.z);
+    }
+    // Slab test; returns entry/exit distances along the ray if hit.
+    bool intersectRay(const Ray& r, float& tNear, float& tFar) const;
+};
+
+// Distance from point p to segment [a, b], plus the parameter of the
+// closest point (0 at a, 1 at b). The workhorse of the capsule SDF.
+float pointSegmentDistance(Vec3f p, Vec3f a, Vec3f b, float& tOut);
+
+// Closest point on triangle (a, b, c) to p.
+Vec3f closestPointOnTriangle(Vec3f p, Vec3f a, Vec3f b, Vec3f c);
+
+}  // namespace semholo::geom

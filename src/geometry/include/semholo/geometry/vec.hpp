@@ -1,0 +1,153 @@
+// Fixed-size vector types used throughout SemHolo.
+//
+// These are deliberately small value types: every operation is constexpr
+// where possible and nothing allocates. Mesh/point-cloud data uses the
+// float aliases (Vec3f); solvers that accumulate (Adam, calibration)
+// use the double aliases.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace semholo::geom {
+
+template <typename T>
+struct Vec2 {
+    T x{}, y{};
+
+    constexpr Vec2() = default;
+    constexpr Vec2(T x_, T y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(T s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(T s) const { return {x / s, y / s}; }
+    constexpr Vec2 operator-() const { return {-x, -y}; }
+    constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+    constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+    constexpr Vec2& operator*=(T s) { x *= s; y *= s; return *this; }
+    constexpr bool operator==(const Vec2&) const = default;
+
+    constexpr T dot(Vec2 o) const { return x * o.x + y * o.y; }
+    constexpr T norm2() const { return dot(*this); }
+    T norm() const { return std::sqrt(norm2()); }
+    Vec2 normalized() const {
+        const T n = norm();
+        return n > T(0) ? Vec2{x / n, y / n} : Vec2{};
+    }
+    constexpr T& operator[](std::size_t i) { return i == 0 ? x : y; }
+    constexpr const T& operator[](std::size_t i) const { return i == 0 ? x : y; }
+};
+
+template <typename T>
+struct Vec3 {
+    T x{}, y{}, z{};
+
+    constexpr Vec3() = default;
+    constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
+    constexpr Vec3& operator-=(Vec3 o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+    constexpr Vec3& operator/=(T s) { x /= s; y /= s; z /= s; return *this; }
+    constexpr bool operator==(const Vec3&) const = default;
+
+    constexpr T dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+    constexpr Vec3 cross(Vec3 o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    // Component-wise product; used for scaling fields and colour modulation.
+    constexpr Vec3 cwise(Vec3 o) const { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr T norm2() const { return dot(*this); }
+    T norm() const { return std::sqrt(norm2()); }
+    Vec3 normalized() const {
+        const T n = norm();
+        return n > T(0) ? Vec3{x / n, y / n, z / n} : Vec3{};
+    }
+    constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+    constexpr const T& operator[](std::size_t i) const {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr T minCoeff() const { return x < y ? (x < z ? x : z) : (y < z ? y : z); }
+    constexpr T maxCoeff() const { return x > y ? (x > z ? x : z) : (y > z ? y : z); }
+
+    template <typename U>
+    constexpr Vec3<U> cast() const {
+        return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+    }
+};
+
+template <typename T>
+struct Vec4 {
+    T x{}, y{}, z{}, w{};
+
+    constexpr Vec4() = default;
+    constexpr Vec4(T x_, T y_, T z_, T w_) : x(x_), y(y_), z(z_), w(w_) {}
+    constexpr Vec4(Vec3<T> v, T w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+    constexpr Vec4 operator+(Vec4 o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+    constexpr Vec4 operator-(Vec4 o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+    constexpr Vec4 operator*(T s) const { return {x * s, y * s, z * s, w * s}; }
+    constexpr bool operator==(const Vec4&) const = default;
+
+    constexpr T dot(Vec4 o) const { return x * o.x + y * o.y + z * o.z + w * o.w; }
+    constexpr T norm2() const { return dot(*this); }
+    T norm() const { return std::sqrt(norm2()); }
+    constexpr Vec3<T> xyz() const { return {x, y, z}; }
+    constexpr T& operator[](std::size_t i) {
+        switch (i) { case 0: return x; case 1: return y; case 2: return z; default: return w; }
+    }
+    constexpr const T& operator[](std::size_t i) const {
+        switch (i) { case 0: return x; case 1: return y; case 2: return z; default: return w; }
+    }
+};
+
+template <typename T>
+constexpr Vec2<T> operator*(T s, Vec2<T> v) { return v * s; }
+template <typename T>
+constexpr Vec3<T> operator*(T s, Vec3<T> v) { return v * s; }
+template <typename T>
+constexpr Vec4<T> operator*(T s, Vec4<T> v) { return v * s; }
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Vec2<T> v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+}
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Vec3<T> v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Vec4<T> v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ", " << v.w << ')';
+}
+
+using Vec2f = Vec2<float>;
+using Vec2d = Vec2<double>;
+using Vec2i = Vec2<int>;
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<int>;
+using Vec4f = Vec4<float>;
+using Vec4d = Vec4<double>;
+
+// Linear interpolation between two values; t in [0,1] maps a -> b.
+template <typename V, typename T>
+constexpr V lerp(const V& a, const V& b, T t) {
+    return a + (b - a) * t;
+}
+
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace semholo::geom

@@ -1,0 +1,65 @@
+#include "semholo/geometry/camera.hpp"
+
+#include <cmath>
+
+namespace semholo::geom {
+
+CameraIntrinsics CameraIntrinsics::fromFov(int width, int height, float fovYRadians) {
+    CameraIntrinsics k;
+    k.width = width;
+    k.height = height;
+    k.fy = static_cast<float>(height) * 0.5f / std::tan(fovYRadians * 0.5f);
+    k.fx = k.fy;  // square pixels
+    k.cx = static_cast<float>(width) * 0.5f;
+    k.cy = static_cast<float>(height) * 0.5f;
+    return k;
+}
+
+bool CameraIntrinsics::project(Vec3f pCam, Vec2f& pixel) const {
+    if (pCam.z <= 1e-6f) return false;
+    pixel.x = fx * pCam.x / pCam.z + cx;
+    pixel.y = fy * pCam.y / pCam.z + cy;
+    return true;
+}
+
+Vec3f CameraIntrinsics::unproject(Vec2f pixel, float depth) const {
+    return {(pixel.x - cx) / fx * depth, (pixel.y - cy) / fy * depth, depth};
+}
+
+Ray CameraIntrinsics::pixelRay(Vec2f pixel) const {
+    const Vec3f dir{(pixel.x - cx) / fx, (pixel.y - cy) / fy, 1.0f};
+    return {Vec3f{}, dir.normalized()};
+}
+
+Camera Camera::lookAt(Vec3f eye, Vec3f target, Vec3f up, CameraIntrinsics intr) {
+    // Camera convention: +z forward, +x right, +y down (image coordinates).
+    const Vec3f fwd = (target - eye).normalized();
+    Vec3f right = fwd.cross(up).normalized();
+    if (right.norm2() < 1e-10f) right = Vec3f{1, 0, 0};
+    const Vec3f down = fwd.cross(right).normalized();
+    Mat3 r;
+    // Columns of worldFromCamera rotation are the camera axes in world space.
+    for (std::size_t i = 0; i < 3; ++i) {
+        r(i, 0) = right[i];
+        r(i, 1) = down[i];
+        r(i, 2) = fwd[i];
+    }
+    Camera cam;
+    cam.intrinsics = intr;
+    cam.worldFromCamera = {Quat::fromMatrix(r), eye};
+    return cam;
+}
+
+bool Camera::projectWorld(Vec3f pWorld, Vec2f& pixel, float& depth) const {
+    const Vec3f pCam = worldToCamera(pWorld);
+    depth = pCam.z;
+    return intrinsics.project(pCam, pixel);
+}
+
+Ray Camera::pixelRayWorld(Vec2f pixel) const {
+    const Ray local = intrinsics.pixelRay(pixel);
+    return {worldFromCamera.translation,
+            worldFromCamera.applyVector(local.direction).normalized()};
+}
+
+}  // namespace semholo::geom

@@ -1,0 +1,87 @@
+#include "semholo/geometry/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace semholo::geom {
+
+EigenDecomposition jacobiEigenSymmetric(const std::vector<double>& matrix,
+                                        std::size_t n, int maxSweeps,
+                                        double tolerance) {
+    EigenDecomposition out;
+    out.n = n;
+    if (n == 0 || matrix.size() < n * n) return out;
+
+    // Working copy, symmetrized.
+    std::vector<double> a(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            a[i * n + j] = 0.5 * (matrix[i * n + j] + matrix[j * n + i]);
+
+    // Accumulated rotations, row-major: v[i*n+k] = component i of vec k.
+    std::vector<double> v(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+    for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+        if (off < tolerance) break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p * n + q];
+                if (std::fabs(apq) < 1e-300) continue;
+                const double app = a[p * n + p];
+                const double aqq = a[q * n + q];
+                const double theta = 0.5 * (aqq - app) / apq;
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::fabs(theta) +
+                                  std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // Rotate rows/columns p and q.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a[k * n + p];
+                    const double akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a[p * n + k];
+                    const double aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k * n + p];
+                    const double vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract, sort descending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> diag(n);
+    for (std::size_t i = 0; i < n; ++i) diag[i] = a[i * n + i];
+    std::sort(order.begin(), order.end(),
+              [&diag](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+    out.values.resize(n);
+    out.vectors.resize(n * n);
+    for (std::size_t k = 0; k < n; ++k) {
+        out.values[k] = diag[order[k]];
+        for (std::size_t i = 0; i < n; ++i)
+            out.vectors[k * n + i] = v[i * n + order[k]];
+    }
+    return out;
+}
+
+}  // namespace semholo::geom

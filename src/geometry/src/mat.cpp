@@ -1,0 +1,250 @@
+#include "semholo/geometry/mat.hpp"
+
+#include <cmath>
+
+namespace semholo::geom {
+
+Mat3 Mat3::diagonal(Vec3f d) {
+    Mat3 r = zero();
+    r(0, 0) = d.x;
+    r(1, 1) = d.y;
+    r(2, 2) = d.z;
+    return r;
+}
+
+Mat3 Mat3::outer(Vec3f a, Vec3f b) {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) r(i, j) = a[i] * b[j];
+    return r;
+}
+
+Mat3 Mat3::skew(Vec3f v) {
+    Mat3 r = zero();
+    r(0, 1) = -v.z;
+    r(0, 2) = v.y;
+    r(1, 0) = v.z;
+    r(1, 2) = -v.x;
+    r(2, 0) = -v.y;
+    r(2, 1) = v.x;
+    return r;
+}
+
+Mat3 Mat3::rotationX(float a) {
+    Mat3 r;
+    const float c = std::cos(a), s = std::sin(a);
+    r(1, 1) = c;
+    r(1, 2) = -s;
+    r(2, 1) = s;
+    r(2, 2) = c;
+    return r;
+}
+
+Mat3 Mat3::rotationY(float a) {
+    Mat3 r;
+    const float c = std::cos(a), s = std::sin(a);
+    r(0, 0) = c;
+    r(0, 2) = s;
+    r(2, 0) = -s;
+    r(2, 2) = c;
+    return r;
+}
+
+Mat3 Mat3::rotationZ(float a) {
+    Mat3 r;
+    const float c = std::cos(a), s = std::sin(a);
+    r(0, 0) = c;
+    r(0, 1) = -s;
+    r(1, 0) = s;
+    r(1, 1) = c;
+    return r;
+}
+
+Mat3 Mat3::fromAxisAngle(Vec3f axisAngle) {
+    const float theta = axisAngle.norm();
+    if (theta < 1e-8f) {
+        // Small-angle expansion keeps gradients stable near identity.
+        return identity() + skew(axisAngle);
+    }
+    const Vec3f axis = axisAngle / theta;
+    const Mat3 k = skew(axis);
+    const float c = std::cos(theta), s = std::sin(theta);
+    return identity() + k * s + (k * k) * (1.0f - c);
+}
+
+Mat3 Mat3::operator+(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] + o.m[i];
+    return r;
+}
+
+Mat3 Mat3::operator-(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] - o.m[i];
+    return r;
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+    Mat3 r = zero();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t k = 0; k < 3; ++k) {
+            const float a = (*this)(i, k);
+            for (std::size_t j = 0; j < 3; ++j) r(i, j) += a * o(k, j);
+        }
+    return r;
+}
+
+Mat3 Mat3::operator*(float s) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] * s;
+    return r;
+}
+
+Vec3f Mat3::operator*(Vec3f v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+}
+
+Mat3 Mat3::transposed() const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+}
+
+float Mat3::determinant() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+}
+
+Mat3 Mat3::inverse() const {
+    const float det = determinant();
+    if (std::fabs(det) < 1e-12f) return identity();
+    const float inv = 1.0f / det;
+    Mat3 r;
+    r(0, 0) = (m[4] * m[8] - m[5] * m[7]) * inv;
+    r(0, 1) = (m[2] * m[7] - m[1] * m[8]) * inv;
+    r(0, 2) = (m[1] * m[5] - m[2] * m[4]) * inv;
+    r(1, 0) = (m[5] * m[6] - m[3] * m[8]) * inv;
+    r(1, 1) = (m[0] * m[8] - m[2] * m[6]) * inv;
+    r(1, 2) = (m[2] * m[3] - m[0] * m[5]) * inv;
+    r(2, 0) = (m[3] * m[7] - m[4] * m[6]) * inv;
+    r(2, 1) = (m[1] * m[6] - m[0] * m[7]) * inv;
+    r(2, 2) = (m[0] * m[4] - m[1] * m[3]) * inv;
+    return r;
+}
+
+Mat4 Mat4::translation(Vec3f t) {
+    Mat4 r;
+    r(0, 3) = t.x;
+    r(1, 3) = t.y;
+    r(2, 3) = t.z;
+    return r;
+}
+
+Mat4 Mat4::scale(Vec3f s) {
+    Mat4 r;
+    r(0, 0) = s.x;
+    r(1, 1) = s.y;
+    r(2, 2) = s.z;
+    return r;
+}
+
+Mat4 Mat4::fromRT(const Mat3& rot, Vec3f t) {
+    Mat4 r;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) r(i, j) = rot(i, j);
+    r(0, 3) = t.x;
+    r(1, 3) = t.y;
+    r(2, 3) = t.z;
+    return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+    Mat4 r = zero();
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t k = 0; k < 4; ++k) {
+            const float a = (*this)(i, k);
+            for (std::size_t j = 0; j < 4; ++j) r(i, j) += a * o(k, j);
+        }
+    return r;
+}
+
+Mat4 Mat4::operator+(const Mat4& o) const {
+    Mat4 r;
+    for (std::size_t i = 0; i < 16; ++i) r.m[i] = m[i] + o.m[i];
+    return r;
+}
+
+Mat4 Mat4::operator*(float s) const {
+    Mat4 r;
+    for (std::size_t i = 0; i < 16; ++i) r.m[i] = m[i] * s;
+    return r;
+}
+
+Vec4f Mat4::operator*(Vec4f v) const {
+    Vec4f r{0, 0, 0, 0};
+    for (std::size_t i = 0; i < 4; ++i)
+        r[i] = m[i * 4] * v.x + m[i * 4 + 1] * v.y + m[i * 4 + 2] * v.z + m[i * 4 + 3] * v.w;
+    return r;
+}
+
+Vec3f Mat4::transformPoint(Vec3f p) const {
+    const Vec4f h = (*this) * Vec4f{p, 1.0f};
+    if (h.w != 0.0f && h.w != 1.0f) return h.xyz() / h.w;
+    return h.xyz();
+}
+
+Vec3f Mat4::transformVector(Vec3f v) const {
+    return ((*this) * Vec4f{v, 0.0f}).xyz();
+}
+
+Mat4 Mat4::transposed() const {
+    Mat4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) r(i, j) = (*this)(j, i);
+    return r;
+}
+
+Mat4 Mat4::inverse() const {
+    // Gauss-Jordan elimination with partial pivoting on [A | I].
+    std::array<std::array<double, 8>, 4> a{};
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) a[i][j] = (*this)(i, j);
+        a[i][4 + i] = 1.0;
+    }
+    for (std::size_t col = 0; col < 4; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < 4; ++r)
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+        if (std::fabs(a[pivot][col]) < 1e-12) return identity();
+        std::swap(a[pivot], a[col]);
+        const double inv = 1.0 / a[col][col];
+        for (std::size_t j = 0; j < 8; ++j) a[col][j] *= inv;
+        for (std::size_t r = 0; r < 4; ++r) {
+            if (r == col) continue;
+            const double f = a[r][col];
+            for (std::size_t j = 0; j < 8; ++j) a[r][j] -= f * a[col][j];
+        }
+    }
+    Mat4 out;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) out(i, j) = static_cast<float>(a[i][4 + j]);
+    return out;
+}
+
+Mat4 Mat4::rigidInverse() const {
+    const Mat3 rt = rotation().transposed();
+    const Vec3f t = translationPart();
+    return fromRT(rt, -(rt * t));
+}
+
+Mat3 Mat4::rotation() const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) r(i, j) = (*this)(i, j);
+    return r;
+}
+
+}  // namespace semholo::geom

@@ -1,0 +1,141 @@
+#include "semholo/geometry/quat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semholo::geom {
+
+Quat Quat::fromAxisAngle(Vec3f axisAngle) {
+    const float theta = axisAngle.norm();
+    if (theta < 1e-8f) {
+        // First-order expansion for tiny rotations.
+        return Quat{1.0f, axisAngle.x * 0.5f, axisAngle.y * 0.5f, axisAngle.z * 0.5f}
+            .normalized();
+    }
+    const Vec3f axis = axisAngle / theta;
+    const float h = theta * 0.5f;
+    const float s = std::sin(h);
+    return {std::cos(h), axis.x * s, axis.y * s, axis.z * s};
+}
+
+Quat Quat::fromMatrix(const Mat3& m) {
+    // Shepperd's method: pick the largest diagonal term for stability.
+    const float tr = m.trace();
+    Quat q;
+    if (tr > 0.0f) {
+        const float s = std::sqrt(tr + 1.0f) * 2.0f;
+        q.w = 0.25f * s;
+        q.x = (m(2, 1) - m(1, 2)) / s;
+        q.y = (m(0, 2) - m(2, 0)) / s;
+        q.z = (m(1, 0) - m(0, 1)) / s;
+    } else if (m(0, 0) > m(1, 1) && m(0, 0) > m(2, 2)) {
+        const float s = std::sqrt(1.0f + m(0, 0) - m(1, 1) - m(2, 2)) * 2.0f;
+        q.w = (m(2, 1) - m(1, 2)) / s;
+        q.x = 0.25f * s;
+        q.y = (m(0, 1) + m(1, 0)) / s;
+        q.z = (m(0, 2) + m(2, 0)) / s;
+    } else if (m(1, 1) > m(2, 2)) {
+        const float s = std::sqrt(1.0f + m(1, 1) - m(0, 0) - m(2, 2)) * 2.0f;
+        q.w = (m(0, 2) - m(2, 0)) / s;
+        q.x = (m(0, 1) + m(1, 0)) / s;
+        q.y = 0.25f * s;
+        q.z = (m(1, 2) + m(2, 1)) / s;
+    } else {
+        const float s = std::sqrt(1.0f + m(2, 2) - m(0, 0) - m(1, 1)) * 2.0f;
+        q.w = (m(1, 0) - m(0, 1)) / s;
+        q.x = (m(0, 2) + m(2, 0)) / s;
+        q.y = (m(1, 2) + m(2, 1)) / s;
+        q.z = 0.25f * s;
+    }
+    return q.normalized();
+}
+
+Quat Quat::fromTwoVectors(Vec3f from, Vec3f to) {
+    const Vec3f f = from.normalized();
+    const Vec3f t = to.normalized();
+    const float d = f.dot(t);
+    if (d > 1.0f - 1e-7f) return identity();
+    if (d < -1.0f + 1e-7f) {
+        // Antipodal: rotate 180 degrees around any axis orthogonal to f.
+        Vec3f axis = f.cross(Vec3f{1, 0, 0});
+        if (axis.norm2() < 1e-10f) axis = f.cross(Vec3f{0, 1, 0});
+        axis = axis.normalized();
+        return {0.0f, axis.x, axis.y, axis.z};
+    }
+    const Vec3f c = f.cross(t);
+    Quat q{1.0f + d, c.x, c.y, c.z};
+    return q.normalized();
+}
+
+Quat Quat::operator*(const Quat& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+float Quat::norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+Quat Quat::normalized() const {
+    const float n = norm();
+    if (n < 1e-12f) return identity();
+    return {w / n, x / n, y / n, z / n};
+}
+
+Vec3f Quat::rotate(Vec3f v) const {
+    // v' = v + 2q_v x (q_v x v + w v)
+    const Vec3f qv{x, y, z};
+    const Vec3f t = qv.cross(v) * 2.0f;
+    return v + t * w + qv.cross(t);
+}
+
+Mat3 Quat::toMatrix() const {
+    Mat3 r;
+    const float xx = x * x, yy = y * y, zz = z * z;
+    const float xy = x * y, xz = x * z, yz = y * z;
+    const float wx = w * x, wy = w * y, wz = w * z;
+    r(0, 0) = 1 - 2 * (yy + zz);
+    r(0, 1) = 2 * (xy - wz);
+    r(0, 2) = 2 * (xz + wy);
+    r(1, 0) = 2 * (xy + wz);
+    r(1, 1) = 1 - 2 * (xx + zz);
+    r(1, 2) = 2 * (yz - wx);
+    r(2, 0) = 2 * (xz - wy);
+    r(2, 1) = 2 * (yz + wx);
+    r(2, 2) = 1 - 2 * (xx + yy);
+    return r;
+}
+
+Vec3f Quat::toAxisAngle() const {
+    Quat q = normalized();
+    if (q.w < 0.0f) q = q * -1.0f;  // canonical hemisphere
+    const float s2 = std::sqrt(std::max(0.0f, 1.0f - q.w * q.w));
+    const float angle = 2.0f * std::atan2(s2, q.w);
+    if (s2 < 1e-8f) return {q.x * 2.0f, q.y * 2.0f, q.z * 2.0f};
+    return Vec3f{q.x, q.y, q.z} * (angle / s2);
+}
+
+Quat slerp(const Quat& a, const Quat& b, float t) {
+    Quat bb = b;
+    float d = a.dot(b);
+    if (d < 0.0f) {
+        bb = b * -1.0f;
+        d = -d;
+    }
+    if (d > 0.9995f) {
+        // Nearly parallel: nlerp avoids the 0/0 in the slerp weights.
+        return (a * (1.0f - t) + bb * t).normalized();
+    }
+    const float theta = std::acos(std::clamp(d, -1.0f, 1.0f));
+    const float s = std::sin(theta);
+    const float wa = std::sin((1.0f - t) * theta) / s;
+    const float wb = std::sin(t * theta) / s;
+    return (a * wa + bb * wb).normalized();
+}
+
+float angularDistance(const Quat& a, const Quat& b) {
+    const float d = std::fabs(a.normalized().dot(b.normalized()));
+    return 2.0f * std::acos(std::clamp(d, 0.0f, 1.0f));
+}
+
+}  // namespace semholo::geom

@@ -1,0 +1,77 @@
+#include "semholo/geometry/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semholo::geom {
+
+bool AABB::intersectRay(const Ray& r, float& tNear, float& tFar) const {
+    tNear = -std::numeric_limits<float>::max();
+    tFar = std::numeric_limits<float>::max();
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+        const float o = r.origin[axis];
+        const float d = r.direction[axis];
+        if (std::fabs(d) < 1e-12f) {
+            if (o < lo[axis] || o > hi[axis]) return false;
+            continue;
+        }
+        float t0 = (lo[axis] - o) / d;
+        float t1 = (hi[axis] - o) / d;
+        if (t0 > t1) std::swap(t0, t1);
+        tNear = std::max(tNear, t0);
+        tFar = std::min(tFar, t1);
+        if (tNear > tFar) return false;
+    }
+    return true;
+}
+
+float pointSegmentDistance(Vec3f p, Vec3f a, Vec3f b, float& tOut) {
+    const Vec3f ab = b - a;
+    const float len2 = ab.norm2();
+    if (len2 < 1e-12f) {
+        tOut = 0.0f;
+        return (p - a).norm();
+    }
+    tOut = clamp((p - a).dot(ab) / len2, 0.0f, 1.0f);
+    return (p - (a + ab * tOut)).norm();
+}
+
+Vec3f closestPointOnTriangle(Vec3f p, Vec3f a, Vec3f b, Vec3f c) {
+    // Ericson, "Real-Time Collision Detection", section 5.1.5.
+    const Vec3f ab = b - a, ac = c - a, ap = p - a;
+    const float d1 = ab.dot(ap), d2 = ac.dot(ap);
+    if (d1 <= 0.0f && d2 <= 0.0f) return a;
+
+    const Vec3f bp = p - b;
+    const float d3 = ab.dot(bp), d4 = ac.dot(bp);
+    if (d3 >= 0.0f && d4 <= d3) return b;
+
+    const float vc = d1 * d4 - d3 * d2;
+    if (vc <= 0.0f && d1 >= 0.0f && d3 <= 0.0f) {
+        const float v = d1 / (d1 - d3);
+        return a + ab * v;
+    }
+
+    const Vec3f cp = p - c;
+    const float d5 = ab.dot(cp), d6 = ac.dot(cp);
+    if (d6 >= 0.0f && d5 <= d6) return c;
+
+    const float vb = d5 * d2 - d1 * d6;
+    if (vb <= 0.0f && d2 >= 0.0f && d6 <= 0.0f) {
+        const float w = d2 / (d2 - d6);
+        return a + ac * w;
+    }
+
+    const float va = d3 * d6 - d5 * d4;
+    if (va <= 0.0f && (d4 - d3) >= 0.0f && (d5 - d6) >= 0.0f) {
+        const float w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        return b + (c - b) * w;
+    }
+
+    const float denom = 1.0f / (va + vb + vc);
+    const float v = vb * denom;
+    const float w = vc * denom;
+    return a + ab * v + ac * w;
+}
+
+}  // namespace semholo::geom

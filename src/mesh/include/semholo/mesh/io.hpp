@@ -1,0 +1,23 @@
+// Minimal OBJ and PLY import/export for meshes and point clouds.
+// Enough to inspect reconstructions in external viewers and to round-trip
+// test the codecs; not a general-purpose loader.
+#pragma once
+
+#include <string>
+
+#include "semholo/mesh/pointcloud.hpp"
+#include "semholo/mesh/trimesh.hpp"
+
+namespace semholo::mesh {
+
+// OBJ: positions + triangles (+ normals and uvs when present).
+bool saveOBJ(const TriMesh& mesh, const std::string& path);
+bool loadOBJ(const std::string& path, TriMesh& out);
+
+// ASCII PLY: mesh with optional per-vertex colour.
+bool savePLY(const TriMesh& mesh, const std::string& path);
+// ASCII PLY point cloud with optional colour/normals.
+bool savePLY(const PointCloud& cloud, const std::string& path);
+bool loadPLY(const std::string& path, TriMesh& out);
+
+}  // namespace semholo::mesh

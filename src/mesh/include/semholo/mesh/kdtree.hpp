@@ -1,0 +1,63 @@
+// Static KD-tree over 3D points: nearest-neighbour and radius queries.
+// Used by the geometry metrics (Chamfer/Hausdorff), outlier filtering
+// and normal estimation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::mesh {
+
+using geom::Vec3f;
+
+class KdTree {
+public:
+    KdTree() = default;
+    explicit KdTree(std::span<const Vec3f> points) { build(points); }
+
+    void build(std::span<const Vec3f> points);
+    bool empty() const { return nodes_.empty(); }
+    std::size_t size() const { return points_.size(); }
+
+    struct Hit {
+        std::uint32_t index{std::numeric_limits<std::uint32_t>::max()};
+        float distance2{std::numeric_limits<float>::max()};
+        bool valid() const { return index != std::numeric_limits<std::uint32_t>::max(); }
+    };
+
+    // Closest point to the query; Hit::valid() is false on an empty tree.
+    Hit nearest(Vec3f query) const;
+
+    // Indices of the k nearest points, closest first.
+    std::vector<Hit> kNearest(Vec3f query, std::size_t k) const;
+
+    // All point indices within 'radius' of the query.
+    std::vector<std::uint32_t> radiusSearch(Vec3f query, float radius) const;
+
+    const Vec3f& point(std::uint32_t index) const { return points_[index]; }
+
+private:
+    struct Node {
+        // Leaf when count > 0 (then 'first' indexes into order_);
+        // otherwise an inner node splitting on 'axis' at 'split'.
+        float split{};
+        std::uint32_t first{};
+        std::uint16_t count{};
+        std::uint8_t axis{};
+        std::uint32_t right{};  // left child is the next node in the array
+    };
+
+    std::uint32_t buildRecursive(std::uint32_t begin, std::uint32_t end);
+
+    std::vector<Vec3f> points_;
+    std::vector<std::uint32_t> order_;
+    std::vector<Node> nodes_;
+
+    static constexpr std::uint16_t kLeafSize = 12;
+};
+
+}  // namespace semholo::mesh

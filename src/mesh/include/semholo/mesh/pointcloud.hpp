@@ -1,0 +1,52 @@
+// Point cloud container with optional normals/colours, plus the voxel
+// downsampling and outlier filtering steps the multi-camera fusion uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "semholo/geometry/transform.hpp"
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::mesh {
+
+using geom::AABB;
+using geom::Vec3f;
+
+class PointCloud {
+public:
+    std::vector<Vec3f> points;
+    std::vector<Vec3f> normals;  // empty or points.size()
+    std::vector<Vec3f> colors;   // empty or points.size()
+
+    std::size_t size() const { return points.size(); }
+    bool empty() const { return points.empty(); }
+    bool hasNormals() const { return normals.size() == points.size(); }
+    bool hasColors() const { return colors.size() == points.size(); }
+
+    void clear();
+    void reserve(std::size_t n);
+    void addPoint(Vec3f p);
+    void addPoint(Vec3f p, Vec3f color);
+
+    AABB bounds() const;
+    Vec3f centroid() const;
+    void transform(const geom::RigidTransform& xf);
+    void append(const PointCloud& other);
+
+    // Average points falling in the same cubic voxel of size 'voxelSize'.
+    PointCloud voxelDownsample(float voxelSize) const;
+
+    // Remove points whose mean distance to their k nearest neighbours
+    // exceeds (mean + stddevFactor * stddev) over the whole cloud.
+    PointCloud removeStatisticalOutliers(std::size_t k, float stddevFactor) const;
+
+    std::size_t rawBytes() const {
+        std::size_t b = points.size() * sizeof(Vec3f);
+        if (hasNormals()) b += normals.size() * sizeof(Vec3f);
+        if (hasColors()) b += colors.size() * sizeof(Vec3f);
+        return b;
+    }
+};
+
+}  // namespace semholo::mesh

@@ -1,0 +1,19 @@
+// Deterministic surface sampling utilities.
+#pragma once
+
+#include <cstdint>
+
+#include "semholo/mesh/pointcloud.hpp"
+#include "semholo/mesh/trimesh.hpp"
+
+namespace semholo::mesh {
+
+// Area-weighted uniform sampling of the mesh surface. Carries normals
+// (face normals) and interpolated colours when present.
+PointCloud sampleSurface(const TriMesh& mesh, std::size_t count, std::uint64_t seed = 1);
+
+// Poisson-disk-like decimation: greedy selection keeping points at least
+// 'minDistance' apart (order deterministic given the input order).
+PointCloud decimateByDistance(const PointCloud& cloud, float minDistance);
+
+}  // namespace semholo::mesh

@@ -1,0 +1,79 @@
+// Indexed triangle mesh with optional per-vertex normals, colours and UVs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "semholo/geometry/transform.hpp"
+#include "semholo/geometry/vec.hpp"
+
+namespace semholo::mesh {
+
+using geom::AABB;
+using geom::Vec2f;
+using geom::Vec3f;
+
+struct Triangle {
+    std::uint32_t a{}, b{}, c{};
+    bool operator==(const Triangle&) const = default;
+};
+
+class TriMesh {
+public:
+    std::vector<Vec3f> vertices;
+    std::vector<Triangle> triangles;
+    std::vector<Vec3f> normals;  // per-vertex; empty or vertices.size()
+    std::vector<Vec3f> colors;   // per-vertex RGB in [0,1]; empty or vertices.size()
+    std::vector<Vec2f> uvs;      // per-vertex texture coords; empty or vertices.size()
+
+    std::size_t vertexCount() const { return vertices.size(); }
+    std::size_t triangleCount() const { return triangles.size(); }
+    bool empty() const { return vertices.empty(); }
+    bool hasNormals() const { return !vertices.empty() && normals.size() == vertices.size(); }
+    bool hasColors() const { return !vertices.empty() && colors.size() == vertices.size(); }
+    bool hasUVs() const { return !vertices.empty() && uvs.size() == vertices.size(); }
+
+    void clear();
+
+    AABB bounds() const;
+    double surfaceArea() const;
+    Vec3f triangleNormal(const Triangle& t) const;
+    float triangleArea(const Triangle& t) const;
+    Vec3f centroid() const;
+
+    // Recompute per-vertex normals as area-weighted face normal averages.
+    void computeVertexNormals();
+
+    // Apply a rigid transform to vertices (and rotate normals) in place.
+    void transform(const geom::RigidTransform& xf);
+
+    // Merge vertices closer than 'epsilon'; remaps triangles and drops
+    // degenerates. Returns the number of vertices removed.
+    std::size_t weldVertices(float epsilon);
+
+    // Remove triangles with repeated indices or (near-)zero area.
+    std::size_t removeDegenerateTriangles(float areaEpsilon = 1e-12f);
+
+    // Append another mesh (indices offset, attributes concatenated when
+    // both meshes carry them, dropped otherwise).
+    void append(const TriMesh& other);
+
+    // Number of edges shared by != 2 triangles; 0 for a closed manifold.
+    std::size_t countNonManifoldEdges() const;
+    // Number of boundary edges (used by exactly one triangle).
+    std::size_t countBoundaryEdges() const;
+
+    // Serialized size of raw geometry (positions + indices) in bytes; this
+    // is the "traditional communication" per-frame payload of Table 2.
+    std::size_t rawGeometryBytes() const {
+        return vertices.size() * sizeof(Vec3f) + triangles.size() * sizeof(Triangle);
+    }
+};
+
+// Basic primitive generators (used in tests and synthetic scenes).
+TriMesh makeBox(Vec3f halfExtents, Vec3f center = {});
+TriMesh makeUVSphere(float radius, int stacks, int slices, Vec3f center = {});
+TriMesh makeCylinder(float radius, float height, int slices, Vec3f center = {});
+
+}  // namespace semholo::mesh

@@ -1,0 +1,198 @@
+#include "semholo/mesh/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace semholo::mesh {
+
+bool saveOBJ(const TriMesh& mesh, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << "# SemHolo mesh: " << mesh.vertexCount() << " vertices, "
+      << mesh.triangleCount() << " triangles\n";
+    for (const Vec3f& v : mesh.vertices) f << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+    for (const Vec3f& n : mesh.normals)
+        f << "vn " << n.x << ' ' << n.y << ' ' << n.z << '\n';
+    for (const Vec2f& t : mesh.uvs) f << "vt " << t.x << ' ' << t.y << '\n';
+    const bool vn = mesh.hasNormals();
+    const bool vt = mesh.hasUVs();
+    for (const Triangle& t : mesh.triangles) {
+        f << 'f';
+        for (const std::uint32_t idx : {t.a, t.b, t.c}) {
+            const std::uint32_t i = idx + 1;
+            f << ' ' << i;
+            if (vt || vn) {
+                f << '/';
+                if (vt) f << i;
+                if (vn) f << '/' << i;
+            }
+        }
+        f << '\n';
+    }
+    return f.good();
+}
+
+bool loadOBJ(const std::string& path, TriMesh& out) {
+    std::ifstream f(path);
+    if (!f) return false;
+    out.clear();
+    std::string line;
+    while (std::getline(f, line)) {
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "v") {
+            Vec3f v;
+            ss >> v.x >> v.y >> v.z;
+            out.vertices.push_back(v);
+        } else if (tag == "vn") {
+            Vec3f n;
+            ss >> n.x >> n.y >> n.z;
+            out.normals.push_back(n);
+        } else if (tag == "vt") {
+            Vec2f t;
+            ss >> t.x >> t.y;
+            out.uvs.push_back(t);
+        } else if (tag == "f") {
+            std::vector<std::uint32_t> face;
+            std::string vert;
+            while (ss >> vert) {
+                // Accept "i", "i/j", "i//k", "i/j/k"; only the position
+                // index is used (attributes are per-vertex here).
+                const std::size_t slash = vert.find('/');
+                const long idx = std::stol(vert.substr(0, slash));
+                if (idx > 0)
+                    face.push_back(static_cast<std::uint32_t>(idx - 1));
+                else
+                    face.push_back(
+                        static_cast<std::uint32_t>(out.vertices.size() + idx));
+            }
+            // Triangulate as a fan.
+            for (std::size_t i = 2; i < face.size(); ++i)
+                out.triangles.push_back({face[0], face[i - 1], face[i]});
+        }
+    }
+    if (out.normals.size() != out.vertices.size()) out.normals.clear();
+    if (out.uvs.size() != out.vertices.size()) out.uvs.clear();
+    return true;
+}
+
+bool savePLY(const TriMesh& mesh, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    const bool colors = mesh.hasColors();
+    f << "ply\nformat ascii 1.0\ncomment SemHolo mesh\n";
+    f << "element vertex " << mesh.vertexCount() << '\n';
+    f << "property float x\nproperty float y\nproperty float z\n";
+    if (colors)
+        f << "property uchar red\nproperty uchar green\nproperty uchar blue\n";
+    f << "element face " << mesh.triangleCount() << '\n';
+    f << "property list uchar int vertex_indices\nend_header\n";
+    for (std::size_t i = 0; i < mesh.vertices.size(); ++i) {
+        const Vec3f& v = mesh.vertices[i];
+        f << v.x << ' ' << v.y << ' ' << v.z;
+        if (colors) {
+            const Vec3f& c = mesh.colors[i];
+            auto b = [](float x) {
+                return static_cast<int>(geom::clamp(x, 0.0f, 1.0f) * 255.0f + 0.5f);
+            };
+            f << ' ' << b(c.x) << ' ' << b(c.y) << ' ' << b(c.z);
+        }
+        f << '\n';
+    }
+    for (const Triangle& t : mesh.triangles)
+        f << "3 " << t.a << ' ' << t.b << ' ' << t.c << '\n';
+    return f.good();
+}
+
+bool savePLY(const PointCloud& cloud, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) return false;
+    const bool colors = cloud.hasColors();
+    const bool normals = cloud.hasNormals();
+    f << "ply\nformat ascii 1.0\ncomment SemHolo point cloud\n";
+    f << "element vertex " << cloud.size() << '\n';
+    f << "property float x\nproperty float y\nproperty float z\n";
+    if (normals) f << "property float nx\nproperty float ny\nproperty float nz\n";
+    if (colors)
+        f << "property uchar red\nproperty uchar green\nproperty uchar blue\n";
+    f << "end_header\n";
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3f& p = cloud.points[i];
+        f << p.x << ' ' << p.y << ' ' << p.z;
+        if (normals) {
+            const Vec3f& n = cloud.normals[i];
+            f << ' ' << n.x << ' ' << n.y << ' ' << n.z;
+        }
+        if (colors) {
+            const Vec3f& c = cloud.colors[i];
+            auto b = [](float x) {
+                return static_cast<int>(geom::clamp(x, 0.0f, 1.0f) * 255.0f + 0.5f);
+            };
+            f << ' ' << b(c.x) << ' ' << b(c.y) << ' ' << b(c.z);
+        }
+        f << '\n';
+    }
+    return f.good();
+}
+
+bool loadPLY(const std::string& path, TriMesh& out) {
+    std::ifstream f(path);
+    if (!f) return false;
+    out.clear();
+    std::string line;
+    std::size_t vertexCount = 0, faceCount = 0;
+    bool hasColor = false;
+    // Header.
+    if (!std::getline(f, line) || line != "ply") return false;
+    while (std::getline(f, line) && line != "end_header") {
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "element") {
+            std::string what;
+            std::size_t count;
+            ss >> what >> count;
+            if (what == "vertex") vertexCount = count;
+            if (what == "face") faceCount = count;
+        } else if (tag == "property") {
+            std::string type, name;
+            ss >> type >> name;
+            if (name == "red") hasColor = true;
+        } else if (tag == "format") {
+            std::string fmt;
+            ss >> fmt;
+            if (fmt != "ascii") return false;  // binary PLY unsupported
+        }
+    }
+    out.vertices.reserve(vertexCount);
+    for (std::size_t i = 0; i < vertexCount; ++i) {
+        if (!std::getline(f, line)) return false;
+        std::istringstream ss(line);
+        Vec3f v;
+        ss >> v.x >> v.y >> v.z;
+        out.vertices.push_back(v);
+        if (hasColor) {
+            int r, g, b;
+            ss >> r >> g >> b;
+            out.colors.push_back({static_cast<float>(r) / 255.0f,
+                                  static_cast<float>(g) / 255.0f,
+                                  static_cast<float>(b) / 255.0f});
+        }
+    }
+    out.triangles.reserve(faceCount);
+    for (std::size_t i = 0; i < faceCount; ++i) {
+        if (!std::getline(f, line)) return false;
+        std::istringstream ss(line);
+        int n;
+        ss >> n;
+        std::vector<std::uint32_t> face(static_cast<std::size_t>(n));
+        for (auto& idx : face) ss >> idx;
+        for (std::size_t j = 2; j < face.size(); ++j)
+            out.triangles.push_back({face[0], face[j - 1], face[j]});
+    }
+    return true;
+}
+
+}  // namespace semholo::mesh

@@ -1,0 +1,121 @@
+#include "semholo/mesh/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "semholo/mesh/kdtree.hpp"
+#include "semholo/mesh/sampling.hpp"
+
+namespace semholo::mesh {
+
+namespace {
+
+struct DirectionalStats {
+    double mean{};
+    double max{};
+    double sumSq{};
+    double normalDot{};
+    std::size_t count{};
+};
+
+DirectionalStats directed(const PointCloud& from, const PointCloud& to,
+                          const KdTree& toTree) {
+    DirectionalStats s;
+    const bool haveNormals = from.hasNormals() && to.hasNormals();
+    for (std::size_t i = 0; i < from.points.size(); ++i) {
+        const auto hit = toTree.nearest(from.points[i]);
+        if (!hit.valid()) continue;
+        const double d = std::sqrt(static_cast<double>(hit.distance2));
+        s.mean += d;
+        s.sumSq += static_cast<double>(hit.distance2);
+        s.max = std::max(s.max, d);
+        if (haveNormals)
+            s.normalDot += std::fabs(
+                static_cast<double>(from.normals[i].dot(to.normals[hit.index])));
+        ++s.count;
+    }
+    if (s.count > 0) {
+        s.mean /= static_cast<double>(s.count);
+        s.normalDot /= static_cast<double>(s.count);
+    }
+    return s;
+}
+
+}  // namespace
+
+GeometryErrorStats compareClouds(const PointCloud& a, const PointCloud& b) {
+    GeometryErrorStats out;
+    if (a.empty() || b.empty()) return out;
+
+    KdTree treeA(a.points);
+    KdTree treeB(b.points);
+    const DirectionalStats ab = directed(a, b, treeB);
+    const DirectionalStats ba = directed(b, a, treeA);
+
+    out.meanForward = ab.mean;
+    out.meanBackward = ba.mean;
+    out.chamfer = 0.5 * (ab.mean + ba.mean);
+    out.hausdorff = std::max(ab.max, ba.max);
+    const std::size_t n = ab.count + ba.count;
+    out.rmse = n > 0 ? std::sqrt((ab.sumSq + ba.sumSq) / static_cast<double>(n)) : 0.0;
+    if (a.hasNormals() && b.hasNormals())
+        out.normalConsistency = 0.5 * (ab.normalDot + ba.normalDot);
+
+    // MPEG point-to-point PSNR: peak = diagonal of the reference (a).
+    const double peak = a.bounds().diagonal();
+    const double mseSym =
+        n > 0 ? (ab.sumSq + ba.sumSq) / static_cast<double>(n) : 0.0;
+    if (peak > 0.0 && mseSym > 0.0)
+        out.psnr = 10.0 * std::log10(peak * peak / mseSym);
+    else
+        out.psnr = mseSym == 0.0 ? 1e9 : 0.0;
+    return out;
+}
+
+GeometryErrorStats compareMeshes(const TriMesh& a, const TriMesh& b,
+                                 std::size_t samplesPerMesh, std::uint64_t seed) {
+    const PointCloud ca = sampleSurface(a, samplesPerMesh, seed);
+    const PointCloud cb = sampleSurface(b, samplesPerMesh, seed + 1);
+    return compareClouds(ca, cb);
+}
+
+double pointToMeshError(const PointCloud& cloud, const TriMesh& reference) {
+    if (cloud.empty() || reference.triangles.empty()) return 0.0;
+
+    // Candidate pruning: KD-tree over triangle centroids; test the
+    // triangles whose centroids are nearest, plus a conservative radius.
+    std::vector<Vec3f> centroids;
+    centroids.reserve(reference.triangles.size());
+    float maxTriRadius = 0.0f;
+    for (const Triangle& t : reference.triangles) {
+        const Vec3f c = (reference.vertices[t.a] + reference.vertices[t.b] +
+                         reference.vertices[t.c]) /
+                        3.0f;
+        centroids.push_back(c);
+        maxTriRadius = std::max({maxTriRadius, (reference.vertices[t.a] - c).norm(),
+                                 (reference.vertices[t.b] - c).norm(),
+                                 (reference.vertices[t.c] - c).norm()});
+    }
+    KdTree tree(centroids);
+
+    double total = 0.0;
+    for (const Vec3f& p : cloud.points) {
+        const auto near = tree.nearest(p);
+        if (!near.valid()) continue;
+        const float searchRadius = std::sqrt(near.distance2) + 2.0f * maxTriRadius;
+        const auto candidates = tree.radiusSearch(p, searchRadius);
+        float best = std::numeric_limits<float>::max();
+        for (const std::uint32_t ti : candidates) {
+            const Triangle& t = reference.triangles[ti];
+            const Vec3f cp = geom::closestPointOnTriangle(
+                p, reference.vertices[t.a], reference.vertices[t.b],
+                reference.vertices[t.c]);
+            best = std::min(best, (p - cp).norm2());
+        }
+        if (best < std::numeric_limits<float>::max())
+            total += std::sqrt(static_cast<double>(best));
+    }
+    return total / static_cast<double>(cloud.points.size());
+}
+
+}  // namespace semholo::mesh

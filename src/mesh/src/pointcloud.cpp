@@ -1,0 +1,152 @@
+#include "semholo/mesh/pointcloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "semholo/mesh/kdtree.hpp"
+
+namespace semholo::mesh {
+
+void PointCloud::clear() {
+    points.clear();
+    normals.clear();
+    colors.clear();
+}
+
+void PointCloud::reserve(std::size_t n) {
+    points.reserve(n);
+    normals.reserve(n);
+    colors.reserve(n);
+}
+
+void PointCloud::addPoint(Vec3f p) { points.push_back(p); }
+
+void PointCloud::addPoint(Vec3f p, Vec3f color) {
+    points.push_back(p);
+    colors.push_back(color);
+}
+
+AABB PointCloud::bounds() const {
+    AABB box;
+    for (const Vec3f& p : points) box.expand(p);
+    return box;
+}
+
+Vec3f PointCloud::centroid() const {
+    Vec3f c{};
+    if (points.empty()) return c;
+    for (const Vec3f& p : points) c += p;
+    return c / static_cast<float>(points.size());
+}
+
+void PointCloud::transform(const geom::RigidTransform& xf) {
+    for (Vec3f& p : points) p = xf.apply(p);
+    for (Vec3f& n : normals) n = xf.applyVector(n);
+}
+
+void PointCloud::append(const PointCloud& other) {
+    const bool keepNormals = (empty() || hasNormals()) && other.hasNormals();
+    const bool keepColors = (empty() || hasColors()) && other.hasColors();
+    points.insert(points.end(), other.points.begin(), other.points.end());
+    if (keepNormals)
+        normals.insert(normals.end(), other.normals.begin(), other.normals.end());
+    else
+        normals.clear();
+    if (keepColors)
+        colors.insert(colors.end(), other.colors.begin(), other.colors.end());
+    else
+        colors.clear();
+}
+
+namespace {
+
+struct VoxelKey {
+    std::int64_t x, y, z;
+    bool operator==(const VoxelKey&) const = default;
+};
+
+struct VoxelKeyHash {
+    std::size_t operator()(const VoxelKey& k) const {
+        std::size_t h = std::hash<std::int64_t>{}(k.x);
+        h ^= std::hash<std::int64_t>{}(k.y) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h ^= std::hash<std::int64_t>{}(k.z) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+struct VoxelAccum {
+    Vec3f sumP{};
+    Vec3f sumN{};
+    Vec3f sumC{};
+    std::uint32_t count{};
+};
+
+}  // namespace
+
+PointCloud PointCloud::voxelDownsample(float voxelSize) const {
+    PointCloud out;
+    if (empty() || voxelSize <= 0.0f) return out;
+    const float inv = 1.0f / voxelSize;
+    std::unordered_map<VoxelKey, VoxelAccum, VoxelKeyHash> cells;
+    cells.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Vec3f& p = points[i];
+        const VoxelKey key{static_cast<std::int64_t>(std::floor(p.x * inv)),
+                           static_cast<std::int64_t>(std::floor(p.y * inv)),
+                           static_cast<std::int64_t>(std::floor(p.z * inv))};
+        VoxelAccum& acc = cells[key];
+        acc.sumP += p;
+        if (hasNormals()) acc.sumN += normals[i];
+        if (hasColors()) acc.sumC += colors[i];
+        ++acc.count;
+    }
+    out.reserve(cells.size());
+    for (const auto& [key, acc] : cells) {
+        const float invN = 1.0f / static_cast<float>(acc.count);
+        out.points.push_back(acc.sumP * invN);
+        if (hasNormals()) out.normals.push_back((acc.sumN * invN).normalized());
+        if (hasColors()) out.colors.push_back(acc.sumC * invN);
+    }
+    return out;
+}
+
+PointCloud PointCloud::removeStatisticalOutliers(std::size_t k, float stddevFactor) const {
+    PointCloud out;
+    if (points.size() <= k + 1) return *this;
+
+    KdTree tree(points);
+    std::vector<float> meanDist(points.size());
+    double sum = 0.0, sumSq = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        // k+1 because the query point itself is its own nearest neighbour.
+        const auto hits = tree.kNearest(points[i], k + 1);
+        float total = 0.0f;
+        std::size_t n = 0;
+        for (const auto& h : hits) {
+            if (h.index == i) continue;
+            total += std::sqrt(h.distance2);
+            ++n;
+        }
+        meanDist[i] = n > 0 ? total / static_cast<float>(n) : 0.0f;
+        sum += meanDist[i];
+        sumSq += static_cast<double>(meanDist[i]) * meanDist[i];
+    }
+    const double mean = sum / static_cast<double>(points.size());
+    const double var =
+        std::max(0.0, sumSq / static_cast<double>(points.size()) - mean * mean);
+    const float threshold =
+        static_cast<float>(mean + static_cast<double>(stddevFactor) * std::sqrt(var));
+
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (meanDist[i] > threshold) continue;
+        out.points.push_back(points[i]);
+        if (hasNormals()) out.normals.push_back(normals[i]);
+        if (hasColors()) out.colors.push_back(colors[i]);
+    }
+    return out;
+}
+
+}  // namespace semholo::mesh

@@ -1,0 +1,87 @@
+#include "semholo/mesh/sampling.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "semholo/mesh/kdtree.hpp"
+
+namespace semholo::mesh {
+
+PointCloud sampleSurface(const TriMesh& mesh, std::size_t count, std::uint64_t seed) {
+    PointCloud out;
+    if (mesh.triangles.empty() || count == 0) return out;
+
+    // Cumulative area distribution for area-weighted triangle selection.
+    std::vector<double> cumArea(mesh.triangles.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < mesh.triangles.size(); ++i) {
+        total += mesh.triangleArea(mesh.triangles[i]);
+        cumArea[i] = total;
+    }
+    if (total <= 0.0) return out;
+
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> uniArea(0.0, total);
+    std::uniform_real_distribution<float> uni01(0.0f, 1.0f);
+
+    const bool carryColors = mesh.hasColors();
+    out.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        const double r = uniArea(rng);
+        const auto it = std::lower_bound(cumArea.begin(), cumArea.end(), r);
+        const std::size_t ti =
+            static_cast<std::size_t>(std::distance(cumArea.begin(), it));
+        const Triangle& t = mesh.triangles[std::min(ti, mesh.triangles.size() - 1)];
+
+        // Uniform barycentric sampling via square-root warp.
+        float u = uni01(rng), v = uni01(rng);
+        const float su = std::sqrt(u);
+        const float b0 = 1.0f - su;
+        const float b1 = su * (1.0f - v);
+        const float b2 = su * v;
+
+        out.points.push_back(mesh.vertices[t.a] * b0 + mesh.vertices[t.b] * b1 +
+                             mesh.vertices[t.c] * b2);
+        out.normals.push_back(mesh.triangleNormal(t));
+        if (carryColors)
+            out.colors.push_back(mesh.colors[t.a] * b0 + mesh.colors[t.b] * b1 +
+                                 mesh.colors[t.c] * b2);
+    }
+    return out;
+}
+
+PointCloud decimateByDistance(const PointCloud& cloud, float minDistance) {
+    PointCloud out;
+    if (cloud.empty() || minDistance <= 0.0f) return cloud;
+    const float d2 = minDistance * minDistance;
+    // Greedy: keep a point if no already-kept point is within range.
+    // Rebuilding the tree periodically keeps queries near O(log n).
+    std::vector<Vec3f> kept;
+    KdTree tree;
+    std::size_t lastBuild = 0;
+    for (std::size_t i = 0; i < cloud.points.size(); ++i) {
+        const Vec3f& p = cloud.points[i];
+        bool blocked = false;
+        if (!tree.empty()) {
+            const auto hit = tree.nearest(p);
+            blocked = hit.valid() && hit.distance2 < d2;
+        }
+        if (!blocked) {
+            // Linear scan over points added since the last tree rebuild.
+            for (std::size_t j = lastBuild; j < kept.size() && !blocked; ++j)
+                blocked = (kept[j] - p).norm2() < d2;
+        }
+        if (blocked) continue;
+        kept.push_back(p);
+        out.points.push_back(p);
+        if (cloud.hasNormals()) out.normals.push_back(cloud.normals[i]);
+        if (cloud.hasColors()) out.colors.push_back(cloud.colors[i]);
+        if (kept.size() - lastBuild > 256) {
+            tree.build(kept);
+            lastBuild = kept.size();
+        }
+    }
+    return out;
+}
+
+}  // namespace semholo::mesh

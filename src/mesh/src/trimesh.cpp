@@ -1,0 +1,280 @@
+#include "semholo/mesh/trimesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace semholo::mesh {
+
+void TriMesh::clear() {
+    vertices.clear();
+    triangles.clear();
+    normals.clear();
+    colors.clear();
+    uvs.clear();
+}
+
+AABB TriMesh::bounds() const {
+    AABB box;
+    for (const Vec3f& v : vertices) box.expand(v);
+    return box;
+}
+
+double TriMesh::surfaceArea() const {
+    double area = 0.0;
+    for (const Triangle& t : triangles) area += triangleArea(t);
+    return area;
+}
+
+Vec3f TriMesh::triangleNormal(const Triangle& t) const {
+    const Vec3f n =
+        (vertices[t.b] - vertices[t.a]).cross(vertices[t.c] - vertices[t.a]);
+    return n.normalized();
+}
+
+float TriMesh::triangleArea(const Triangle& t) const {
+    return 0.5f *
+           (vertices[t.b] - vertices[t.a]).cross(vertices[t.c] - vertices[t.a]).norm();
+}
+
+Vec3f TriMesh::centroid() const {
+    Vec3f c{};
+    if (vertices.empty()) return c;
+    for (const Vec3f& v : vertices) c += v;
+    return c / static_cast<float>(vertices.size());
+}
+
+void TriMesh::computeVertexNormals() {
+    normals.assign(vertices.size(), Vec3f{});
+    for (const Triangle& t : triangles) {
+        // Unnormalized cross product weights faces by area.
+        const Vec3f n =
+            (vertices[t.b] - vertices[t.a]).cross(vertices[t.c] - vertices[t.a]);
+        normals[t.a] += n;
+        normals[t.b] += n;
+        normals[t.c] += n;
+    }
+    for (Vec3f& n : normals) n = n.normalized();
+}
+
+void TriMesh::transform(const geom::RigidTransform& xf) {
+    for (Vec3f& v : vertices) v = xf.apply(v);
+    for (Vec3f& n : normals) n = xf.applyVector(n);
+}
+
+namespace {
+
+struct QuantizedKey {
+    std::int64_t x, y, z;
+    bool operator==(const QuantizedKey&) const = default;
+};
+
+struct QuantizedKeyHash {
+    std::size_t operator()(const QuantizedKey& k) const {
+        std::size_t h = std::hash<std::int64_t>{}(k.x);
+        h ^= std::hash<std::int64_t>{}(k.y) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h ^= std::hash<std::int64_t>{}(k.z) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+}  // namespace
+
+std::size_t TriMesh::weldVertices(float epsilon) {
+    if (vertices.empty()) return 0;
+    const float inv = epsilon > 0.0f ? 1.0f / epsilon : 1e12f;
+    std::unordered_map<QuantizedKey, std::uint32_t, QuantizedKeyHash> firstAt;
+    std::vector<std::uint32_t> remap(vertices.size());
+    std::vector<Vec3f> newVerts;
+    std::vector<Vec3f> newNormals;
+    std::vector<Vec3f> newColors;
+    std::vector<Vec2f> newUVs;
+    newVerts.reserve(vertices.size());
+
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const Vec3f& v = vertices[i];
+        const QuantizedKey key{static_cast<std::int64_t>(std::llround(v.x * inv)),
+                               static_cast<std::int64_t>(std::llround(v.y * inv)),
+                               static_cast<std::int64_t>(std::llround(v.z * inv))};
+        auto [it, inserted] =
+            firstAt.try_emplace(key, static_cast<std::uint32_t>(newVerts.size()));
+        if (inserted) {
+            newVerts.push_back(v);
+            if (hasNormals()) newNormals.push_back(normals[i]);
+            if (hasColors()) newColors.push_back(colors[i]);
+            if (hasUVs()) newUVs.push_back(uvs[i]);
+        }
+        remap[i] = it->second;
+    }
+
+    const std::size_t removed = vertices.size() - newVerts.size();
+    vertices = std::move(newVerts);
+    normals = std::move(newNormals);
+    colors = std::move(newColors);
+    uvs = std::move(newUVs);
+    for (Triangle& t : triangles) {
+        t.a = remap[t.a];
+        t.b = remap[t.b];
+        t.c = remap[t.c];
+    }
+    removeDegenerateTriangles();
+    return removed;
+}
+
+std::size_t TriMesh::removeDegenerateTriangles(float areaEpsilon) {
+    const std::size_t before = triangles.size();
+    std::erase_if(triangles, [&](const Triangle& t) {
+        if (t.a == t.b || t.b == t.c || t.a == t.c) return true;
+        return triangleArea(t) < areaEpsilon;
+    });
+    return before - triangles.size();
+}
+
+void TriMesh::append(const TriMesh& other) {
+    const auto offset = static_cast<std::uint32_t>(vertices.size());
+    const bool keepNormals = (empty() || hasNormals()) && other.hasNormals();
+    const bool keepColors = (empty() || hasColors()) && other.hasColors();
+    const bool keepUVs = (empty() || hasUVs()) && other.hasUVs();
+    vertices.insert(vertices.end(), other.vertices.begin(), other.vertices.end());
+    if (keepNormals)
+        normals.insert(normals.end(), other.normals.begin(), other.normals.end());
+    else
+        normals.clear();
+    if (keepColors)
+        colors.insert(colors.end(), other.colors.begin(), other.colors.end());
+    else
+        colors.clear();
+    if (keepUVs)
+        uvs.insert(uvs.end(), other.uvs.begin(), other.uvs.end());
+    else
+        uvs.clear();
+    triangles.reserve(triangles.size() + other.triangles.size());
+    for (const Triangle& t : other.triangles)
+        triangles.push_back({t.a + offset, t.b + offset, t.c + offset});
+}
+
+namespace {
+
+using EdgeCounts = std::map<std::pair<std::uint32_t, std::uint32_t>, int>;
+
+EdgeCounts edgeUseCounts(const TriMesh& m) {
+    EdgeCounts counts;
+    auto add = [&counts](std::uint32_t u, std::uint32_t v) {
+        if (u > v) std::swap(u, v);
+        ++counts[{u, v}];
+    };
+    for (const Triangle& t : m.triangles) {
+        add(t.a, t.b);
+        add(t.b, t.c);
+        add(t.c, t.a);
+    }
+    return counts;
+}
+
+}  // namespace
+
+std::size_t TriMesh::countNonManifoldEdges() const {
+    std::size_t n = 0;
+    for (const auto& [edge, count] : edgeUseCounts(*this))
+        if (count > 2) ++n;
+    return n;
+}
+
+std::size_t TriMesh::countBoundaryEdges() const {
+    std::size_t n = 0;
+    for (const auto& [edge, count] : edgeUseCounts(*this))
+        if (count == 1) ++n;
+    return n;
+}
+
+TriMesh makeBox(Vec3f he, Vec3f c) {
+    TriMesh m;
+    // 8 corners.
+    for (int i = 0; i < 8; ++i) {
+        m.vertices.push_back({c.x + ((i & 1) ? he.x : -he.x),
+                              c.y + ((i & 2) ? he.y : -he.y),
+                              c.z + ((i & 4) ? he.z : -he.z)});
+    }
+    // 12 triangles, outward winding.
+    const std::array<std::array<std::uint32_t, 3>, 12> tris{{{0, 2, 1},
+                                                             {1, 2, 3},
+                                                             {4, 5, 6},
+                                                             {5, 7, 6},
+                                                             {0, 1, 4},
+                                                             {1, 5, 4},
+                                                             {2, 6, 3},
+                                                             {3, 6, 7},
+                                                             {0, 4, 2},
+                                                             {2, 4, 6},
+                                                             {1, 3, 5},
+                                                             {3, 7, 5}}};
+    for (const auto& t : tris) m.triangles.push_back({t[0], t[1], t[2]});
+    m.computeVertexNormals();
+    return m;
+}
+
+TriMesh makeUVSphere(float radius, int stacks, int slices, Vec3f center) {
+    TriMesh m;
+    for (int i = 0; i <= stacks; ++i) {
+        const float phi = static_cast<float>(M_PI) * static_cast<float>(i) /
+                          static_cast<float>(stacks);
+        for (int j = 0; j <= slices; ++j) {
+            const float theta = 2.0f * static_cast<float>(M_PI) * static_cast<float>(j) /
+                                static_cast<float>(slices);
+            const Vec3f dir{std::sin(phi) * std::cos(theta), std::cos(phi),
+                            std::sin(phi) * std::sin(theta)};
+            m.vertices.push_back(center + dir * radius);
+            m.normals.push_back(dir);
+            m.uvs.push_back({static_cast<float>(j) / static_cast<float>(slices),
+                             static_cast<float>(i) / static_cast<float>(stacks)});
+        }
+    }
+    const auto cols = static_cast<std::uint32_t>(slices + 1);
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(stacks); ++i) {
+        for (std::uint32_t j = 0; j < static_cast<std::uint32_t>(slices); ++j) {
+            const std::uint32_t v0 = i * cols + j;
+            const std::uint32_t v1 = v0 + 1;
+            const std::uint32_t v2 = v0 + cols;
+            const std::uint32_t v3 = v2 + 1;
+            if (i != 0) m.triangles.push_back({v0, v1, v2});
+            if (i + 1 != static_cast<std::uint32_t>(stacks))
+                m.triangles.push_back({v1, v3, v2});
+        }
+    }
+    return m;
+}
+
+TriMesh makeCylinder(float radius, float height, int slices, Vec3f center) {
+    TriMesh m;
+    const float h2 = height * 0.5f;
+    for (int ring = 0; ring < 2; ++ring) {
+        const float y = ring == 0 ? -h2 : h2;
+        for (int j = 0; j <= slices; ++j) {
+            const float theta = 2.0f * static_cast<float>(M_PI) * static_cast<float>(j) /
+                                static_cast<float>(slices);
+            m.vertices.push_back(center + Vec3f{radius * std::cos(theta), y,
+                                                radius * std::sin(theta)});
+        }
+    }
+    const auto cols = static_cast<std::uint32_t>(slices + 1);
+    for (std::uint32_t j = 0; j < static_cast<std::uint32_t>(slices); ++j) {
+        const std::uint32_t v0 = j, v1 = j + 1, v2 = j + cols, v3 = j + cols + 1;
+        m.triangles.push_back({v0, v2, v1});
+        m.triangles.push_back({v1, v2, v3});
+    }
+    // Caps.
+    const auto bottomCenter = static_cast<std::uint32_t>(m.vertices.size());
+    m.vertices.push_back(center + Vec3f{0, -h2, 0});
+    const auto topCenter = static_cast<std::uint32_t>(m.vertices.size());
+    m.vertices.push_back(center + Vec3f{0, h2, 0});
+    for (std::uint32_t j = 0; j < static_cast<std::uint32_t>(slices); ++j) {
+        m.triangles.push_back({bottomCenter, j, j + 1});
+        m.triangles.push_back({topCenter, cols + j + 1, cols + j});
+    }
+    m.computeVertexNormals();
+    return m;
+}
+
+}  // namespace semholo::mesh

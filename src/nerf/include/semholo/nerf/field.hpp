@@ -1,0 +1,63 @@
+// The neural radiance field: positional encoding + slimmable MLP with a
+// colour/density head. Colours go through a sigmoid, density through a
+// softplus, as in the original NeRF.
+#pragma once
+
+#include "semholo/geometry/vec.hpp"
+#include "semholo/nerf/mlp.hpp"
+
+namespace semholo::nerf {
+
+using geom::Vec3f;
+
+// gamma(p): [p, sin(2^k p), cos(2^k p)] for k = 0..levels-1, per axis.
+// Output dimension = 3 * (1 + 2 * levels).
+std::vector<float> positionalEncoding(Vec3f p, int levels);
+int positionalEncodingDim(int levels);
+
+struct FieldConfig {
+    int encodingLevels{4};
+    int hiddenWidth{48};
+    int hiddenLayers{3};
+    std::uint64_t seed{7};
+};
+
+struct FieldSample {
+    Vec3f color{};     // after sigmoid, in [0,1]
+    float density{};   // after softplus, >= 0
+};
+
+class RadianceField {
+public:
+    explicit RadianceField(const FieldConfig& config = {});
+
+    FieldSample query(Vec3f p, float widthFraction = 1.0f) const;
+
+    // Forward keeping activations, and backward taking dL/d(color) and
+    // dL/d(density) in *post-head* space (the head Jacobian is applied
+    // internally).
+    FieldSample queryForTraining(Vec3f p, float widthFraction,
+                                 MlpActivations& acts,
+                                 std::vector<float>& rawOut) const;
+    void backward(Vec3f p, const MlpActivations& acts,
+                  const std::vector<float>& rawOut, Vec3f dColor, float dDensity);
+
+    void zeroGradients() { mlp_.zeroGradients(); }
+    void adamStep(const AdamConfig& adam, std::size_t batchSize) {
+        mlp_.adamStep(adam, batchSize);
+    }
+
+    const Mlp& mlp() const { return mlp_; }
+    Mlp& mlp() { return mlp_; }
+    const FieldConfig& config() const { return config_; }
+
+    // Model size in bytes at a given width fraction (what rate adaptation
+    // would ship to a receiver for that quality level).
+    std::size_t modelBytes(float widthFraction = 1.0f) const;
+
+private:
+    FieldConfig config_;
+    Mlp mlp_;
+};
+
+}  // namespace semholo::nerf

@@ -1,0 +1,44 @@
+// Differentiable volume rendering along camera rays (NeRF compositing),
+// image rendering, and the ray-batch training step with full gradient
+// flow through the compositing weights.
+#pragma once
+
+#include "semholo/capture/image.hpp"
+#include "semholo/geometry/camera.hpp"
+#include "semholo/nerf/field.hpp"
+
+namespace semholo::nerf {
+
+using capture::RGBImage;
+using geom::Camera;
+using geom::Ray;
+
+struct RenderOptions {
+    float near{1.0f};
+    float far{6.0f};
+    int samplesPerRay{24};
+    Vec3f background{0.0f, 0.0f, 0.0f};
+    float widthFraction{1.0f};
+};
+
+// Composite one ray through the field.
+Vec3f renderRay(const RadianceField& field, const Ray& ray,
+                const RenderOptions& options);
+
+// Render a full image from a posed camera.
+RGBImage renderImage(const RadianceField& field, const Camera& camera,
+                     const RenderOptions& options);
+
+// One supervised ray for training.
+struct TrainRay {
+    Ray ray;
+    Vec3f target;
+};
+
+// One SGD/Adam step on a batch of rays. Returns the batch MSE loss.
+// Gradients flow through compositing into the MLP (manual adjoint of the
+// alpha-compositing recurrence).
+double trainStep(RadianceField& field, std::span<const TrainRay> batch,
+                 const RenderOptions& options, const AdamConfig& adam);
+
+}  // namespace semholo::nerf

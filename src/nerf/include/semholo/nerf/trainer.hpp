@@ -1,0 +1,70 @@
+// The live image-semantics training loop proposed in section 3.2:
+//
+//  * Cold start: before a user's first engagement, pre-train a dedicated
+//    field on the initial multi-view frame.
+//  * Continuous per-frame fine-tuning: for each live frame, find the
+//    pixels that changed against the previous frame and fine-tune only
+//    on rays through those pixels ("feeding features extracted from the
+//    changed pixels").
+//  * Slimmable rate adaptation: fine-tune and render at a width fraction
+//    matched to the delivered image resolution.
+#pragma once
+
+#include <vector>
+
+#include "semholo/nerf/renderer.hpp"
+
+namespace semholo::nerf {
+
+struct TrainView {
+    Camera camera;
+    RGBImage image;
+};
+
+struct TrainerConfig {
+    RenderOptions render{};
+    AdamConfig adam{};
+    int raysPerStep{128};
+    std::uint64_t seed{3};
+};
+
+struct FineTuneStats {
+    int steps{0};
+    std::size_t raysUsed{0};
+    double finalLoss{0.0};
+    double wallMs{0.0};
+};
+
+class NerfTrainer {
+public:
+    NerfTrainer(RadianceField& field, const TrainerConfig& config);
+
+    // Cold-start pre-training on a full multi-view frame.
+    FineTuneStats pretrain(const std::vector<TrainView>& views, int steps);
+
+    // Per-frame fine-tune on the pixels that changed between the previous
+    // and current images of each view (threshold on per-pixel MAE).
+    FineTuneStats fineTuneOnChanges(const std::vector<TrainView>& previous,
+                                    const std::vector<TrainView>& current,
+                                    int steps, float changeThreshold = 0.02f);
+
+    // Evaluation: PSNR of the field against a held-out view.
+    double evaluatePSNR(const TrainView& view) const;
+
+    const TrainerConfig& config() const { return config_; }
+
+private:
+    FineTuneStats runSteps(const std::vector<TrainRay>& pool, int steps);
+
+    RadianceField& field_;
+    TrainerConfig config_;
+    std::uint64_t rngState_;
+};
+
+// Count of pixels whose colour changed beyond 'threshold' — the section
+// 3.2 "changes in a user's profile over time are likely to be limited"
+// signal; small counts mean cheap fine-tuning.
+std::size_t changedPixelCount(const RGBImage& previous, const RGBImage& current,
+                              float threshold);
+
+}  // namespace semholo::nerf

@@ -1,0 +1,94 @@
+#include "semholo/nerf/field.hpp"
+
+#include <cmath>
+
+namespace semholo::nerf {
+
+std::vector<float> positionalEncoding(Vec3f p, int levels) {
+    std::vector<float> out;
+    out.reserve(static_cast<std::size_t>(positionalEncodingDim(levels)));
+    out.push_back(p.x);
+    out.push_back(p.y);
+    out.push_back(p.z);
+    float freq = 1.0f;
+    for (int k = 0; k < levels; ++k) {
+        for (int a = 0; a < 3; ++a) {
+            const float v = p[static_cast<std::size_t>(a)] * freq;
+            out.push_back(std::sin(v));
+            out.push_back(std::cos(v));
+        }
+        freq *= 2.0f;
+    }
+    return out;
+}
+
+int positionalEncodingDim(int levels) { return 3 * (1 + 2 * levels); }
+
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float softplus(float x) {
+    // Numerically-stable softplus.
+    return x > 20.0f ? x : std::log1p(std::exp(x));
+}
+
+MlpConfig mlpConfigFor(const FieldConfig& cfg) {
+    MlpConfig m;
+    m.inputDim = positionalEncodingDim(cfg.encodingLevels);
+    m.outputDim = 4;  // rgb + density
+    m.hiddenWidth = cfg.hiddenWidth;
+    m.hiddenLayers = cfg.hiddenLayers;
+    m.seed = cfg.seed;
+    return m;
+}
+
+}  // namespace
+
+RadianceField::RadianceField(const FieldConfig& config)
+    : config_(config), mlp_(mlpConfigFor(config)) {}
+
+FieldSample RadianceField::query(Vec3f p, float widthFraction) const {
+    const auto enc = positionalEncoding(p, config_.encodingLevels);
+    const auto raw = mlp_.forward(enc, widthFraction);
+    return {{sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2])}, softplus(raw[3])};
+}
+
+FieldSample RadianceField::queryForTraining(Vec3f p, float widthFraction,
+                                            MlpActivations& acts,
+                                            std::vector<float>& rawOut) const {
+    const auto enc = positionalEncoding(p, config_.encodingLevels);
+    rawOut = mlp_.forward(enc, widthFraction, acts);
+    return {{sigmoid(rawOut[0]), sigmoid(rawOut[1]), sigmoid(rawOut[2])},
+            softplus(rawOut[3])};
+}
+
+void RadianceField::backward(Vec3f p, const MlpActivations& acts,
+                             const std::vector<float>& rawOut, Vec3f dColor,
+                             float dDensity) {
+    // Head Jacobians: sigmoid' = s(1-s); softplus' = sigmoid.
+    std::vector<float> dRaw(4);
+    for (int i = 0; i < 3; ++i) {
+        const float s = sigmoid(rawOut[static_cast<std::size_t>(i)]);
+        dRaw[static_cast<std::size_t>(i)] =
+            dColor[static_cast<std::size_t>(i)] * s * (1.0f - s);
+    }
+    dRaw[3] = dDensity * sigmoid(rawOut[3]);
+    const auto enc = positionalEncoding(p, config_.encodingLevels);
+    mlp_.backward(enc, acts, dRaw);
+}
+
+std::size_t RadianceField::modelBytes(float widthFraction) const {
+    // Parameters of the sub-network actually used at this fraction.
+    const int eff = mlp_.effectiveWidth(widthFraction);
+    const int in = positionalEncodingDim(config_.encodingLevels);
+    std::size_t params = 0;
+    int prev = in;
+    for (int i = 0; i < config_.hiddenLayers; ++i) {
+        params += static_cast<std::size_t>(prev) * eff + static_cast<std::size_t>(eff);
+        prev = eff;
+    }
+    params += static_cast<std::size_t>(prev) * 4 + 4;
+    return params * sizeof(float);
+}
+
+}  // namespace semholo::nerf

@@ -1,0 +1,125 @@
+#include "semholo/nerf/renderer.hpp"
+
+#include <cmath>
+
+namespace semholo::nerf {
+
+namespace {
+
+struct RaySample {
+    Vec3f point;
+    float delta;
+    FieldSample fs;
+    MlpActivations acts;
+    std::vector<float> raw;
+};
+
+// Shared compositing math: alpha_i = 1 - exp(-sigma_i * delta_i).
+float alphaOf(const FieldSample& fs, float delta) {
+    return 1.0f - std::exp(-fs.density * delta);
+}
+
+}  // namespace
+
+Vec3f renderRay(const RadianceField& field, const Ray& ray,
+                const RenderOptions& options) {
+    const float step = (options.far - options.near) /
+                       static_cast<float>(options.samplesPerRay);
+    Vec3f color{};
+    float transmittance = 1.0f;
+    for (int i = 0; i < options.samplesPerRay; ++i) {
+        const float t = options.near + (static_cast<float>(i) + 0.5f) * step;
+        const FieldSample fs = field.query(ray.at(t), options.widthFraction);
+        const float alpha = alphaOf(fs, step);
+        color += fs.color * (transmittance * alpha);
+        transmittance *= 1.0f - alpha;
+        if (transmittance < 1e-4f) break;
+    }
+    return color + options.background * transmittance;
+}
+
+RGBImage renderImage(const RadianceField& field, const Camera& camera,
+                     const RenderOptions& options) {
+    RGBImage img(camera.intrinsics.width, camera.intrinsics.height);
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const Ray ray = camera.pixelRayWorld(
+                {static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f});
+            img.at(x, y) = renderRay(field, ray, options);
+        }
+    }
+    return img;
+}
+
+double trainStep(RadianceField& field, std::span<const TrainRay> batch,
+                 const RenderOptions& options, const AdamConfig& adam) {
+    if (batch.empty()) return 0.0;
+    field.zeroGradients();
+    double totalLoss = 0.0;
+
+    const float step = (options.far - options.near) /
+                       static_cast<float>(options.samplesPerRay);
+
+    std::vector<RaySample> samples(static_cast<std::size_t>(options.samplesPerRay));
+    for (const TrainRay& tr : batch) {
+        // Forward: keep every sample's activations.
+        Vec3f color{};
+        std::vector<float> transmittance(
+            static_cast<std::size_t>(options.samplesPerRay) + 1);
+        transmittance[0] = 1.0f;
+        std::vector<float> alpha(static_cast<std::size_t>(options.samplesPerRay));
+        for (int i = 0; i < options.samplesPerRay; ++i) {
+            RaySample& s = samples[static_cast<std::size_t>(i)];
+            const float t = options.near + (static_cast<float>(i) + 0.5f) * step;
+            s.point = tr.ray.at(t);
+            s.delta = step;
+            s.fs = field.queryForTraining(s.point, options.widthFraction, s.acts,
+                                          s.raw);
+            alpha[static_cast<std::size_t>(i)] = alphaOf(s.fs, step);
+            color += s.fs.color * (transmittance[static_cast<std::size_t>(i)] *
+                                   alpha[static_cast<std::size_t>(i)]);
+            transmittance[static_cast<std::size_t>(i) + 1] =
+                transmittance[static_cast<std::size_t>(i)] *
+                (1.0f - alpha[static_cast<std::size_t>(i)]);
+        }
+        const float finalT = transmittance[static_cast<std::size_t>(options.samplesPerRay)];
+        color += options.background * finalT;
+
+        // MSE loss and dL/dC.
+        const Vec3f diff = color - tr.target;
+        totalLoss += static_cast<double>(diff.norm2()) / 3.0;
+        const Vec3f dC = diff * (2.0f / 3.0f);
+
+        // Backward through compositing. With w_i = T_i * a_i:
+        //   dC/dc_i = w_i
+        //   dC/da_i = T_i * c_i - (1/(1-a_i)) * [ sum_{k>i} w_k c_k
+        //             + bg * T_N ]
+        // computed with a suffix accumulator.
+        Vec3f suffix = options.background * finalT;  // contribution after i
+        for (int i = options.samplesPerRay - 1; i >= 0; --i) {
+            RaySample& s = samples[static_cast<std::size_t>(i)];
+            const float ai = alpha[static_cast<std::size_t>(i)];
+            const float Ti = transmittance[static_cast<std::size_t>(i)];
+            const float wi = Ti * ai;
+
+            const Vec3f dColor = dC * wi;
+            float dAlpha;
+            if (1.0f - ai > 1e-6f) {
+                const Vec3f dCda = s.fs.color * Ti - suffix / (1.0f - ai);
+                dAlpha = dC.dot(dCda);
+            } else {
+                dAlpha = dC.dot(s.fs.color * Ti);
+            }
+            // da/dsigma = delta * exp(-sigma * delta) = delta * (1 - a).
+            const float dDensity = dAlpha * s.delta * (1.0f - ai);
+
+            field.backward(s.point, s.acts, s.raw, dColor, dDensity);
+            suffix += s.fs.color * wi;
+        }
+    }
+
+    field.adamStep(adam, batch.size());
+    return totalLoss / static_cast<double>(batch.size());
+}
+
+}  // namespace semholo::nerf

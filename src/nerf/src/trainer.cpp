@@ -1,0 +1,110 @@
+#include "semholo/nerf/trainer.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace semholo::nerf {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// xorshift for cheap deterministic sampling without <random> overhead.
+std::uint64_t nextRand(std::uint64_t& state) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+TrainRay rayFor(const TrainView& view, int x, int y) {
+    return {view.camera.pixelRayWorld(
+                {static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f}),
+            view.image.at(x, y)};
+}
+
+}  // namespace
+
+NerfTrainer::NerfTrainer(RadianceField& field, const TrainerConfig& config)
+    : field_(field), config_(config), rngState_(config.seed | 1) {}
+
+FineTuneStats NerfTrainer::runSteps(const std::vector<TrainRay>& pool, int steps) {
+    FineTuneStats stats;
+    if (pool.empty() || steps <= 0) return stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<TrainRay> batch;
+    const std::size_t batchSize =
+        std::min<std::size_t>(pool.size(), static_cast<std::size_t>(config_.raysPerStep));
+    for (int s = 0; s < steps; ++s) {
+        batch.clear();
+        for (std::size_t i = 0; i < batchSize; ++i)
+            batch.push_back(pool[nextRand(rngState_) % pool.size()]);
+        stats.finalLoss = trainStep(field_, batch, config_.render, config_.adam);
+        stats.raysUsed += batch.size();
+        ++stats.steps;
+    }
+    stats.wallMs = msSince(t0);
+    return stats;
+}
+
+FineTuneStats NerfTrainer::pretrain(const std::vector<TrainView>& views, int steps) {
+    std::vector<TrainRay> pool;
+    for (const TrainView& v : views) {
+        for (int y = 0; y < v.image.height(); ++y)
+            for (int x = 0; x < v.image.width(); ++x)
+                pool.push_back(rayFor(v, x, y));
+    }
+    return runSteps(pool, steps);
+}
+
+FineTuneStats NerfTrainer::fineTuneOnChanges(const std::vector<TrainView>& previous,
+                                             const std::vector<TrainView>& current,
+                                             int steps, float changeThreshold) {
+    std::vector<TrainRay> pool;
+    for (std::size_t v = 0; v < current.size(); ++v) {
+        const RGBImage& cur = current[v].image;
+        const RGBImage* prev =
+            v < previous.size() ? &previous[v].image : nullptr;
+        for (int y = 0; y < cur.height(); ++y) {
+            for (int x = 0; x < cur.width(); ++x) {
+                bool changed = true;
+                if (prev && prev->width() == cur.width() &&
+                    prev->height() == cur.height()) {
+                    const geom::Vec3f d = cur.at(x, y) - prev->at(x, y);
+                    changed = (std::fabs(d.x) + std::fabs(d.y) + std::fabs(d.z)) /
+                                  3.0f >
+                              changeThreshold;
+                }
+                if (changed) pool.push_back(rayFor(current[v], x, y));
+            }
+        }
+    }
+    return runSteps(pool, steps);
+}
+
+double NerfTrainer::evaluatePSNR(const TrainView& view) const {
+    const RGBImage rendered =
+        renderImage(field_, view.camera, config_.render);
+    return capture::imagePSNR(view.image, rendered);
+}
+
+std::size_t changedPixelCount(const RGBImage& previous, const RGBImage& current,
+                              float threshold) {
+    if (previous.width() != current.width() || previous.height() != current.height())
+        return current.pixelCount();
+    std::size_t count = 0;
+    for (int y = 0; y < current.height(); ++y) {
+        for (int x = 0; x < current.width(); ++x) {
+            const geom::Vec3f d = current.at(x, y) - previous.at(x, y);
+            if ((std::fabs(d.x) + std::fabs(d.y) + std::fabs(d.z)) / 3.0f > threshold)
+                ++count;
+        }
+    }
+    return count;
+}
+
+}  // namespace semholo::nerf

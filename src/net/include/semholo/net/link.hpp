@@ -1,0 +1,48 @@
+// Link model for the Internet path between telepresence sites: a
+// time-varying bottleneck rate (bandwidth trace), propagation delay,
+// deterministic-seeded jitter and random loss, and a FIFO bottleneck
+// queue that produces realistic queuing delay when the sender bursts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace semholo::net {
+
+// Piecewise-constant bandwidth over time, in bits per second.
+class BandwidthTrace {
+public:
+    // Constant rate.
+    static BandwidthTrace constant(double bps);
+    // Repeating step pattern: 'period' seconds at 'high', then at 'low'.
+    static BandwidthTrace square(double highBps, double lowBps, double period);
+    // Sinusoidal oscillation between min and max with the given period.
+    static BandwidthTrace sine(double minBps, double maxBps, double period,
+                               double sampleInterval = 0.1);
+    // Seeded bounded random walk (models LTE/WiFi fluctuation).
+    static BandwidthTrace randomWalk(double startBps, double minBps, double maxBps,
+                                     double stepInterval, double duration,
+                                     std::uint64_t seed);
+    // Explicit samples at fixed 'interval' spacing, cycled when exhausted.
+    BandwidthTrace(std::vector<double> samplesBps, double interval);
+
+    double rateAt(double timeSeconds) const;
+    double minRate() const;
+    double meanRate() const;
+
+private:
+    std::vector<double> samples_;
+    double interval_{1.0};
+};
+
+struct LinkConfig {
+    BandwidthTrace bandwidth = BandwidthTrace::constant(25e6);  // US broadband
+    double propagationDelayS{0.02};
+    double jitterStddevS{0.002};
+    double lossRate{0.0};
+    // Bottleneck queue capacity; packets beyond it are dropped (tail drop).
+    std::size_t queueCapacityBytes{256 * 1024};
+    std::uint64_t seed{1};
+};
+
+}  // namespace semholo::net

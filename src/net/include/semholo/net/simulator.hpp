@@ -1,0 +1,64 @@
+// Discrete-event transfer simulation over a Link: packetisation into
+// MTU-sized packets, bottleneck-queue serialisation against the
+// time-varying rate, propagation + jitter, loss, and optional ARQ
+// retransmission. Deterministic given the link seed.
+#pragma once
+
+#include <optional>
+
+#include "semholo/net/link.hpp"
+
+namespace semholo::net {
+
+inline constexpr std::size_t kMtuBytes = 1400;
+
+struct TransferOptions {
+    // Retransmit lost packets (simple ARQ with one RTT penalty per loss).
+    bool reliable{true};
+    // Give up after this many retransmissions of one packet.
+    int maxRetransmissions{8};
+};
+
+struct TransferResult {
+    bool delivered{false};
+    double startTime{0.0};
+    double completionTime{0.0};   // when the last byte arrived
+    double durationS() const { return completionTime - startTime; }
+    std::size_t bytes{0};
+    std::size_t packets{0};
+    std::size_t lostPackets{0};       // first-transmission losses
+    std::size_t retransmissions{0};
+    std::size_t droppedAtQueue{0};
+    double throughputBps() const {
+        const double d = durationS();
+        return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
+    }
+};
+
+// Simulates one sender-to-receiver path. Transfers are serialised in
+// FIFO order through the bottleneck (state persists between sendMessage
+// calls, so back-to-back frames queue behind each other as they would on
+// a real link).
+class LinkSimulator {
+public:
+    explicit LinkSimulator(const LinkConfig& config = {});
+
+    // Send 'bytes' at 'sendTime' (>= the clock of previous sends).
+    // Returns the per-message delivery result.
+    TransferResult sendMessage(std::size_t bytes, double sendTime,
+                               const TransferOptions& options = {});
+
+    // Time the bottleneck queue drains at (for pacing decisions).
+    double queueBusyUntil() const { return busyUntil_; }
+    const LinkConfig& config() const { return config_; }
+
+    // Bytes currently modelled as queued if a message were sent at 'time'.
+    std::size_t queuedBytesAt(double time) const;
+
+private:
+    LinkConfig config_;
+    double busyUntil_{0.0};
+    std::uint64_t packetCounter_{0};
+};
+
+}  // namespace semholo::net

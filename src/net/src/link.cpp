@@ -1,0 +1,68 @@
+#include "semholo/net/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace semholo::net {
+
+BandwidthTrace::BandwidthTrace(std::vector<double> samplesBps, double interval)
+    : samples_(std::move(samplesBps)), interval_(interval) {
+    if (samples_.empty()) samples_.push_back(1e6);
+    if (interval_ <= 0.0) interval_ = 1.0;
+}
+
+BandwidthTrace BandwidthTrace::constant(double bps) {
+    return BandwidthTrace({bps}, 1.0);
+}
+
+BandwidthTrace BandwidthTrace::square(double highBps, double lowBps, double period) {
+    return BandwidthTrace({highBps, lowBps}, period);
+}
+
+BandwidthTrace BandwidthTrace::sine(double minBps, double maxBps, double period,
+                                    double sampleInterval) {
+    std::vector<double> samples;
+    const auto n = static_cast<std::size_t>(std::max(2.0, period / sampleInterval));
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double phase =
+            2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n);
+        samples.push_back(minBps + (maxBps - minBps) * 0.5 * (1.0 + std::sin(phase)));
+    }
+    return BandwidthTrace(std::move(samples), sampleInterval);
+}
+
+BandwidthTrace BandwidthTrace::randomWalk(double startBps, double minBps,
+                                          double maxBps, double stepInterval,
+                                          double duration, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> step(0.0, (maxBps - minBps) * 0.05);
+    std::vector<double> samples;
+    double rate = startBps;
+    for (double t = 0.0; t < duration; t += stepInterval) {
+        samples.push_back(rate);
+        rate = std::clamp(rate + step(rng), minBps, maxBps);
+    }
+    if (samples.empty()) samples.push_back(startBps);
+    return BandwidthTrace(std::move(samples), stepInterval);
+}
+
+double BandwidthTrace::rateAt(double timeSeconds) const {
+    if (timeSeconds < 0.0) timeSeconds = 0.0;
+    const auto idx =
+        static_cast<std::size_t>(timeSeconds / interval_) % samples_.size();
+    return samples_[idx];
+}
+
+double BandwidthTrace::minRate() const {
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double BandwidthTrace::meanRate() const {
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+}  // namespace semholo::net

@@ -1,0 +1,98 @@
+#include "semholo/net/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace semholo::net {
+
+LinkSimulator::LinkSimulator(const LinkConfig& config) : config_(config) {}
+
+std::size_t LinkSimulator::queuedBytesAt(double time) const {
+    if (time >= busyUntil_) return 0;
+    // Approximate: backlog drains at the current rate.
+    const double rate = config_.bandwidth.rateAt(time);
+    return static_cast<std::size_t>((busyUntil_ - time) * rate / 8.0);
+}
+
+TransferResult LinkSimulator::sendMessage(std::size_t bytes, double sendTime,
+                                          const TransferOptions& options) {
+    TransferResult result;
+    result.startTime = sendTime;
+    result.bytes = bytes;
+    if (bytes == 0) {
+        result.delivered = true;
+        result.completionTime = sendTime + config_.propagationDelayS;
+        return result;
+    }
+
+    std::mt19937_64 rng(config_.seed ^ (packetCounter_ * 0x9E3779B97F4A7C15ull) ^
+                        static_cast<std::uint64_t>(sendTime * 1e6));
+    std::normal_distribution<double> jitter(0.0, config_.jitterStddevS);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+    const std::size_t packetCount = (bytes + kMtuBytes - 1) / kMtuBytes;
+    result.packets = packetCount;
+    const double rtt = 2.0 * config_.propagationDelayS;
+
+    double queueTime = std::max(sendTime, busyUntil_);
+    double lastArrival = sendTime;
+
+    for (std::size_t p = 0; p < packetCount; ++p) {
+        ++packetCounter_;
+        const std::size_t packetBytes =
+            p + 1 == packetCount ? bytes - p * kMtuBytes : kMtuBytes;
+
+        // Tail drop when the modelled backlog exceeds the queue capacity.
+        if (queuedBytesAt(sendTime) + packetBytes > config_.queueCapacityBytes &&
+            queueTime > sendTime) {
+            ++result.droppedAtQueue;
+            if (!options.reliable) continue;
+        }
+
+        int attempts = 0;
+        bool deliveredPacket = false;
+        double attemptTime = queueTime;
+        while (!deliveredPacket && attempts <= options.maxRetransmissions) {
+            // Serialisation at the bottleneck rate in effect.
+            const double rate = std::max(1.0, config_.bandwidth.rateAt(attemptTime));
+            const double serialization =
+                static_cast<double>(packetBytes) * 8.0 / rate;
+            const double departure = attemptTime + serialization;
+            const double arrival = departure + config_.propagationDelayS +
+                                   std::max(0.0, jitter(rng));
+            if (uni(rng) < config_.lossRate) {
+                if (attempts == 0) ++result.lostPackets;
+                if (!options.reliable) {
+                    // Unreliable: the packet is simply gone.
+                    attemptTime = departure;
+                    break;
+                }
+                ++result.retransmissions;
+                ++attempts;
+                // Loss detected one RTT after the send; retransmit then.
+                attemptTime = departure + rtt;
+                continue;
+            }
+            deliveredPacket = true;
+            queueTime = departure;
+            lastArrival = std::max(lastArrival, arrival);
+        }
+        if (!deliveredPacket && options.reliable) {
+            // Retransmission budget exhausted: message undeliverable.
+            busyUntil_ = queueTime;
+            result.delivered = false;
+            result.completionTime = lastArrival;
+            return result;
+        }
+        if (!deliveredPacket && !options.reliable) queueTime = attemptTime;
+    }
+
+    busyUntil_ = queueTime;
+    result.delivered =
+        options.reliable || result.lostPackets + result.droppedAtQueue == 0;
+    result.completionTime = lastArrival;
+    return result;
+}
+
+}  // namespace semholo::net

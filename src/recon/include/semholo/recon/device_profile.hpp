@@ -1,0 +1,40 @@
+// Nominal device profiles for the Figure 4 comparison. The paper runs
+// X-Avatar on an NVIDIA A100 (80 GB workstation GPU) and reports that a
+// laptop RTX 3080 cannot handle 512/1024 resolutions at all. We model a
+// device as a memory budget (hard reconstruction-feasibility limit) plus
+// a relative speed factor used to scale measured host timings into the
+// device's nominal timings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace semholo::recon {
+
+struct DeviceProfile {
+    std::string name;
+    std::size_t memoryBudgetBytes{};
+    // Nominal speed relative to the measurement host (1.0 = this host).
+    double relativeSpeed{1.0};
+
+    // A100-class workstation: large memory, fast.
+    static DeviceProfile workstation();
+    // RTX-3080-laptop-class: 16 GB budget; at 512^3+ the dense field grid
+    // plus intermediates exceed it, matching the paper's observation.
+    static DeviceProfile laptop();
+    // This host, no memory cap (for raw measurements).
+    static DeviceProfile host();
+
+    bool fitsInMemory(std::size_t bytes) const {
+        return memoryBudgetBytes == 0 || bytes <= memoryBudgetBytes;
+    }
+    double scaleMs(double hostMs) const {
+        return relativeSpeed > 0.0 ? hostMs / relativeSpeed : hostMs;
+    }
+};
+
+// Total working-set estimate for an R^3 reconstruction: grid nodes plus
+// the intermediate structures of extraction (~4x the grid in practice).
+std::size_t reconstructionWorkingSetBytes(int resolution);
+
+}  // namespace semholo::recon

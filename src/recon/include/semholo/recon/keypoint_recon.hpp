@@ -1,0 +1,58 @@
+// Keypoint-based mesh reconstruction — the X-Avatar stand-in at the heart
+// of the paper's proof-of-concept (section 4).
+//
+// Input: keypoints (or an SMPL-X-style pose payload). Pipeline: align the
+// keypoints to the parametric skeleton (IK), evaluate the skeleton-
+// conditioned implicit field on an R^3 grid, and extract the iso-surface.
+// The output resolution R in {128, 256, 512, 1024} is the Figure 2/4
+// knob: field evaluation is O(R^3) and dominates, which is exactly why
+// the paper measures <3 FPS at 128 and <1 FPS at higher resolutions.
+#pragma once
+
+#include <array>
+
+#include "semholo/body/body_model.hpp"
+#include "semholo/body/ik.hpp"
+#include "semholo/capture/keypoints.hpp"
+#include "semholo/recon/device_profile.hpp"
+
+namespace semholo::recon {
+
+using body::kJointCount;
+using mesh::TriMesh;
+
+struct ReconstructionOptions {
+    // Voxel grid resolution per axis (the paper's "output resolution").
+    int resolution{128};
+    // Shape parameters assumed for the subject (session constant).
+    body::ShapeParams shape{};
+    // Device the reconstruction nominally runs on; bounds grid memory.
+    DeviceProfile device = DeviceProfile::workstation();
+};
+
+struct ReconstructionResult {
+    TriMesh mesh;
+    bool success{false};
+    // "out of memory" when the device profile cannot hold the grid.
+    std::string failureReason;
+    // Wall-clock cost split (measured on this host).
+    double ikMs{0.0};
+    double fieldSampleMs{0.0};
+    double extractMs{0.0};
+    double totalMs() const { return ikMs + fieldSampleMs + extractMs; }
+    double fps() const { return totalMs() > 0.0 ? 1000.0 / totalMs() : 0.0; }
+    std::size_t gridBytes{0};
+};
+
+// Reconstruct from raw keypoint observations (includes the IK stage).
+ReconstructionResult reconstructFromKeypoints(
+    const std::array<geom::Vec3f, kJointCount>& keypoints,
+    const std::array<float, kJointCount>& confidence,
+    const ReconstructionOptions& options = {});
+
+// Reconstruct from an already-aligned pose payload (the wire format of
+// Table 2; skips IK).
+ReconstructionResult reconstructFromPose(const body::Pose& pose,
+                                         const ReconstructionOptions& options = {});
+
+}  // namespace semholo::recon

@@ -1,0 +1,62 @@
+#include "semholo/recon/keypoint_recon.hpp"
+
+#include <chrono>
+
+#include "semholo/mesh/isosurface.hpp"
+
+namespace semholo::recon {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+ReconstructionResult reconstructFromPose(const body::Pose& pose,
+                                         const ReconstructionOptions& options) {
+    ReconstructionResult result;
+    result.gridBytes = reconstructionWorkingSetBytes(options.resolution);
+    if (!options.device.fitsInMemory(result.gridBytes)) {
+        result.failureReason = "out of memory on " + options.device.name;
+        return result;
+    }
+
+    // Keypoints carry no garment information: the reconstruction field
+    // has no clothing detail (Figure 2's unrecoverable folds).
+    const auto field = body::bodySignedDistance(pose);
+    const auto bounds = body::bodyBounds(pose);
+
+    auto t0 = std::chrono::steady_clock::now();
+    mesh::VoxelGrid grid(bounds,
+                         {options.resolution, options.resolution, options.resolution});
+    grid.sample(field);
+    result.fieldSampleMs = msSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    result.mesh = mesh::extractIsoSurface(grid);
+    result.extractMs = msSince(t0);
+    result.success = !result.mesh.empty();
+    if (!result.success) result.failureReason = "empty iso-surface";
+    return result;
+}
+
+ReconstructionResult reconstructFromKeypoints(
+    const std::array<geom::Vec3f, kJointCount>& keypoints,
+    const std::array<float, kJointCount>& confidence,
+    const ReconstructionOptions& options) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body::IkOptions ik;
+    ik.shape = options.shape;
+    const body::IkResult fit = body::fitPoseToKeypoints(keypoints, confidence, ik);
+    const double ikMs = msSince(t0);
+
+    ReconstructionResult result = reconstructFromPose(fit.pose, options);
+    result.ikMs = ikMs;
+    return result;
+}
+
+}  // namespace semholo::recon

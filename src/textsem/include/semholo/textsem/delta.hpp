@@ -1,0 +1,64 @@
+// Inter-frame delta captioning (section 3.3, "Real-time Extraction and
+// Reconstruction"): the first frame carries every channel; subsequent
+// frames carry only the channels whose quantised caption changed.
+// Unchanged cells cost neither bytes nor (simulated) captioning /
+// text-to-3D inference, which is exactly the saving the paper proposes
+// to exploit from the continuity of human motion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "semholo/textsem/captioner.hpp"
+
+namespace semholo::textsem {
+
+// A delta-encoded frame ready for the wire.
+struct DeltaPacket {
+    std::uint32_t frameId{};
+    bool keyframe{};                      // all channels present
+    std::uint32_t channelMask{};          // bit c set = cell c present
+    bool globalPresent{};
+    std::vector<std::uint8_t> payload;    // LZC-compressed channel texts
+
+    std::size_t wireBytes() const { return payload.size() + 9; }
+    std::size_t cellsEncoded() const;
+};
+
+class DeltaEncoder {
+public:
+    explicit DeltaEncoder(const CaptionOptions& options = {});
+
+    // Encode the next frame; emits a keyframe for the first frame or when
+    // 'forceKeyframe' is set (e.g. after receiver feedback of loss).
+    DeltaPacket encode(const body::Pose& pose, bool forceKeyframe = false);
+
+    void reset() { havePrevious_ = false; }
+    const CaptionOptions& options() const { return options_; }
+
+private:
+    CaptionOptions options_;
+    TextFrame previous_;
+    bool havePrevious_{false};
+};
+
+class DeltaDecoder {
+public:
+    explicit DeltaDecoder(const CaptionOptions& options = {},
+                          const body::ShapeParams& shape = {});
+
+    // Returns the reconstructed pose, or nullopt for malformed input or a
+    // delta that arrived before any keyframe.
+    std::optional<body::Pose> decode(const DeltaPacket& packet);
+
+    void reset() { haveState_ = false; }
+
+private:
+    CaptionOptions options_;
+    body::ShapeParams shape_;
+    TextFrame state_;
+    bool haveState_{false};
+};
+
+}  // namespace semholo::textsem

@@ -1,0 +1,102 @@
+#include "semholo/textsem/delta.hpp"
+
+#include <bit>
+
+#include "semholo/compress/lzc.hpp"
+
+namespace semholo::textsem {
+
+namespace {
+
+// Channel texts are joined with '\x1f' (unit separator) before LZC.
+constexpr char kSep = '\x1f';
+
+std::vector<std::uint8_t> packChannels(const TextFrame& frame, bool globalPresent,
+                                       std::uint32_t mask) {
+    std::string joined;
+    if (globalPresent) joined += frame.global;
+    for (std::size_t c = 0; c < kCellCount; ++c) {
+        if (!(mask & (1u << c))) continue;
+        joined += kSep;
+        joined += frame.cells[c];
+    }
+    const std::span<const std::uint8_t> bytes(
+        reinterpret_cast<const std::uint8_t*>(joined.data()), joined.size());
+    return compress::lzcCompress(bytes);
+}
+
+}  // namespace
+
+std::size_t DeltaPacket::cellsEncoded() const {
+    return static_cast<std::size_t>(std::popcount(channelMask));
+}
+
+DeltaEncoder::DeltaEncoder(const CaptionOptions& options) : options_(options) {}
+
+DeltaPacket DeltaEncoder::encode(const body::Pose& pose, bool forceKeyframe) {
+    const TextFrame frame = captionPose(pose, options_);
+    DeltaPacket packet;
+    packet.frameId = pose.frameId;
+    packet.keyframe = forceKeyframe || !havePrevious_;
+
+    if (packet.keyframe) {
+        packet.globalPresent = true;
+        packet.channelMask = (1u << kCellCount) - 1u;
+    } else {
+        packet.globalPresent = frame.global != previous_.global;
+        for (std::size_t c = 0; c < kCellCount; ++c)
+            if (frame.cells[c] != previous_.cells[c])
+                packet.channelMask |= 1u << c;
+    }
+    // A delta frame must still let the decoder update frame ids; carry
+    // the global channel whenever anything changed.
+    if (packet.channelMask != 0) packet.globalPresent = true;
+
+    packet.payload = packChannels(frame, packet.globalPresent, packet.channelMask);
+    previous_ = frame;
+    havePrevious_ = true;
+    return packet;
+}
+
+DeltaDecoder::DeltaDecoder(const CaptionOptions& options,
+                           const body::ShapeParams& shape)
+    : options_(options), shape_(shape) {}
+
+std::optional<body::Pose> DeltaDecoder::decode(const DeltaPacket& packet) {
+    if (!packet.keyframe && !haveState_) return std::nullopt;
+
+    const auto joinedOpt = compress::lzcDecompress(packet.payload);
+    if (!joinedOpt) return std::nullopt;
+    const std::string joined(joinedOpt->begin(), joinedOpt->end());
+
+    // Split on the unit separator.
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t sep = joined.find(kSep, start);
+        parts.push_back(joined.substr(start, sep - start));
+        if (sep == std::string::npos) break;
+        start = sep + 1;
+    }
+
+    std::size_t next = 0;
+    TextFrame updated = haveState_ ? state_ : TextFrame{};
+    if (packet.globalPresent) {
+        if (next >= parts.size()) return std::nullopt;
+        updated.global = parts[next++];
+    }
+    for (std::size_t c = 0; c < kCellCount; ++c) {
+        if (!(packet.channelMask & (1u << c))) continue;
+        if (next >= parts.size()) return std::nullopt;
+        updated.cells[c] = parts[next++];
+    }
+
+    auto pose = parseCaption(updated, shape_, options_);
+    if (!pose) return std::nullopt;
+    state_ = updated;
+    haveState_ = true;
+    pose->frameId = packet.frameId;
+    return pose;
+}
+
+}  // namespace semholo::textsem

@@ -1,0 +1,96 @@
+#include "semholo/body/animation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::body {
+namespace {
+
+TEST(Motion, Deterministic) {
+    const MotionGenerator a(MotionKind::Walk, {}, 7);
+    const MotionGenerator b(MotionKind::Walk, {}, 7);
+    for (double t : {0.0, 0.5, 1.7}) {
+        EXPECT_NEAR(poseDistance(a.poseAt(t), b.poseAt(t)), 0.0f, 1e-7f);
+    }
+}
+
+TEST(Motion, SeedChangesTalkExpression) {
+    const MotionGenerator a(MotionKind::Talk, {}, 1);
+    const MotionGenerator b(MotionKind::Talk, {}, 2);
+    bool differs = false;
+    for (double t : {0.3, 0.7, 1.1}) {
+        if (std::fabs(a.poseAt(t).expression.coeffs[0] -
+                      b.poseAt(t).expression.coeffs[0]) > 1e-3)
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Motion, SequenceLengthAndFrameIds) {
+    const MotionGenerator gen(MotionKind::Wave);
+    const auto seq = gen.sequence(90, 30.0);
+    ASSERT_EQ(seq.size(), 90u);
+    for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_EQ(seq[i].frameId, i);
+}
+
+TEST(Motion, WalkSwingsLegsOutOfPhase) {
+    const MotionGenerator gen(MotionKind::Walk);
+    // At a swing extreme, left and right hips rotate opposite ways.
+    bool sawOpposite = false;
+    for (double t = 0.0; t < 1.2; t += 0.05) {
+        const Pose p = gen.poseAt(t);
+        const float l = p.rotation(JointId::LeftHip).x;
+        const float r = p.rotation(JointId::RightHip).x;
+        if (l * r < -0.01f) sawOpposite = true;
+    }
+    EXPECT_TRUE(sawOpposite);
+}
+
+TEST(Motion, WaveRaisesRightArm) {
+    const Pose p = MotionGenerator(MotionKind::Wave).poseAt(0.5);
+    const auto kps = jointKeypoints(p);
+    // The waving wrist ends up above the shoulder.
+    EXPECT_GT(kps[index(JointId::RightWrist)].y,
+              kps[index(JointId::RightShoulder)].y);
+}
+
+TEST(Motion, TalkDrivesJawAndExpression) {
+    const MotionGenerator gen(MotionKind::Talk);
+    double maxJaw = 0.0;
+    for (double t = 0.0; t < 1.0; t += 0.02)
+        maxJaw = std::max(maxJaw, gen.poseAt(t).expression.coeffs[0]);
+    EXPECT_GT(maxJaw, 0.5);
+}
+
+TEST(Motion, PosesAreTemporallySmooth) {
+    // Frame-to-frame pose distance at 30 FPS stays small: the paper's
+    // inter-frame-similarity assumption (section 3.3).
+    for (const MotionKind kind : {MotionKind::Idle, MotionKind::Walk, MotionKind::Wave,
+                                  MotionKind::Talk, MotionKind::Collaborate}) {
+        const MotionGenerator gen(kind);
+        const auto seq = gen.sequence(60, 30.0);
+        for (std::size_t i = 1; i < seq.size(); ++i) {
+            EXPECT_LT(poseDistance(seq[i - 1], seq[i]), 0.4f)
+                << motionName(kind) << " frame " << i;
+        }
+    }
+}
+
+TEST(Motion, CollaborateReachesAllPhases) {
+    const MotionGenerator gen(MotionKind::Collaborate);
+    // Pointing phase: right shoulder rotated; reach phase: both shoulders
+    // flexed; manipulate phase: wrists active.
+    const Pose point = gen.poseAt(1.5);
+    const Pose reach = gen.poseAt(3.5);
+    const Pose manip = gen.poseAt(5.0);
+    EXPECT_LT(point.rotation(JointId::RightShoulder).z, -0.5f);
+    EXPECT_LT(reach.rotation(JointId::LeftShoulder).x, -0.5f);
+    EXPECT_NE(manip.rotation(JointId::RightWrist).x, 0.0f);
+}
+
+TEST(Motion, NamesAreStable) {
+    EXPECT_EQ(motionName(MotionKind::Idle), "idle");
+    EXPECT_EQ(motionName(MotionKind::Collaborate), "collaborate");
+}
+
+}  // namespace
+}  // namespace semholo::body

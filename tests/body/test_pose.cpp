@@ -1,0 +1,165 @@
+#include "semholo/body/pose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::body {
+namespace {
+
+Pose randomPose(std::uint32_t seed, float amplitude = 0.6f) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> uni(-amplitude, amplitude);
+    Pose p;
+    for (Vec3f& r : p.jointRotations) r = {uni(rng), uni(rng), uni(rng)};
+    p.rootTranslation = {uni(rng), uni(rng), uni(rng)};
+    for (double& b : p.shape.betas) b = uni(rng);
+    for (double& e : p.expression.coeffs) e = uni(rng);
+    p.frameId = seed;
+    return p;
+}
+
+TEST(PosePayload, ExactlyMatchesPaperSize) {
+    // Table 2: 1.91 KB per frame before compression.
+    const auto bytes = serializePose(Pose{});
+    EXPECT_EQ(bytes.size(), kPosePayloadBytes);
+    EXPECT_EQ(bytes.size(), 1956u);
+    EXPECT_NEAR(static_cast<double>(bytes.size()) / 1024.0, 1.91, 0.01);
+}
+
+TEST(PosePayload, RoundTripLossless) {
+    const Pose original = randomPose(42);
+    const auto bytes = serializePose(original);
+    const auto decoded = deserializePose(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->frameId, original.frameId);
+    for (std::size_t i = 0; i < kJointCount; ++i)
+        EXPECT_EQ(decoded->jointRotations[i], original.jointRotations[i]);
+    EXPECT_EQ(decoded->rootTranslation, original.rootTranslation);
+    EXPECT_EQ(decoded->shape, original.shape);
+    EXPECT_EQ(decoded->expression, original.expression);
+}
+
+TEST(PosePayload, WrongSizeRejected) {
+    auto bytes = serializePose(Pose{});
+    bytes.pop_back();
+    EXPECT_FALSE(deserializePose(bytes).has_value());
+    bytes.push_back(0);
+    bytes.push_back(0);
+    EXPECT_FALSE(deserializePose(bytes).has_value());
+}
+
+TEST(ForwardKinematics, RestPoseMatchesSkeleton) {
+    const Skeleton& sk = Skeleton::canonical();
+    const SkeletonState state = forwardKinematics(Pose{});
+    for (const Joint& j : sk.joints()) {
+        const Vec3f p = state.position(j.id);
+        const Vec3f expect = sk.restPosition(j.id);
+        EXPECT_NEAR((p - expect).norm(), 0.0f, 1e-5f) << j.name;
+    }
+}
+
+TEST(ForwardKinematics, RootTranslationMovesEverything) {
+    Pose p;
+    p.rootTranslation = {1, 2, 3};
+    const SkeletonState state = forwardKinematics(p);
+    const Skeleton& sk = Skeleton::canonical();
+    for (const Joint& j : sk.joints()) {
+        const Vec3f expect = sk.restPosition(j.id) + Vec3f{1, 2, 3};
+        EXPECT_NEAR((state.position(j.id) - expect).norm(), 0.0f, 1e-4f);
+    }
+}
+
+TEST(ForwardKinematics, ElbowRotationMovesWristOnly) {
+    Pose p;
+    p.rotation(JointId::LeftElbow) = {0, 0, -1.2f};  // bend the left elbow
+    const SkeletonState state = forwardKinematics(p);
+    const Skeleton& sk = Skeleton::canonical();
+    // Shoulder unchanged.
+    EXPECT_NEAR(
+        (state.position(JointId::LeftShoulder) - sk.restPosition(JointId::LeftShoulder))
+            .norm(),
+        0.0f, 1e-5f);
+    // Elbow joint position unchanged (rotation is about the joint).
+    EXPECT_NEAR(
+        (state.position(JointId::LeftElbow) - sk.restPosition(JointId::LeftElbow)).norm(),
+        0.0f, 1e-5f);
+    // Wrist moved, but forearm length preserved.
+    const float forearmRest =
+        (sk.restPosition(JointId::LeftWrist) - sk.restPosition(JointId::LeftElbow))
+            .norm();
+    const float forearmPosed =
+        (state.position(JointId::LeftWrist) - state.position(JointId::LeftElbow)).norm();
+    EXPECT_NEAR(forearmPosed, forearmRest, 1e-5f);
+    EXPECT_GT(
+        (state.position(JointId::LeftWrist) - sk.restPosition(JointId::LeftWrist)).norm(),
+        0.1f);
+}
+
+TEST(ForwardKinematics, BoneLengthsInvariantUnderPose) {
+    const Skeleton& sk = Skeleton::canonical();
+    for (std::uint32_t seed : {1u, 2u, 3u}) {
+        const Pose p = randomPose(seed);
+        const SkeletonState state = forwardKinematics(p);
+        for (const Joint& j : sk.joints()) {
+            if (sk.isRoot(j.id)) continue;
+            const float rest = j.restOffset.norm() * boneScale(p.shape, j.id);
+            const float posed =
+                (state.position(j.id) - state.position(j.parent)).norm();
+            EXPECT_NEAR(posed, rest, 1e-4f) << j.name;
+        }
+    }
+}
+
+TEST(ForwardKinematics, ShapeBetaZeroScalesHeight) {
+    Pose tall;
+    tall.shape.betas[0] = 3.0;
+    Pose rest;
+    const SkeletonState tallState = forwardKinematics(tall);
+    const SkeletonState restState = forwardKinematics(rest);
+    EXPECT_GT(tallState.position(JointId::Head).y,
+              restState.position(JointId::Head).y);
+    EXPECT_LT(tallState.position(JointId::LeftFoot).y,
+              restState.position(JointId::LeftFoot).y);
+}
+
+TEST(BoneScale, PositiveForReasonableBetas) {
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> uni(-4.0, 4.0);
+    for (int trial = 0; trial < 100; ++trial) {
+        ShapeParams shape;
+        for (double& b : shape.betas) b = uni(rng);
+        for (std::size_t j = 0; j < kJointCount; ++j)
+            EXPECT_GT(boneScale(shape, static_cast<JointId>(j)), 0.0f);
+    }
+}
+
+TEST(JointKeypoints, MatchesForwardKinematics) {
+    const Pose p = randomPose(9);
+    const auto kps = jointKeypoints(p);
+    const SkeletonState state = forwardKinematics(p);
+    for (std::size_t i = 0; i < kJointCount; ++i)
+        EXPECT_EQ(kps[i], state.worldFromJoint[i].translation);
+}
+
+TEST(InterpolatePoses, EndpointsAndContinuity) {
+    const Pose a = randomPose(1);
+    const Pose b = randomPose(2);
+    EXPECT_NEAR(poseDistance(interpolatePoses(a, b, 0.0f), a), 0.0f, 1e-4f);
+    EXPECT_NEAR(poseDistance(interpolatePoses(a, b, 1.0f), b), 0.0f, 1e-4f);
+    // Midpoint lies between the endpoints.
+    const Pose mid = interpolatePoses(a, b, 0.5f);
+    EXPECT_LT(poseDistance(mid, a), poseDistance(b, a));
+}
+
+TEST(PoseDistance, ZeroForIdenticalSymmetricOtherwise) {
+    const Pose a = randomPose(3);
+    const Pose b = randomPose(4);
+    EXPECT_NEAR(poseDistance(a, a), 0.0f, 1e-6f);
+    EXPECT_NEAR(poseDistance(a, b), poseDistance(b, a), 1e-5f);
+    EXPECT_GT(poseDistance(a, b), 0.0f);
+}
+
+}  // namespace
+}  // namespace semholo::body

@@ -1,0 +1,121 @@
+#include "semholo/body/skeleton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace semholo::body {
+namespace {
+
+TEST(Skeleton, Has55Joints) {
+    EXPECT_EQ(kJointCount, 55u);
+    EXPECT_EQ(Skeleton::canonical().size(), 55u);
+}
+
+TEST(Skeleton, ParentsPrecedeChildren) {
+    const Skeleton& sk = Skeleton::canonical();
+    for (const Joint& j : sk.joints()) {
+        EXPECT_LE(index(j.parent), index(j.id))
+            << "joint " << j.name << " has a later parent";
+    }
+}
+
+TEST(Skeleton, SingleRoot) {
+    const Skeleton& sk = Skeleton::canonical();
+    std::size_t roots = 0;
+    for (const Joint& j : sk.joints())
+        if (sk.isRoot(j.id)) ++roots;
+    EXPECT_EQ(roots, 1u);
+    EXPECT_TRUE(sk.isRoot(JointId::Pelvis));
+}
+
+TEST(Skeleton, AllJointsReachableFromRoot) {
+    const Skeleton& sk = Skeleton::canonical();
+    std::set<std::size_t> visited{index(JointId::Pelvis)};
+    // Walk in topological order; parent must already be visited.
+    for (const Joint& j : sk.joints()) {
+        if (sk.isRoot(j.id)) continue;
+        EXPECT_TRUE(visited.count(index(j.parent))) << j.name;
+        visited.insert(index(j.id));
+    }
+    EXPECT_EQ(visited.size(), kJointCount);
+}
+
+TEST(Skeleton, NamesUnique) {
+    const Skeleton& sk = Skeleton::canonical();
+    std::set<std::string_view> names;
+    for (const Joint& j : sk.joints()) names.insert(j.name);
+    EXPECT_EQ(names.size(), kJointCount);
+}
+
+TEST(Skeleton, RestPoseIsPlausiblyHuman) {
+    const Skeleton& sk = Skeleton::canonical();
+    // Head above pelvis, feet below.
+    EXPECT_GT(sk.restPosition(JointId::Head).y, 0.5f);
+    EXPECT_LT(sk.restPosition(JointId::LeftFoot).y, -0.8f);
+    // T-pose: wrists out along +-x, roughly at shoulder height.
+    EXPECT_GT(sk.restPosition(JointId::LeftWrist).x, 0.5f);
+    EXPECT_LT(sk.restPosition(JointId::RightWrist).x, -0.5f);
+    const float shoulderY = sk.restPosition(JointId::LeftShoulder).y;
+    EXPECT_NEAR(sk.restPosition(JointId::LeftWrist).y, shoulderY, 0.05f);
+    // Total height ~1.6-1.8 m.
+    const float height =
+        sk.restPosition(JointId::Head).y - sk.restPosition(JointId::LeftFoot).y + 0.2f;
+    EXPECT_GT(height, 1.5f);
+    EXPECT_LT(height, 2.0f);
+}
+
+TEST(Skeleton, LeftRightSymmetry) {
+    const Skeleton& sk = Skeleton::canonical();
+    const auto mirror = [](Vec3f v) { return Vec3f{-v.x, v.y, v.z}; };
+    const std::pair<JointId, JointId> pairs[] = {
+        {JointId::LeftShoulder, JointId::RightShoulder},
+        {JointId::LeftElbow, JointId::RightElbow},
+        {JointId::LeftWrist, JointId::RightWrist},
+        {JointId::LeftHip, JointId::RightHip},
+        {JointId::LeftKnee, JointId::RightKnee},
+        {JointId::LeftAnkle, JointId::RightAnkle},
+        {JointId::LeftIndex3, JointId::RightIndex3},
+    };
+    for (const auto& [l, r] : pairs) {
+        const Vec3f lm = mirror(sk.restPosition(l));
+        const Vec3f rp = sk.restPosition(r);
+        EXPECT_NEAR((lm - rp).norm(), 0.0f, 1e-5f)
+            << sk.name(l) << " vs " << sk.name(r);
+    }
+}
+
+TEST(Skeleton, HandsHaveFifteenJointsEach) {
+    std::size_t left = 0, right = 0;
+    for (std::size_t i = index(JointId::LeftThumb1); i <= index(JointId::LeftPinky3);
+         ++i)
+        ++left;
+    for (std::size_t i = index(JointId::RightThumb1); i <= index(JointId::RightPinky3);
+         ++i)
+        ++right;
+    EXPECT_EQ(left, 15u);
+    EXPECT_EQ(right, 15u);
+}
+
+TEST(CanonicalBones, ExcludeEyesIncludeFingers) {
+    const auto& bones = canonicalBones();
+    // 54 non-root joints minus 2 eyes = 52 bones.
+    EXPECT_EQ(bones.size(), 52u);
+    for (const Bone& b : bones) {
+        EXPECT_NE(b.child, JointId::LeftEye);
+        EXPECT_NE(b.child, JointId::RightEye);
+        EXPECT_GT(b.radiusAtChild, 0.0f);
+        EXPECT_GT(b.radiusAtParent, 0.0f);
+    }
+}
+
+TEST(Skeleton, ChildrenListsConsistent) {
+    const Skeleton& sk = Skeleton::canonical();
+    std::size_t totalChildren = 0;
+    for (const auto& kids : sk.children()) totalChildren += kids.size();
+    // Every non-root joint appears exactly once as a child.
+    EXPECT_EQ(totalChildren, kJointCount - 1);
+}
+
+}  // namespace
+}  // namespace semholo::body

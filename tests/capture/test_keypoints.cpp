@@ -1,0 +1,118 @@
+#include "semholo/capture/keypoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+#include "semholo/body/ik.hpp"
+
+namespace semholo::capture {
+namespace {
+
+class KeypointFixture : public ::testing::Test {
+protected:
+    static const body::BodyModel& model() {
+        static const body::BodyModel m{body::ShapeParams{}, 56};
+        return m;
+    }
+    static const CaptureRig& rig() {
+        static const CaptureRig r = [] {
+            RigConfig cfg;
+            cfg.addNoise = false;  // detector noise is modelled separately
+            return CaptureRig(cfg);
+        }();
+        return r;
+    }
+    static std::vector<RGBDFrame> framesFor(const body::Pose& pose) {
+        return rig().capture(model().deform(pose), 11);
+    }
+};
+
+TEST_F(KeypointFixture, DirectDetectionAccurate) {
+    const body::Pose pose = body::MotionGenerator(body::MotionKind::Wave).poseAt(0.4);
+    const auto frames = framesFor(pose);
+    const auto obs = detectKeypoints3DDirect(rig(), frames, pose, 1);
+    EXPECT_LT(keypointError(obs, pose), 0.02);
+    // Most joints observed.
+    std::size_t seen = 0;
+    for (const float c : obs.confidence)
+        if (c > 0.0f) ++seen;
+    EXPECT_GT(seen, kJointCount * 3 / 4);
+}
+
+TEST_F(KeypointFixture, LiftedDetectionLessAccurateThanDirect) {
+    const body::Pose pose = body::MotionGenerator(body::MotionKind::Talk).poseAt(0.8);
+    const auto frames = framesFor(pose);
+    double errLifted = 0.0, errDirect = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        errLifted += keypointError(detectKeypoints2DLifted(rig(), frames, pose, seed), pose);
+        errDirect += keypointError(detectKeypoints3DDirect(rig(), frames, pose, seed), pose);
+    }
+    // Section 2.3: direct RGB-D extraction is more accurate than the
+    // 2D-then-lift route.
+    EXPECT_LT(errDirect, errLifted);
+}
+
+TEST_F(KeypointFixture, LiftedDetectionSlowerThanDirect) {
+    const body::Pose pose;
+    const auto frames = framesFor(pose);
+    const auto lifted = detectKeypoints2DLifted(rig(), frames, pose, 1);
+    const auto direct = detectKeypoints3DDirect(rig(), frames, pose, 1);
+    EXPECT_GT(lifted.simulatedLatencyMs, direct.simulatedLatencyMs);
+    EXPECT_GT(direct.simulatedLatencyMs, 0.0);
+}
+
+TEST_F(KeypointFixture, ConfidenceReflectsVisibility) {
+    const body::Pose pose;
+    const auto frames = framesFor(pose);
+    const auto obs = detectKeypoints3DDirect(rig(), frames, pose, 2);
+    for (const float c : obs.confidence) {
+        EXPECT_GE(c, 0.0f);
+        EXPECT_LE(c, 1.0f);
+    }
+    // Large body joints should be seen by most cameras.
+    EXPECT_GT(obs.confidence[body::index(body::JointId::Pelvis)], 0.4f);
+    EXPECT_GT(obs.confidence[body::index(body::JointId::Head)], 0.4f);
+}
+
+TEST_F(KeypointFixture, DetectionFeedsIkEndToEnd) {
+    // Integration: capture -> detect -> IK -> keypoints close the loop.
+    const body::Pose pose = body::MotionGenerator(body::MotionKind::Collaborate).poseAt(1.2);
+    const auto frames = framesFor(pose);
+    const auto obs = detectKeypoints3DDirect(rig(), frames, pose, 3);
+    const auto fit = body::fitPoseToKeypoints(obs.positions, obs.confidence);
+    const auto recovered = body::jointKeypoints(fit.pose);
+    const auto gt = body::jointKeypoints(pose);
+    double meanErr = 0.0;
+    int n = 0;
+    for (std::size_t j = 0; j < kJointCount; ++j) {
+        if (obs.confidence[j] < 0.05f) continue;
+        meanErr += (recovered[j] - gt[j]).norm();
+        ++n;
+    }
+    ASSERT_GT(n, 0);
+    EXPECT_LT(meanErr / n, 0.05);
+}
+
+TEST_F(KeypointFixture, ErrorIgnoresDroppedJoints) {
+    const body::Pose pose;
+    KeypointObservation obs;
+    obs.confidence.fill(0.0f);
+    obs.confidence[0] = 1.0f;
+    obs.positions[0] = body::jointKeypoints(pose)[0];
+    EXPECT_NEAR(keypointError(obs, pose), 0.0, 1e-6);
+}
+
+TEST_F(KeypointFixture, Deterministic) {
+    const body::Pose pose = body::MotionGenerator(body::MotionKind::Walk).poseAt(0.3);
+    const auto frames = framesFor(pose);
+    const auto a = detectKeypoints3DDirect(rig(), frames, pose, 9);
+    const auto b = detectKeypoints3DDirect(rig(), frames, pose, 9);
+    for (std::size_t j = 0; j < kJointCount; ++j) {
+        EXPECT_EQ(a.positions[j], b.positions[j]);
+        EXPECT_EQ(a.confidence[j], b.confidence[j]);
+    }
+}
+
+}  // namespace
+}  // namespace semholo::capture

@@ -1,0 +1,143 @@
+#include "semholo/capture/rig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/body/body_model.hpp"
+#include "semholo/mesh/metrics.hpp"
+
+namespace semholo::capture {
+namespace {
+
+TEST(Noise, DepthNoisePerturbsWithinModel) {
+    DepthImage depth(64, 64, 2.0f);
+    DepthNoiseModel model;
+    model.dropoutRate = 0.0f;
+    applyDepthNoise(depth, model, 1);
+    double meanAbs = 0.0;
+    for (const float z : depth.data()) {
+        EXPECT_GT(z, 1.9f);
+        EXPECT_LT(z, 2.1f);
+        meanAbs += std::fabs(z - 2.0f);
+    }
+    meanAbs /= depth.data().size();
+    EXPECT_GT(meanAbs, 1e-4);  // noise actually applied
+}
+
+TEST(Noise, DropoutRemovesReturns) {
+    DepthImage depth(100, 100, 2.0f);
+    DepthNoiseModel model;
+    model.dropoutRate = 0.5f;
+    applyDepthNoise(depth, model, 3);
+    std::size_t dropped = 0;
+    for (const float z : depth.data())
+        if (z == 0.0f) ++dropped;
+    EXPECT_GT(dropped, 4000u);
+    EXPECT_LT(dropped, 6000u);
+}
+
+TEST(Noise, OutOfRangeDropped) {
+    DepthImage depth(8, 8, 20.0f);  // beyond maxRange
+    applyDepthNoise(depth, DepthNoiseModel{}, 5);
+    for (const float z : depth.data()) EXPECT_EQ(z, 0.0f);
+}
+
+TEST(Noise, NoiseGrowsWithRange) {
+    DepthNoiseModel model;
+    model.dropoutRate = 0.0f;
+    model.quantizationStep = 0.0f;
+    DepthImage near(64, 64, 1.0f), far(64, 64, 5.0f);
+    applyDepthNoise(near, model, 7);
+    applyDepthNoise(far, model, 7);
+    auto meanAbsDev = [](const DepthImage& img, float ref) {
+        double s = 0.0;
+        for (const float z : img.data()) s += std::fabs(z - ref);
+        return s / img.data().size();
+    };
+    EXPECT_GT(meanAbsDev(far, 5.0f), meanAbsDev(near, 1.0f) * 3.0);
+}
+
+TEST(Noise, ColorNoiseStaysInRange) {
+    RGBImage img(32, 32, {0.95f, 0.5f, 0.02f});
+    applyColorNoise(img, {0.05f}, 9);
+    for (const auto& c : img.data()) {
+        EXPECT_GE(c.x, 0.0f);
+        EXPECT_LE(c.x, 1.0f);
+        EXPECT_GE(c.z, 0.0f);
+    }
+}
+
+TEST(Noise, Deterministic) {
+    DepthImage a(16, 16, 2.0f), b(16, 16, 2.0f);
+    applyDepthNoise(a, DepthNoiseModel{}, 42);
+    applyDepthNoise(b, DepthNoiseModel{}, 42);
+    EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(CaptureRig, CamerasOnRingLookingIn) {
+    RigConfig cfg;
+    cfg.cameraCount = 6;
+    const CaptureRig rig(cfg);
+    ASSERT_EQ(rig.cameras().size(), 6u);
+    for (const auto& cam : rig.cameras()) {
+        const geom::Vec3f eye = cam.worldFromCamera.translation;
+        EXPECT_NEAR((geom::Vec2f{eye.x, eye.z}.norm()), cfg.ringRadius, 1e-4f);
+        // Subject at origin projects to the image centre.
+        geom::Vec2f pix;
+        float depth;
+        ASSERT_TRUE(cam.projectWorld({0, 0, 0}, pix, depth));
+        EXPECT_NEAR(pix.x, cam.intrinsics.cx, 1.0f);
+    }
+}
+
+class RigFixture : public ::testing::Test {
+protected:
+    static const body::BodyModel& model() {
+        static const body::BodyModel m{body::ShapeParams{}, 56};
+        return m;
+    }
+};
+
+TEST_F(RigFixture, CaptureSeesSubjectFromAllViews) {
+    RigConfig cfg;
+    cfg.addNoise = false;
+    const CaptureRig rig(cfg);
+    const auto frames = rig.capture(model().templateMesh(), 1);
+    ASSERT_EQ(frames.size(), 4u);
+    for (const auto& f : frames) {
+        std::size_t hits = 0;
+        for (const float z : f.depth.data())
+            if (z > 0.0f) ++hits;
+        EXPECT_GT(hits, f.depth.data().size() / 50);
+    }
+}
+
+TEST_F(RigFixture, FusedCloudLiesOnSubject) {
+    RigConfig cfg;
+    cfg.addNoise = false;
+    const CaptureRig rig(cfg);
+    const auto cloud = rig.captureCloud(model().templateMesh(), 1);
+    ASSERT_GT(cloud.size(), 500u);
+    const double err = mesh::pointToMeshError(cloud, model().templateMesh());
+    EXPECT_LT(err, 0.01);
+}
+
+TEST_F(RigFixture, NoisyFusionStillAccurate) {
+    const CaptureRig rig;  // noise on
+    const auto cloud = rig.captureCloud(model().templateMesh(), 2);
+    ASSERT_GT(cloud.size(), 500u);
+    const double err = mesh::pointToMeshError(cloud, model().templateMesh());
+    EXPECT_LT(err, 0.03);
+}
+
+TEST_F(RigFixture, FusionCoversBody) {
+    RigConfig cfg;
+    cfg.addNoise = false;
+    const CaptureRig rig(cfg);
+    const auto cloud = rig.captureCloud(model().templateMesh(), 1);
+    const auto bounds = cloud.bounds();
+    // Full height visible across the ring of cameras.
+    EXPECT_GT(bounds.extent().y, 1.3f);
+}
+
+}  // namespace
+}  // namespace semholo::capture

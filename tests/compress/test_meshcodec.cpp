@@ -1,0 +1,150 @@
+#include "semholo/compress/meshcodec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/body/body_model.hpp"
+#include "semholo/mesh/isosurface.hpp"
+#include "semholo/mesh/metrics.hpp"
+
+namespace semholo::compress {
+namespace {
+
+using mesh::TriMesh;
+
+TriMesh testSphere() {
+    return mesh::makeUVSphere(0.8f, 24, 48, {0.2f, -0.1f, 0.4f});
+}
+
+TEST(MeshCodec, RoundTripPreservesTopology) {
+    const TriMesh m = testSphere();
+    const auto data = encodeMesh(m);
+    const auto back = decodeMesh(data);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->vertexCount(), m.vertexCount());
+    EXPECT_EQ(back->triangleCount(), m.triangleCount());
+    for (std::size_t i = 0; i < m.triangleCount(); ++i)
+        EXPECT_EQ(back->triangles[i], m.triangles[i]);
+}
+
+TEST(MeshCodec, PositionErrorBoundedByQuantization) {
+    const TriMesh m = testSphere();
+    MeshCodecOptions opt;
+    opt.positionBits = 11;
+    const auto back = decodeMesh(encodeMesh(m, opt));
+    ASSERT_TRUE(back.has_value());
+    const float bound = quantizationError(m, opt.positionBits);
+    for (std::size_t i = 0; i < m.vertexCount(); ++i)
+        EXPECT_LE((back->vertices[i] - m.vertices[i]).norm(), bound * 1.01f);
+}
+
+TEST(MeshCodec, MoreBitsLessError) {
+    const TriMesh m = testSphere();
+    MeshCodecOptions lo, hi;
+    lo.positionBits = 8;
+    hi.positionBits = 14;
+    const auto backLo = decodeMesh(encodeMesh(m, lo));
+    const auto backHi = decodeMesh(encodeMesh(m, hi));
+    ASSERT_TRUE(backLo && backHi);
+    double errLo = 0.0, errHi = 0.0;
+    for (std::size_t i = 0; i < m.vertexCount(); ++i) {
+        errLo += (backLo->vertices[i] - m.vertices[i]).norm();
+        errHi += (backHi->vertices[i] - m.vertices[i]).norm();
+    }
+    EXPECT_LT(errHi, errLo * 0.1);
+}
+
+TEST(MeshCodec, AchievesDracoClassRatioOnBodyMesh) {
+    // Table 2: Draco shrinks the raw body mesh ~9.4x (397.7 -> 42.1 KB).
+    const body::BodyModel model(body::ShapeParams{}, 72);
+    const TriMesh m = model.templateMesh();
+    MeshCodecOptions opt;
+    opt.encodeColors = false;
+    const auto data = encodeMesh(m, opt);
+    const double ratio =
+        static_cast<double>(m.rawGeometryBytes()) / static_cast<double>(data.size());
+    EXPECT_GT(ratio, 6.0);
+}
+
+TEST(MeshCodec, DecodedBodyMeshGeometricallyClose) {
+    const body::BodyModel model(body::ShapeParams{}, 56);
+    const TriMesh m = model.templateMesh();
+    const auto back = decodeMesh(encodeMesh(m));
+    ASSERT_TRUE(back.has_value());
+    // Direct per-vertex error: well under two millimetres on a ~2 m
+    // model at 11 bits (mesh-sampled Chamfer would be dominated by the
+    // sampling spacing, not the codec).
+    double meanErr = 0.0;
+    for (std::size_t i = 0; i < m.vertexCount(); ++i)
+        meanErr += (back->vertices[i] - m.vertices[i]).norm();
+    meanErr /= static_cast<double>(m.vertexCount());
+    EXPECT_LT(meanErr, 1.5e-3);
+}
+
+TEST(MeshCodec, ColorsRoundTrip) {
+    TriMesh m = testSphere();
+    m.colors.resize(m.vertexCount());
+    for (std::size_t i = 0; i < m.vertexCount(); ++i)
+        m.colors[i] = {static_cast<float>(i % 7) / 7.0f, 0.5f,
+                       static_cast<float>(i % 3) / 3.0f};
+    const auto back = decodeMesh(encodeMesh(m));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_TRUE(back->hasColors());
+    for (std::size_t i = 0; i < m.vertexCount(); ++i)
+        EXPECT_LE((back->colors[i] - m.colors[i]).norm(), 0.06f);  // 5-bit channels
+}
+
+TEST(MeshCodec, ColorsSkippedWhenDisabled) {
+    TriMesh m = testSphere();
+    m.colors.assign(m.vertexCount(), geom::Vec3f{1, 0, 0});
+    MeshCodecOptions opt;
+    opt.encodeColors = false;
+    const auto back = decodeMesh(encodeMesh(m, opt));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->hasColors());
+}
+
+TEST(MeshCodec, EmptyMesh) {
+    const TriMesh empty;
+    const auto back = decodeMesh(encodeMesh(empty));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(MeshCodec, GarbageRejected) {
+    std::vector<std::uint8_t> garbage(100, 0x5A);
+    EXPECT_FALSE(decodeMesh(garbage).has_value());
+}
+
+TEST(MeshCodec, TruncatedStreamRejected) {
+    const auto data = encodeMesh(testSphere());
+    EXPECT_FALSE(decodeMesh(std::span(data).subspan(0, data.size() / 2)).has_value());
+}
+
+TEST(MeshCodec, DegenerateFlatMeshSurvives) {
+    // All vertices in a plane (zero extent on one axis).
+    TriMesh m;
+    m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+    m.triangles = {{0, 1, 2}, {1, 3, 2}};
+    const auto back = decodeMesh(encodeMesh(m));
+    ASSERT_TRUE(back.has_value());
+    for (std::size_t i = 0; i < m.vertexCount(); ++i)
+        EXPECT_LE((back->vertices[i] - m.vertices[i]).norm(), 1e-3f);
+}
+
+class MeshCodecBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshCodecBitSweep, ErrorMatchesBitDepth) {
+    const TriMesh m = testSphere();
+    MeshCodecOptions opt;
+    opt.positionBits = GetParam();
+    const auto back = decodeMesh(encodeMesh(m, opt));
+    ASSERT_TRUE(back.has_value());
+    const float bound = quantizationError(m, GetParam());
+    for (std::size_t i = 0; i < m.vertexCount(); i += 17)
+        EXPECT_LE((back->vertices[i] - m.vertices[i]).norm(), bound * 1.01f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, MeshCodecBitSweep, ::testing::Values(6, 8, 10, 12, 16));
+
+}  // namespace
+}  // namespace semholo::compress

@@ -1,0 +1,152 @@
+#include "semholo/compress/pointcloudcodec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "semholo/body/body_model.hpp"
+#include "semholo/mesh/kdtree.hpp"
+#include "semholo/mesh/sampling.hpp"
+
+namespace semholo::compress {
+namespace {
+
+using mesh::PointCloud;
+
+PointCloud randomCloud(std::size_t n, std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+    PointCloud pc;
+    for (std::size_t i = 0; i < n; ++i)
+        pc.addPoint({uni(rng), uni(rng), uni(rng)});
+    return pc;
+}
+
+TEST(PointCloudCodec, EmptyCloud) {
+    const auto back = decodePointCloud(encodePointCloud(PointCloud{}));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(PointCloudCodec, SinglePoint) {
+    PointCloud pc;
+    pc.addPoint({1.5f, -0.5f, 2.0f});
+    const auto back = decodePointCloud(encodePointCloud(pc));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), 1u);
+    // Degenerate extent: the point maps to the cell centre at the origin
+    // corner; error bounded by a cell.
+    EXPECT_LE((back->points[0] - pc.points[0]).norm(), 0.01f);
+}
+
+TEST(PointCloudCodec, RoundTripErrorBoundedByDepth) {
+    const PointCloud pc = randomCloud(5000, 3);
+    for (const int depth : {6, 8, 10}) {
+        PointCloudCodecOptions opt;
+        opt.depth = depth;
+        opt.encodeColors = false;
+        const auto back = decodePointCloud(encodePointCloud(pc, opt));
+        ASSERT_TRUE(back.has_value());
+        const float bound = pointCloudQuantizationError(pc, depth);
+        const mesh::KdTree tree(back->points);
+        for (std::size_t i = 0; i < pc.size(); i += 37) {
+            const auto hit = tree.nearest(pc.points[i]);
+            EXPECT_LE(std::sqrt(hit.distance2), bound * 1.01f)
+                << "depth " << depth;
+        }
+    }
+}
+
+TEST(PointCloudCodec, DeeperOctreeLessError) {
+    const PointCloud pc = randomCloud(2000, 7);
+    auto meanErr = [&](int depth) {
+        PointCloudCodecOptions opt;
+        opt.depth = depth;
+        const auto back = decodePointCloud(encodePointCloud(pc, opt));
+        const mesh::KdTree tree(back->points);
+        double err = 0.0;
+        for (const auto& p : pc.points)
+            err += std::sqrt(tree.nearest(p).distance2);
+        return err / static_cast<double>(pc.size());
+    };
+    EXPECT_LT(meanErr(10), meanErr(6) * 0.2);
+}
+
+TEST(PointCloudCodec, MergesCoincidentPoints) {
+    PointCloud pc;
+    for (int i = 0; i < 100; ++i) pc.addPoint({0.5f, 0.5f, 0.5f});
+    pc.addPoint({-1, -1, -1});
+    pc.addPoint({1, 1, 1});
+    const auto back = decodePointCloud(encodePointCloud(pc));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->size(), 3u);  // duplicates collapse into one leaf
+}
+
+TEST(PointCloudCodec, ColorsAveragedPerLeaf) {
+    PointCloud pc;
+    pc.addPoint({0.5f, 0.5f, 0.5f}, {1.0f, 0.0f, 0.0f});
+    pc.addPoint({0.5f, 0.5f, 0.5f}, {0.0f, 0.0f, 1.0f});
+    pc.addPoint({-1.0f, -1.0f, -1.0f}, {0.0f, 1.0f, 0.0f});
+    pc.addPoint({1.0f, 1.0f, 1.0f}, {1.0f, 1.0f, 1.0f});
+    const auto back = decodePointCloud(encodePointCloud(pc));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_TRUE(back->hasColors());
+    // Find the merged leaf and check the averaged purple.
+    bool found = false;
+    for (std::size_t i = 0; i < back->size(); ++i) {
+        if ((back->points[i] - geom::Vec3f{0.5f, 0.5f, 0.5f}).norm() < 0.02f) {
+            EXPECT_NEAR(back->colors[i].x, 0.5f, 0.05f);
+            EXPECT_NEAR(back->colors[i].z, 0.5f, 0.05f);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PointCloudCodec, CompressionBeatsRawOnSurfaceClouds) {
+    // Surface-sampled clouds (the capture pipeline's output) have strong
+    // octree coherence: expect clearly better than raw float storage.
+    const body::BodyModel model(body::ShapeParams{}, 40);
+    const PointCloud pc = mesh::sampleSurface(model.templateMesh(), 20000, 5);
+    PointCloudCodecOptions opt;
+    opt.depth = 9;
+    opt.encodeColors = false;
+    const auto data = encodePointCloud(pc, opt);
+    const double ratio =
+        static_cast<double>(pc.size() * sizeof(geom::Vec3f)) /
+        static_cast<double>(data.size());
+    EXPECT_GT(ratio, 8.0);
+    // And the decoded cloud stays on the body surface.
+    const auto back = decodePointCloud(data);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_GT(back->size(), 10000u);
+}
+
+TEST(PointCloudCodec, GarbageRejected) {
+    std::vector<std::uint8_t> garbage(64, 0x3C);
+    EXPECT_FALSE(decodePointCloud(garbage).has_value());
+}
+
+TEST(PointCloudCodec, TruncatedRejected) {
+    const auto data = encodePointCloud(randomCloud(500, 9));
+    EXPECT_FALSE(
+        decodePointCloud(std::span(data).subspan(0, data.size() / 3)).has_value());
+}
+
+class PointCloudDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PointCloudDepthSweep, RoundTripAtDepth) {
+    const PointCloud pc = randomCloud(1500, 21);
+    PointCloudCodecOptions opt;
+    opt.depth = GetParam();
+    const auto back = decodePointCloud(encodePointCloud(pc, opt));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_GT(back->size(), 0u);
+    EXPECT_LE(back->size(), pc.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PointCloudDepthSweep,
+                         ::testing::Values(1, 2, 4, 8, 12, 14));
+
+}  // namespace
+}  // namespace semholo::compress

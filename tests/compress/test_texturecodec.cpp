@@ -1,0 +1,101 @@
+#include "semholo/compress/texturecodec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "semholo/body/body_model.hpp"
+
+namespace semholo::compress {
+namespace {
+
+using geom::Vec3f;
+
+TEST(TextureCodec, RoundTripCount) {
+    std::vector<Vec3f> colors(100, Vec3f{0.5f, 0.25f, 0.75f});
+    const auto back = decodeColorBlocks(encodeColorBlocks(colors));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->size(), colors.size());
+}
+
+TEST(TextureCodec, ConstantColorNearlyExact) {
+    std::vector<Vec3f> colors(64, Vec3f{0.6f, 0.3f, 0.9f});
+    const auto back = decodeColorBlocks(encodeColorBlocks(colors));
+    ASSERT_TRUE(back.has_value());
+    for (const Vec3f& c : *back)
+        EXPECT_LE((c - colors[0]).norm(), 0.03f);  // 565 quantisation only
+}
+
+TEST(TextureCodec, GradientWellApproximated) {
+    std::vector<Vec3f> colors;
+    for (int i = 0; i < 160; ++i) {
+        const float t = static_cast<float>(i % 16) / 15.0f;
+        colors.push_back({t, t * 0.5f, 1.0f - t});
+    }
+    const auto back = decodeColorBlocks(encodeColorBlocks(colors));
+    ASSERT_TRUE(back.has_value());
+    double meanErr = 0.0;
+    for (std::size_t i = 0; i < colors.size(); ++i)
+        meanErr += (colors[i] - (*back)[i]).norm();
+    meanErr /= static_cast<double>(colors.size());
+    EXPECT_LT(meanErr, 0.12);
+}
+
+TEST(TextureCodec, CompressionRatioAbout12x) {
+    // 16 samples -> 8 bytes vs 192 raw bytes = 24x on float RGB
+    // (equivalently 6x vs 8-bit RGB). Header amortises on larger inputs.
+    std::vector<Vec3f> colors(16000, Vec3f{0.1f, 0.2f, 0.3f});
+    const auto data = encodeColorBlocks(colors);
+    EXPECT_GT(colorBlockRatio(colors.size(), data.size()), 20.0);
+}
+
+TEST(TextureCodec, PartialLastBlock) {
+    std::vector<Vec3f> colors(19, Vec3f{0.9f, 0.1f, 0.4f});
+    const auto back = decodeColorBlocks(encodeColorBlocks(colors));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->size(), 19u);
+}
+
+TEST(TextureCodec, EmptyInput) {
+    const auto back = decodeColorBlocks(encodeColorBlocks({}));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(TextureCodec, GarbageRejected) {
+    std::vector<std::uint8_t> garbage(40, 0x77);
+    EXPECT_FALSE(decodeColorBlocks(garbage).has_value());
+}
+
+TEST(TextureCodec, TruncatedRejected) {
+    std::vector<Vec3f> colors(64, Vec3f{0.5f, 0.5f, 0.5f});
+    const auto data = encodeColorBlocks(colors);
+    EXPECT_FALSE(
+        decodeColorBlocks(std::span(data).subspan(0, data.size() - 10)).has_value());
+}
+
+TEST(TextureCodec, GroundTruthAlbedoPreservesRegions) {
+    // Texture of the body template: skin vs shirt vs trousers must stay
+    // distinguishable after block compression.
+    std::vector<Vec3f> colors;
+    for (int i = 0; i < 64; ++i) colors.push_back(body::groundTruthAlbedo({0, 0.7f, 0.05f}));
+    for (int i = 0; i < 64; ++i) colors.push_back(body::groundTruthAlbedo({0, 0.2f, 0.05f}));
+    const auto back = decodeColorBlocks(encodeColorBlocks(colors));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_GT(((*back)[0] - (*back)[100]).norm(), 0.2f);
+}
+
+TEST(TextureCodec, RandomNoiseBoundedError) {
+    std::mt19937 rng(12);
+    std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+    std::vector<Vec3f> colors(320);
+    for (Vec3f& c : colors) c = {uni(rng), uni(rng), uni(rng)};
+    const auto back = decodeColorBlocks(encodeColorBlocks(colors));
+    ASSERT_TRUE(back.has_value());
+    // Lossy, but every sample stays within the unit colour cube diagonal.
+    for (std::size_t i = 0; i < colors.size(); ++i)
+        EXPECT_LE((colors[i] - (*back)[i]).norm(), 1.0f);
+}
+
+}  // namespace
+}  // namespace semholo::compress

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "semholo/core/session.hpp"
+
+namespace semholo::core {
+namespace {
+
+const body::BodyModel& sharedModel() {
+    static const body::BodyModel model{body::ShapeParams{}, 40};
+    return model;
+}
+
+std::vector<std::unique_ptr<SemanticChannel>> makeKeypointFleet(std::size_t n,
+                                                                int resolution = 16) {
+    std::vector<std::unique_ptr<SemanticChannel>> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        KeypointChannelOptions opt;
+        opt.reconResolution = resolution;
+        out.push_back(makeKeypointChannel(opt));
+    }
+    return out;
+}
+
+std::vector<SemanticChannel*> raw(
+    const std::vector<std::unique_ptr<SemanticChannel>>& owned) {
+    std::vector<SemanticChannel*> out;
+    for (const auto& c : owned) out.push_back(c.get());
+    return out;
+}
+
+SessionConfig baseConfig(std::size_t frames = 10) {
+    SessionConfig cfg;
+    cfg.frames = frames;
+    cfg.link.bandwidth = net::BandwidthTrace::constant(25e6);
+    cfg.link.jitterStddevS = 0.0;
+    cfg.dropWhenBusy = false;
+    return cfg;
+}
+
+TEST(MultiUser, EmptyChannelListSafe) {
+    const auto stats = runMultiUserSession({}, sharedModel(), baseConfig());
+    EXPECT_TRUE(stats.perUser.empty());
+    EXPECT_DOUBLE_EQ(stats.aggregateMbps, 0.0);
+}
+
+TEST(MultiUser, SingleUserMatchesSoloSessionScale) {
+    auto fleet = makeKeypointFleet(1);
+    const auto multi = runMultiUserSession(raw(fleet), sharedModel(), baseConfig());
+    ASSERT_EQ(multi.perUser.size(), 1u);
+    const auto& s = multi.perUser[0];
+    EXPECT_EQ(s.deliveredFrames, 10u);
+    EXPECT_NEAR(multi.aggregateMbps, s.bandwidthMbps, 1e-9);
+    EXPECT_GT(s.meanBytesPerFrame, 100.0);
+}
+
+TEST(MultiUser, AggregateBandwidthScalesWithUsers) {
+    auto two = makeKeypointFleet(2);
+    auto four = makeKeypointFleet(4);
+    const auto s2 = runMultiUserSession(raw(two), sharedModel(), baseConfig());
+    const auto s4 = runMultiUserSession(raw(four), sharedModel(), baseConfig());
+    EXPECT_NEAR(s4.aggregateMbps, 2.0 * s2.aggregateMbps, 0.3 * s2.aggregateMbps);
+}
+
+TEST(MultiUser, DistinctMotionSeedsPerUser) {
+    auto fleet = makeKeypointFleet(2);
+    const auto stats = runMultiUserSession(raw(fleet), sharedModel(), baseConfig());
+    // Different seeds -> different poses -> (slightly) different
+    // compressed payload sizes on at least one frame.
+    bool differs = false;
+    for (std::size_t f = 0; f < stats.perUser[0].frames.size(); ++f)
+        if (stats.perUser[0].frames[f].bytes != stats.perUser[1].frames[f].bytes)
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(MultiUser, SharedBottleneckCongestsHeavyChannels) {
+    // Four raw-mesh users through 25 Mbps: latency must blow up relative
+    // to a single user.
+    auto makeMeshFleet = [](std::size_t n) {
+        std::vector<std::unique_ptr<SemanticChannel>> out;
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(makeTraditionalChannel({false, false}));
+        return out;
+    };
+    auto one = makeMeshFleet(1);
+    auto four = makeMeshFleet(4);
+    SessionConfig cfg = baseConfig(6);
+    cfg.link.queueCapacityBytes = 8 * 1024 * 1024;
+    const auto s1 = runMultiUserSession(raw(one), sharedModel(), cfg);
+    const auto s4 = runMultiUserSession(raw(four), sharedModel(), cfg);
+    EXPECT_GT(s4.meanE2eMs, s1.meanE2eMs * 2.0);
+}
+
+TEST(MultiUser, KeypointFleetMeetsLatencyBudget) {
+    auto fleet = makeKeypointFleet(6);
+    const auto stats = runMultiUserSession(raw(fleet), sharedModel(), baseConfig());
+    EXPECT_EQ(stats.usersWithinLatency(200.0), 6u);
+    EXPECT_LT(stats.aggregateMbps, 3.0);
+}
+
+}  // namespace
+}  // namespace semholo::core

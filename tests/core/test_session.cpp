@@ -1,0 +1,188 @@
+#include "semholo/core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/core/qoe.hpp"
+
+namespace semholo::core {
+namespace {
+
+const body::BodyModel& sharedModel() {
+    static const body::BodyModel model{body::ShapeParams{}, 56};
+    return model;
+}
+
+SessionConfig fastConfig(std::size_t frames = 20) {
+    SessionConfig cfg;
+    cfg.frames = frames;
+    cfg.link.bandwidth = net::BandwidthTrace::constant(25e6);
+    cfg.link.jitterStddevS = 0.0;
+    // Tests assert per-frame accounting; live drop behaviour has its own
+    // dedicated test below.
+    cfg.dropWhenBusy = false;
+    return cfg;
+}
+
+TEST(Session, KeypointSessionDeliversAllFrames) {
+    KeypointChannelOptions opt;
+    opt.reconResolution = 24;
+    auto channel = makeKeypointChannel(opt);
+    const auto stats = runSession(*channel, sharedModel(), fastConfig());
+    EXPECT_EQ(stats.frames.size(), 20u);
+    EXPECT_EQ(stats.deliveredFrames, 20u);
+    EXPECT_EQ(stats.decodedFrames, 20u);
+    EXPECT_GT(stats.meanBytesPerFrame, 100.0);
+    EXPECT_GT(stats.meanE2eMs, 0.0);
+    EXPECT_GT(stats.achievableFps, 0.0);
+}
+
+TEST(Session, KeypointBandwidthMatchesTable2) {
+    // Table 2: compressed keypoint stream ~0.30 Mbps at 30 FPS.
+    KeypointChannelOptions opt;
+    opt.reconResolution = 16;
+    auto channel = makeKeypointChannel(opt);
+    const auto stats = runSession(*channel, sharedModel(), fastConfig(30));
+    EXPECT_LT(stats.bandwidthMbps, 0.5);
+    EXPECT_GT(stats.bandwidthMbps, 0.1);
+}
+
+TEST(Session, TraditionalBandwidthMatchesTable2) {
+    // Raw mesh ~95 Mbps at 30 FPS (we accept the same order of magnitude).
+    TraditionalOptions opt;
+    opt.compress = false;
+    auto channel = makeTraditionalChannel(opt);
+    SessionConfig cfg = fastConfig(10);
+    cfg.link.bandwidth = net::BandwidthTrace::constant(1e9);  // uncongested
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+    EXPECT_GT(stats.bandwidthMbps, 40.0);
+}
+
+TEST(Session, QualityEvaluationSampled) {
+    KeypointChannelOptions opt;
+    opt.reconResolution = 32;
+    auto channel = makeKeypointChannel(opt);
+    SessionConfig cfg = fastConfig(10);
+    cfg.qualityEvalInterval = 5;
+    cfg.qualitySamples = 2000;
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+    EXPECT_FALSE(std::isnan(stats.meanChamfer));
+    EXPECT_GT(stats.meanChamfer, 0.0);
+    EXPECT_LT(stats.meanChamfer, 0.1);
+    std::size_t evaluated = 0;
+    for (const auto& f : stats.frames)
+        if (!std::isnan(f.chamfer)) ++evaluated;
+    EXPECT_EQ(evaluated, 2u);
+}
+
+TEST(Session, NarrowLinkStallsTraditionalNotKeypoint) {
+    SessionConfig cfg = fastConfig(15);
+    cfg.link.bandwidth = net::BandwidthTrace::constant(5e6);  // 5 Mbps
+
+    auto keypoint = makeKeypointChannel({.reconResolution = 16});
+    const auto kp = runSession(*keypoint, sharedModel(), cfg);
+    auto traditional = makeTraditionalChannel({false, false});
+    const auto trad = runSession(*traditional, sharedModel(), cfg);
+
+    EXPECT_LT(kp.meanTransferMs, 50.0);
+    // Raw mesh frames each need ~0.6 s of a 5 Mbps link: queues explode.
+    EXPECT_GT(trad.meanTransferMs, 500.0);
+    EXPECT_GT(trad.p95E2eMs, kp.p95E2eMs * 10.0);
+}
+
+TEST(Session, LossyLinkStillDeliversWithArq) {
+    SessionConfig cfg = fastConfig(15);
+    cfg.link.lossRate = 0.05;
+    auto channel = makeKeypointChannel({.reconResolution = 16});
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+    EXPECT_EQ(stats.deliveredFrames, 15u);
+}
+
+TEST(Session, DropWhenBusySkipsFramesForSlowStages) {
+    // A channel whose reconstruction is far slower than the frame
+    // interval must shed frames in live mode — the paper's <1 FPS
+    // reconstruction cannot keep up with a 30 FPS capture.
+    TextChannelOptions opt;
+    opt.reconResolution = 64;  // slow on purpose
+    auto channel = makeTextChannel(opt);
+    SessionConfig cfg = fastConfig(12);
+    cfg.dropWhenBusy = true;
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+    EXPECT_GT(stats.droppedSenderFrames + stats.droppedReceiverFrames, 0u);
+    EXPECT_LT(stats.decodedFrames, 12u);
+    // Processed frames still have bounded end-to-end latency.
+    for (const auto& f : stats.frames) {
+        if (!f.decoded) continue;
+        EXPECT_LT(f.e2eMs, 3000.0);
+    }
+}
+
+TEST(Session, QueueingModeProcessesEveryFrame) {
+    TextChannelOptions opt;
+    opt.reconResolution = 32;
+    opt.reconstructMesh = false;
+    auto channel = makeTextChannel(opt);
+    SessionConfig cfg = fastConfig(8);
+    cfg.dropWhenBusy = false;
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+    EXPECT_EQ(stats.droppedSenderFrames, 0u);
+    EXPECT_EQ(stats.deliveredFrames, 8u);
+}
+
+TEST(QoE, PerfectSessionScoresHigh) {
+    SessionStats stats;
+    stats.frames.resize(30);
+    stats.deliveredFrames = 30;
+    stats.meanE2eMs = 40.0;
+    stats.achievableFps = 60.0;
+    stats.meanChamfer = 0.003;
+    const auto qoe = computeQoE(stats);
+    EXPECT_GT(qoe.mos, 4.0);
+    EXPECT_NEAR(qoe.qualityTerm, 1.0, 1e-6);
+    EXPECT_NEAR(qoe.latencyTerm, 1.0, 1e-6);
+}
+
+TEST(QoE, LatencyDegradesScore) {
+    SessionStats fast, slow;
+    fast.frames.resize(10);
+    slow.frames.resize(10);
+    fast.deliveredFrames = slow.deliveredFrames = 10;
+    fast.achievableFps = slow.achievableFps = 30.0;
+    fast.meanChamfer = slow.meanChamfer = 0.01;
+    fast.meanE2eMs = 50.0;
+    slow.meanE2eMs = 800.0;
+    EXPECT_GT(computeQoE(fast).mos, computeQoE(slow).mos + 0.5);
+}
+
+TEST(QoE, LowFpsPenalized) {
+    SessionStats smooth, choppy;
+    smooth.frames.resize(10);
+    choppy.frames.resize(10);
+    smooth.deliveredFrames = choppy.deliveredFrames = 10;
+    smooth.meanE2eMs = choppy.meanE2eMs = 50.0;
+    smooth.meanChamfer = choppy.meanChamfer = 0.01;
+    smooth.achievableFps = 30.0;
+    choppy.achievableFps = 1.0;  // the paper's <1 FPS reconstruction
+    EXPECT_GT(computeQoE(smooth).mos, computeQoE(choppy).mos);
+}
+
+TEST(QoE, UndeliveredFramesCollapseScore) {
+    SessionStats stats;
+    stats.frames.resize(10);
+    stats.deliveredFrames = 0;
+    stats.meanE2eMs = 50.0;
+    stats.achievableFps = 30.0;
+    EXPECT_DOUBLE_EQ(computeQoE(stats).mos, 0.0);
+}
+
+TEST(QoE, NeutralQualityWhenUnevaluated) {
+    SessionStats stats;
+    stats.frames.resize(5);
+    stats.deliveredFrames = 5;
+    stats.meanE2eMs = 50.0;
+    stats.achievableFps = 30.0;
+    const auto qoe = computeQoE(stats);
+    EXPECT_NEAR(qoe.qualityTerm, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace semholo::core

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/core/channel.hpp"
+#include "semholo/mesh/metrics.hpp"
+
+namespace semholo::core {
+namespace {
+
+const body::BodyModel& sharedModel() {
+    static const body::BodyModel model{body::ShapeParams{}, 40};
+    return model;
+}
+
+FrameContext frameFor(body::MotionKind kind, double t) {
+    FrameContext ctx;
+    ctx.pose = body::MotionGenerator(kind, sharedModel().shape()).poseAt(t);
+    ctx.pose.frameId = 3;
+    ctx.model = &sharedModel();
+    return ctx;
+}
+
+VectorChannelOptions fastOptions() {
+    VectorChannelOptions opt;
+    opt.latentDim = 24;
+    opt.trainingFrames = 30;
+    opt.trainingMotion = body::MotionKind::Talk;
+    return opt;
+}
+
+TEST(VectorChannel, PayloadIsLatentSized) {
+    // The payload is the latent vector (2 bytes per kept component plus
+    // a 4-byte frame id); the trained basis keeps at most latentDim and
+    // at least the handful of components the training motion spans.
+    auto channel = makeVectorChannel(sharedModel(), fastOptions());
+    const auto encoded = channel->encode(frameFor(body::MotionKind::Talk, 0.4));
+    EXPECT_LE(encoded.bytes(), 4u + 24u * 2u);
+    EXPECT_GE(encoded.bytes(), 4u + 4u * 2u);
+}
+
+TEST(VectorChannel, InDistributionReconstructionIsReasonable) {
+    auto channel = makeVectorChannel(sharedModel(), fastOptions());
+    const FrameContext ctx = frameFor(body::MotionKind::Talk, 0.5);
+    const auto decoded = channel->decode(channel->encode(ctx));
+    ASSERT_TRUE(decoded.valid);
+    ASSERT_EQ(decoded.mesh.vertexCount(), sharedModel().templateMesh().vertexCount());
+    const auto err = mesh::compareMeshes(ctx.groundTruth(), decoded.mesh, 5000);
+    // The basis saw this motion family: centimetre-class error.
+    EXPECT_LT(err.chamfer, 0.02);
+}
+
+TEST(VectorChannel, OutOfDistributionDegradesBadly) {
+    // Section 2.2: vector semantics "yields poor visual quality" — the
+    // linear basis fitted on talking cannot express a raised arm.
+    auto channel = makeVectorChannel(sharedModel(), fastOptions());
+    const FrameContext inDist = frameFor(body::MotionKind::Talk, 0.5);
+    const FrameContext outDist = frameFor(body::MotionKind::Wave, 0.5);
+    const auto inErr = mesh::compareMeshes(
+        inDist.groundTruth(), channel->decode(channel->encode(inDist)).mesh, 4000);
+    const auto outErr = mesh::compareMeshes(
+        outDist.groundTruth(), channel->decode(channel->encode(outDist)).mesh, 4000);
+    // The failure is localised (the raised arm), so the worst-case error
+    // explodes while the body-averaged Chamfer still worsens measurably.
+    EXPECT_GT(outErr.hausdorff, inErr.hausdorff * 2.0);
+    EXPECT_GT(outErr.chamfer, inErr.chamfer * 1.2);
+}
+
+TEST(VectorChannel, MoreComponentsLessError) {
+    VectorChannelOptions small = fastOptions(), large = fastOptions();
+    small.latentDim = 4;
+    large.latentDim = 24;
+    auto chSmall = makeVectorChannel(sharedModel(), small);
+    auto chLarge = makeVectorChannel(sharedModel(), large);
+    const FrameContext ctx = frameFor(body::MotionKind::Talk, 0.8);
+    const auto errSmall =
+        mesh::compareMeshes(ctx.groundTruth(),
+                            chSmall->decode(chSmall->encode(ctx)).mesh, 4000)
+            .chamfer;
+    const auto errLarge =
+        mesh::compareMeshes(ctx.groundTruth(),
+                            chLarge->decode(chLarge->encode(ctx)).mesh, 4000)
+            .chamfer;
+    EXPECT_LT(errLarge, errSmall);
+}
+
+TEST(VectorChannel, WrongSubjectRejected) {
+    auto channel = makeVectorChannel(sharedModel(), fastOptions());
+    const body::BodyModel other{body::ShapeParams{}, 24};  // different topology
+    FrameContext ctx;
+    ctx.pose = body::Pose{};
+    ctx.model = &other;
+    const auto encoded = channel->encode(ctx);
+    EXPECT_TRUE(encoded.data.empty());
+    EXPECT_FALSE(channel->decode(encoded).valid);
+}
+
+TEST(VectorChannel, CorruptPayloadRejected) {
+    auto channel = makeVectorChannel(sharedModel(), fastOptions());
+    EncodedFrame bogus;
+    bogus.data.assign(7, 0x11);
+    EXPECT_FALSE(channel->decode(bogus).valid);
+}
+
+TEST(FoveatedChannel, SaccadicOmissionShrinksPayload) {
+    FoveatedOptions opt;
+    opt.fovealRadiusDeg = 12.0;
+    auto channel = makeFoveatedChannel(opt);
+    FrameContext ctx = frameFor(body::MotionKind::Talk, 0.4);
+    ctx.viewerHead = {geom::Quat::identity(), {0.0f, 0.2f, -2.5f}};
+
+    ctx.viewerGazeState = gaze::EyeMovement::Fixation;
+    const auto fixated = channel->encode(ctx);
+    ctx.viewerGazeState = gaze::EyeMovement::Saccade;
+    ctx.viewerPredictedLandingDeg = {0.0f, 0.0f};
+    const auto inSaccade = channel->encode(ctx);
+    EXPECT_LT(inSaccade.bytes(), fixated.bytes());
+
+    // Disabling omission removes the saving.
+    opt.saccadicOmission = false;
+    auto noOmission = makeFoveatedChannel(opt);
+    const auto plain = noOmission->encode(ctx);
+    EXPECT_GT(plain.bytes(), inSaccade.bytes());
+}
+
+TEST(FoveatedChannel, SaccadePrefetchAimsAtLanding) {
+    // During a saccade towards the head, the reduced foveal stream must
+    // cover the *landing* region, not the mid-flight gaze direction.
+    FoveatedOptions opt;
+    opt.fovealRadiusDeg = 10.0;
+    auto channel = makeFoveatedChannel(opt);
+    FrameContext ctx = frameFor(body::MotionKind::Idle, 0.0);
+    ctx.viewerHead = {geom::Quat::identity(), {0.0f, 0.6f, -2.0f}};
+    ctx.viewerGazeState = gaze::EyeMovement::Saccade;
+    ctx.viewerGazeDeg = {25.0f, -10.0f};            // mid-flight, off-body
+    ctx.viewerPredictedLandingDeg = {0.0f, 0.0f};   // landing on the head
+    const auto decoded = channel->decode(channel->encode(ctx));
+    ASSERT_TRUE(decoded.valid);
+    // Head-region vertices present at full-mesh density: compare with a
+    // no-fovea baseline.
+    FoveatedOptions none = opt;
+    none.fovealRadiusDeg = 0.0;
+    auto plain = makeFoveatedChannel(none);
+    const auto plainDecoded = plain->decode(plain->encode(ctx));
+    auto headVerts = [](const mesh::TriMesh& m) {
+        std::size_t n = 0;
+        for (const auto& v : m.vertices)
+            if (v.y > 0.5f) ++n;
+        return n;
+    };
+    EXPECT_GT(headVerts(decoded.mesh), headVerts(plainDecoded.mesh));
+}
+
+}  // namespace
+}  // namespace semholo::core

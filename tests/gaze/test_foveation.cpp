@@ -1,0 +1,101 @@
+#include "semholo/gaze/foveation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::gaze {
+namespace {
+
+using geom::RigidTransform;
+using geom::Vec3f;
+
+TEST(GazeRay, StraightAheadIsPlusZ) {
+    const geom::Ray ray = gazeRay(RigidTransform::identity(), {0, 0});
+    EXPECT_NEAR(ray.direction.z, 1.0f, 1e-5f);
+    EXPECT_NEAR(ray.direction.x, 0.0f, 1e-5f);
+}
+
+TEST(GazeRay, AzimuthRotatesRight) {
+    const geom::Ray ray = gazeRay(RigidTransform::identity(), {90, 0});
+    EXPECT_NEAR(ray.direction.x, 1.0f, 1e-5f);
+    EXPECT_NEAR(ray.direction.z, 0.0f, 1e-5f);
+}
+
+TEST(GazeRay, ElevationLooksUp) {
+    const geom::Ray ray = gazeRay(RigidTransform::identity(), {0, 45});
+    EXPECT_GT(ray.direction.y, 0.5f);
+}
+
+TEST(GazeRay, HeadPoseApplied) {
+    RigidTransform head;
+    head.translation = {1, 2, 3};
+    const geom::Ray ray = gazeRay(head, {0, 0});
+    EXPECT_EQ(ray.origin, (Vec3f{1, 2, 3}));
+}
+
+TEST(Foveation, PartitionSplitsByEccentricity) {
+    // Viewer at -5z looking at a sphere at origin: only the part of the
+    // sphere within the foveal cone is foveal.
+    const auto sphere = mesh::makeUVSphere(0.5f, 24, 48);
+    RigidTransform head;
+    head.translation = {0, 0, -5};
+    const geom::Ray gaze = gazeRay(head, {0, 0});
+    FoveationConfig cfg;
+    cfg.fovealRadiusDeg = 4.0;
+    const auto part = partitionMesh(sphere, gaze, cfg);
+    EXPECT_GT(part.fovealVertices.size(), 0u);
+    EXPECT_GT(part.peripheralVertices.size(), 0u);
+    EXPECT_EQ(part.fovealVertices.size() + part.peripheralVertices.size(),
+              sphere.vertexCount());
+    // tan(4 deg) * 5 =~ 0.35 lateral radius: all foveal vertices near axis.
+    for (const auto vi : part.fovealVertices) {
+        const Vec3f& v = sphere.vertices[vi];
+        EXPECT_LT(std::hypot(v.x, v.y), 0.4f);
+    }
+}
+
+TEST(Foveation, WiderConeMoreFoveal) {
+    const auto sphere = mesh::makeUVSphere(0.5f, 16, 32);
+    RigidTransform head;
+    head.translation = {0, 0, -5};
+    const geom::Ray gaze = gazeRay(head, {0, 0});
+    FoveationConfig narrow, wide;
+    narrow.fovealRadiusDeg = 3.0;
+    wide.fovealRadiusDeg = 12.0;
+    EXPECT_GT(partitionMesh(sphere, gaze, wide).fovealFraction,
+              partitionMesh(sphere, gaze, narrow).fovealFraction);
+}
+
+TEST(Foveation, GazeDirectionMatters) {
+    const auto sphere = mesh::makeUVSphere(0.5f, 16, 32);
+    RigidTransform head;
+    head.translation = {0, 0, -5};
+    FoveationConfig cfg;
+    cfg.fovealRadiusDeg = 5.0;
+    // Looking 30 degrees off to the side misses the sphere entirely.
+    const auto off = partitionMesh(sphere, gazeRay(head, {30, 0}), cfg);
+    EXPECT_EQ(off.fovealVertices.size(), 0u);
+}
+
+TEST(Foveation, ExtractFovealMeshConsistent) {
+    const auto sphere = mesh::makeUVSphere(0.5f, 24, 48);
+    RigidTransform head;
+    head.translation = {0, 0, -5};
+    const auto part = partitionMesh(sphere, gazeRay(head, {0, 0}), {});
+    const auto sub = extractFovealMesh(sphere, part);
+    EXPECT_EQ(sub.vertexCount(), part.fovealVertices.size());
+    EXPECT_EQ(sub.triangleCount(), part.fovealTriangles.size());
+    for (const auto& t : sub.triangles) {
+        EXPECT_LT(t.a, sub.vertexCount());
+        EXPECT_LT(t.b, sub.vertexCount());
+        EXPECT_LT(t.c, sub.vertexCount());
+    }
+}
+
+TEST(Foveation, EmptyMeshSafe) {
+    const auto part = partitionMesh(mesh::TriMesh{}, geom::Ray{{0, 0, 0}, {0, 0, 1}});
+    EXPECT_EQ(part.fovealVertices.size(), 0u);
+    EXPECT_DOUBLE_EQ(part.fovealFraction, 0.0);
+}
+
+}  // namespace
+}  // namespace semholo::gaze

@@ -1,0 +1,109 @@
+#include "semholo/geometry/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace semholo::geom {
+namespace {
+
+TEST(CameraIntrinsics, ProjectUnprojectRoundTrip) {
+    const CameraIntrinsics k = CameraIntrinsics::fromFov(640, 480, 1.0f);
+    const Vec3f p{0.3f, -0.2f, 2.5f};
+    Vec2f pix;
+    ASSERT_TRUE(k.project(p, pix));
+    const Vec3f back = k.unproject(pix, p.z);
+    EXPECT_NEAR(back.x, p.x, 1e-4f);
+    EXPECT_NEAR(back.y, p.y, 1e-4f);
+    EXPECT_NEAR(back.z, p.z, 1e-4f);
+}
+
+TEST(CameraIntrinsics, BehindCameraRejected) {
+    const CameraIntrinsics k;
+    Vec2f pix;
+    EXPECT_FALSE(k.project({0, 0, -1.0f}, pix));
+    EXPECT_FALSE(k.project({0, 0, 0.0f}, pix));
+}
+
+TEST(CameraIntrinsics, PrincipalPointProjectsToCenter) {
+    const CameraIntrinsics k = CameraIntrinsics::fromFov(640, 480, 1.2f);
+    Vec2f pix;
+    ASSERT_TRUE(k.project({0, 0, 1.0f}, pix));
+    EXPECT_NEAR(pix.x, 320.0f, 1e-4f);
+    EXPECT_NEAR(pix.y, 240.0f, 1e-4f);
+}
+
+TEST(CameraIntrinsics, FovMatchesGeometry) {
+    const float fov = 1.0f;
+    const CameraIntrinsics k = CameraIntrinsics::fromFov(640, 480, fov);
+    // A point at the top edge of the image should subtend fov/2.
+    const Vec3f dir = k.unproject({320.0f, 0.0f}, 1.0f);
+    const float angle = std::atan2(std::fabs(dir.y), dir.z);
+    EXPECT_NEAR(angle, fov * 0.5f, 1e-4f);
+}
+
+TEST(CameraIntrinsics, PixelRayIsNormalizedAndForward) {
+    const CameraIntrinsics k;
+    const Ray r = k.pixelRay({100.0f, 200.0f});
+    EXPECT_NEAR(r.direction.norm(), 1.0f, 1e-5f);
+    EXPECT_GT(r.direction.z, 0.0f);
+}
+
+TEST(CameraIntrinsics, InBounds) {
+    const CameraIntrinsics k = CameraIntrinsics::fromFov(640, 480, 1.0f);
+    EXPECT_TRUE(k.inBounds({0, 0}));
+    EXPECT_TRUE(k.inBounds({639.5f, 479.5f}));
+    EXPECT_FALSE(k.inBounds({640, 100}));
+    EXPECT_FALSE(k.inBounds({-1, 100}));
+}
+
+TEST(Camera, LookAtSeesTargetAtImageCenter) {
+    const CameraIntrinsics k = CameraIntrinsics::fromFov(640, 480, 1.0f);
+    const Vec3f eye{2, 1, -3};
+    const Vec3f target{0, 1, 0};
+    const Camera cam = Camera::lookAt(eye, target, {0, 1, 0}, k);
+    Vec2f pix;
+    float depth;
+    ASSERT_TRUE(cam.projectWorld(target, pix, depth));
+    EXPECT_NEAR(pix.x, k.cx, 1e-2f);
+    EXPECT_NEAR(pix.y, k.cy, 1e-2f);
+    EXPECT_NEAR(depth, (target - eye).norm(), 1e-4f);
+}
+
+TEST(Camera, WorldCameraRoundTrip) {
+    const Camera cam = Camera::lookAt({1, 2, 3}, {0, 0, 0}, {0, 1, 0},
+                                      CameraIntrinsics::fromFov(320, 240, 1.0f));
+    const Vec3f p{0.4f, -0.6f, 0.9f};
+    const Vec3f back = cam.cameraToWorld(cam.worldToCamera(p));
+    EXPECT_NEAR(back.x, p.x, 1e-4f);
+    EXPECT_NEAR(back.y, p.y, 1e-4f);
+    EXPECT_NEAR(back.z, p.z, 1e-4f);
+}
+
+TEST(Camera, PixelRayWorldPassesThroughProjectedPoint) {
+    const Camera cam = Camera::lookAt({0, 0, -5}, {0, 0, 0}, {0, 1, 0},
+                                      CameraIntrinsics::fromFov(640, 480, 1.0f));
+    const Vec3f p{0.5f, 0.3f, 1.0f};
+    Vec2f pix;
+    float depth;
+    ASSERT_TRUE(cam.projectWorld(p, pix, depth));
+    const Ray r = cam.pixelRayWorld(pix);
+    // The point should lie on the ray.
+    const Vec3f onRay = r.at((p - r.origin).dot(r.direction));
+    EXPECT_NEAR((onRay - p).norm(), 0.0f, 1e-3f);
+}
+
+TEST(Camera, ImageYAxisPointsDown) {
+    // A point above the target must land in the upper half of the image
+    // (smaller y pixel coordinate).
+    const Camera cam = Camera::lookAt({0, 0, -5}, {0, 0, 0}, {0, 1, 0},
+                                      CameraIntrinsics::fromFov(640, 480, 1.0f));
+    Vec2f above, below;
+    float d;
+    ASSERT_TRUE(cam.projectWorld({0, 0.5f, 0}, above, d));
+    ASSERT_TRUE(cam.projectWorld({0, -0.5f, 0}, below, d));
+    EXPECT_LT(above.y, below.y);
+}
+
+}  // namespace
+}  // namespace semholo::geom

@@ -1,0 +1,101 @@
+#include "semholo/geometry/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::geom {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrix) {
+    const std::vector<double> m{3.0, 0.0, 0.0,  //
+                                0.0, 1.0, 0.0,  //
+                                0.0, 0.0, 2.0};
+    const auto eig = jacobiEigenSymmetric(m, 3);
+    ASSERT_EQ(eig.values.size(), 3u);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+    // Leading eigenvector is +-e_x.
+    EXPECT_NEAR(std::fabs(eig.vector(0)[0]), 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, Known2x2) {
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    const std::vector<double> m{2.0, 1.0, 1.0, 2.0};
+    const auto eig = jacobiEigenSymmetric(m, 2);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+    // Eigenvector of 3 is (1,1)/sqrt(2).
+    EXPECT_NEAR(std::fabs(eig.vector(0)[0]), std::sqrt(0.5), 1e-8);
+    EXPECT_NEAR(std::fabs(eig.vector(0)[1]), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsRandomSymmetricMatrix) {
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> uni(-1.0, 1.0);
+    const std::size_t n = 12;
+    std::vector<double> m(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) m[i * n + j] = m[j * n + i] = uni(rng);
+
+    const auto eig = jacobiEigenSymmetric(m, n);
+    // A == sum_k lambda_k v_k v_k^T.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double rebuilt = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                rebuilt += eig.values[k] * eig.vector(k)[i] * eig.vector(k)[j];
+            EXPECT_NEAR(rebuilt, m[i * n + j], 1e-8);
+        }
+    }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> uni(-2.0, 2.0);
+    const std::size_t n = 20;
+    std::vector<double> m(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) m[i * n + j] = m[j * n + i] = uni(rng);
+    const auto eig = jacobiEigenSymmetric(m, n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a; b < n; ++b) {
+            double dot = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                dot += eig.vector(a)[i] * eig.vector(b)[i];
+            EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(JacobiEigen, PsdGramMatrixNonNegative) {
+    // Gram matrices (the PCA use case) must yield non-negative spectra.
+    std::mt19937 rng(13);
+    std::normal_distribution<double> g(0.0, 1.0);
+    const std::size_t samples = 6, dim = 40;
+    std::vector<std::vector<double>> x(samples, std::vector<double>(dim));
+    for (auto& row : x)
+        for (double& v : row) v = g(rng);
+    std::vector<double> gram(samples * samples);
+    for (std::size_t i = 0; i < samples; ++i)
+        for (std::size_t j = 0; j < samples; ++j) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) dot += x[i][d] * x[j][d];
+            gram[i * samples + j] = dot;
+        }
+    const auto eig = jacobiEigenSymmetric(gram, samples);
+    for (const double v : eig.values) EXPECT_GT(v, -1e-8);
+    // Descending order.
+    for (std::size_t k = 1; k < eig.values.size(); ++k)
+        EXPECT_GE(eig.values[k - 1], eig.values[k] - 1e-12);
+}
+
+TEST(JacobiEigen, EmptyAndUndersizedInputs) {
+    EXPECT_TRUE(jacobiEigenSymmetric({}, 0).values.empty());
+    EXPECT_TRUE(jacobiEigenSymmetric({1.0}, 2).values.empty());  // too small
+}
+
+}  // namespace
+}  // namespace semholo::geom

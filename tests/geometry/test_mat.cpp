@@ -1,0 +1,135 @@
+#include "semholo/geometry/mat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::geom {
+namespace {
+
+void expectNear(const Mat3& a, const Mat3& b, float tol = 1e-5f) {
+    for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(a.m[i], b.m[i], tol) << "index " << i;
+}
+
+void expectNear(const Mat4& a, const Mat4& b, float tol = 1e-5f) {
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(a.m[i], b.m[i], tol) << "index " << i;
+}
+
+TEST(Mat3, IdentityIsNeutral) {
+    const Mat3 i = Mat3::identity();
+    const Vec3f v{1, -2, 3};
+    EXPECT_EQ(i * v, v);
+    expectNear(i * i, i);
+}
+
+TEST(Mat3, RotationZRotatesXToY) {
+    const Mat3 r = Mat3::rotationZ(static_cast<float>(M_PI) / 2.0f);
+    const Vec3f v = r * Vec3f{1, 0, 0};
+    EXPECT_NEAR(v.x, 0.0f, 1e-6f);
+    EXPECT_NEAR(v.y, 1.0f, 1e-6f);
+}
+
+TEST(Mat3, AxisAngleMatchesEulerRotations) {
+    const float angle = 0.7f;
+    expectNear(Mat3::fromAxisAngle({angle, 0, 0}), Mat3::rotationX(angle));
+    expectNear(Mat3::fromAxisAngle({0, angle, 0}), Mat3::rotationY(angle));
+    expectNear(Mat3::fromAxisAngle({0, 0, angle}), Mat3::rotationZ(angle));
+}
+
+TEST(Mat3, AxisAngleSmallAngleStable) {
+    const Mat3 r = Mat3::fromAxisAngle({1e-10f, 0, 0});
+    expectNear(r, Mat3::identity(), 1e-6f);
+}
+
+TEST(Mat3, RotationsAreOrthonormal) {
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<float> uni(-3.0f, 3.0f);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Mat3 r = Mat3::fromAxisAngle({uni(rng), uni(rng), uni(rng)});
+        expectNear(r * r.transposed(), Mat3::identity(), 1e-5f);
+        EXPECT_NEAR(r.determinant(), 1.0f, 1e-5f);
+    }
+}
+
+TEST(Mat3, InverseTimesSelfIsIdentity) {
+    Mat3 m;
+    m(0, 0) = 2;
+    m(0, 1) = 1;
+    m(1, 1) = 3;
+    m(2, 0) = -1;
+    m(2, 2) = 4;
+    expectNear(m * m.inverse(), Mat3::identity(), 1e-5f);
+}
+
+TEST(Mat3, SingularInverseReturnsIdentity) {
+    const Mat3 z = Mat3::zero();
+    expectNear(z.inverse(), Mat3::identity());
+}
+
+TEST(Mat3, SkewReproducesCrossProduct) {
+    const Vec3f v{1, 2, 3}, w{-4, 0, 2};
+    const Vec3f viaMatrix = Mat3::skew(v) * w;
+    const Vec3f direct = v.cross(w);
+    EXPECT_NEAR(viaMatrix.x, direct.x, 1e-6f);
+    EXPECT_NEAR(viaMatrix.y, direct.y, 1e-6f);
+    EXPECT_NEAR(viaMatrix.z, direct.z, 1e-6f);
+}
+
+TEST(Mat3, OuterProduct) {
+    const Mat3 o = Mat3::outer({1, 2, 3}, {4, 5, 6});
+    EXPECT_FLOAT_EQ(o(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(o(1, 2), 12.0f);
+    EXPECT_FLOAT_EQ(o(2, 1), 15.0f);
+}
+
+TEST(Mat4, TranslationMovesPoints) {
+    const Mat4 t = Mat4::translation({1, 2, 3});
+    EXPECT_EQ(t.transformPoint({0, 0, 0}), (Vec3f{1, 2, 3}));
+    // Directions are unaffected by translation.
+    EXPECT_EQ(t.transformVector({1, 0, 0}), (Vec3f{1, 0, 0}));
+}
+
+TEST(Mat4, CompositionOrder) {
+    const Mat4 t = Mat4::translation({1, 0, 0});
+    const Mat4 r = Mat4::fromRT(Mat3::rotationZ(static_cast<float>(M_PI) / 2.0f), {});
+    // (t * r) applies rotation first, then translation.
+    const Vec3f p = (t * r).transformPoint({1, 0, 0});
+    EXPECT_NEAR(p.x, 1.0f, 1e-6f);
+    EXPECT_NEAR(p.y, 1.0f, 1e-6f);
+}
+
+TEST(Mat4, GeneralInverse) {
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<float> uni(-2.0f, 2.0f);
+    for (int trial = 0; trial < 20; ++trial) {
+        Mat4 m;
+        for (std::size_t i = 0; i < 16; ++i) m.m[i] = uni(rng);
+        m(3, 0) = 0;
+        m(3, 1) = 0;
+        m(3, 2) = 0;
+        m(3, 3) = 1;
+        // Skip near-singular draws.
+        const Mat4 inv = m.inverse();
+        const Mat4 prod = m * inv;
+        if (std::fabs(prod(0, 0) - 1.0f) > 0.5f) continue;
+        expectNear(prod, Mat4::identity(), 1e-3f);
+    }
+}
+
+TEST(Mat4, RigidInverseMatchesGeneralInverse) {
+    const Mat3 r = Mat3::fromAxisAngle({0.3f, -0.8f, 0.5f});
+    const Mat4 m = Mat4::fromRT(r, {1, -2, 3});
+    expectNear(m.rigidInverse(), m.inverse(), 1e-4f);
+}
+
+TEST(Mat4, RotationAndTranslationAccessors) {
+    const Mat3 r = Mat3::rotationY(0.4f);
+    const Mat4 m = Mat4::fromRT(r, {5, 6, 7});
+    expectNear(Mat4::fromRT(m.rotation(), m.translationPart()), m);
+    EXPECT_EQ(m.translationPart(), (Vec3f{5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace semholo::geom

@@ -1,0 +1,139 @@
+#include "semholo/geometry/quat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::geom {
+namespace {
+
+Quat randomRotation(std::mt19937& rng) {
+    std::uniform_real_distribution<float> uni(-3.0f, 3.0f);
+    return Quat::fromAxisAngle({uni(rng), uni(rng), uni(rng)});
+}
+
+TEST(Quat, IdentityRotatesNothing) {
+    const Vec3f v{1, 2, 3};
+    EXPECT_EQ(Quat::identity().rotate(v), v);
+}
+
+TEST(Quat, AxisAngleRoundTrip) {
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+    for (int trial = 0; trial < 100; ++trial) {
+        Vec3f aa{uni(rng), uni(rng), uni(rng)};
+        aa = aa.normalized() * std::fabs(uni(rng)) * 3.0f;  // |angle| < pi
+        const Quat q = Quat::fromAxisAngle(aa);
+        const Vec3f back = q.toAxisAngle();
+        if (aa.norm() > static_cast<float>(M_PI)) continue;  // wraps; skip
+        EXPECT_NEAR(back.x, aa.x, 1e-4f);
+        EXPECT_NEAR(back.y, aa.y, 1e-4f);
+        EXPECT_NEAR(back.z, aa.z, 1e-4f);
+    }
+}
+
+TEST(Quat, MatrixRoundTrip) {
+    std::mt19937 rng(4);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Quat q = randomRotation(rng);
+        const Quat back = Quat::fromMatrix(q.toMatrix());
+        // q and -q encode the same rotation.
+        EXPECT_NEAR(std::fabs(q.dot(back)), 1.0f, 1e-5f);
+    }
+}
+
+TEST(Quat, RotateMatchesMatrix) {
+    std::mt19937 rng(6);
+    std::uniform_real_distribution<float> uni(-2.0f, 2.0f);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Quat q = randomRotation(rng);
+        const Vec3f v{uni(rng), uni(rng), uni(rng)};
+        const Vec3f a = q.rotate(v);
+        const Vec3f b = q.toMatrix() * v;
+        EXPECT_NEAR(a.x, b.x, 1e-4f);
+        EXPECT_NEAR(a.y, b.y, 1e-4f);
+        EXPECT_NEAR(a.z, b.z, 1e-4f);
+    }
+}
+
+TEST(Quat, CompositionMatchesSequentialRotation) {
+    std::mt19937 rng(8);
+    std::uniform_real_distribution<float> uni(-2.0f, 2.0f);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Quat q1 = randomRotation(rng);
+        const Quat q2 = randomRotation(rng);
+        const Vec3f v{uni(rng), uni(rng), uni(rng)};
+        const Vec3f seq = q1.rotate(q2.rotate(v));
+        const Vec3f comp = (q1 * q2).rotate(v);
+        EXPECT_NEAR(seq.x, comp.x, 1e-4f);
+        EXPECT_NEAR(seq.y, comp.y, 1e-4f);
+        EXPECT_NEAR(seq.z, comp.z, 1e-4f);
+    }
+}
+
+TEST(Quat, ConjugateInvertsRotation) {
+    const Quat q = Quat::fromAxisAngle({0.5f, 1.0f, -0.3f});
+    const Vec3f v{2, -1, 4};
+    const Vec3f back = q.conjugate().rotate(q.rotate(v));
+    EXPECT_NEAR(back.x, v.x, 1e-5f);
+    EXPECT_NEAR(back.y, v.y, 1e-5f);
+    EXPECT_NEAR(back.z, v.z, 1e-5f);
+}
+
+TEST(Quat, FromTwoVectors) {
+    std::mt19937 rng(9);
+    std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Vec3f a = Vec3f{uni(rng), uni(rng), uni(rng)}.normalized();
+        const Vec3f b = Vec3f{uni(rng), uni(rng), uni(rng)}.normalized();
+        if (a.norm2() < 0.1f || b.norm2() < 0.1f) continue;
+        const Quat q = Quat::fromTwoVectors(a, b);
+        const Vec3f rotated = q.rotate(a);
+        EXPECT_NEAR(rotated.x, b.x, 1e-4f);
+        EXPECT_NEAR(rotated.y, b.y, 1e-4f);
+        EXPECT_NEAR(rotated.z, b.z, 1e-4f);
+    }
+}
+
+TEST(Quat, FromTwoVectorsAntipodal) {
+    const Vec3f a{1, 0, 0};
+    const Quat q = Quat::fromTwoVectors(a, -a);
+    const Vec3f r = q.rotate(a);
+    EXPECT_NEAR(r.x, -1.0f, 1e-5f);
+    EXPECT_NEAR(r.norm(), 1.0f, 1e-5f);
+}
+
+TEST(Quat, SlerpEndpointsAndUnitNorm) {
+    const Quat a = Quat::fromAxisAngle({0.2f, 0, 0});
+    const Quat b = Quat::fromAxisAngle({0, 1.5f, 0});
+    EXPECT_NEAR(std::fabs(slerp(a, b, 0.0f).dot(a)), 1.0f, 1e-5f);
+    EXPECT_NEAR(std::fabs(slerp(a, b, 1.0f).dot(b)), 1.0f, 1e-5f);
+    for (float t = 0.0f; t <= 1.0f; t += 0.1f)
+        EXPECT_NEAR(slerp(a, b, t).norm(), 1.0f, 1e-5f);
+}
+
+TEST(Quat, SlerpHalfwayHasHalfAngle) {
+    const Quat a = Quat::identity();
+    const Quat b = Quat::fromAxisAngle({0, 0, 1.0f});
+    const Quat mid = slerp(a, b, 0.5f);
+    EXPECT_NEAR(angularDistance(a, mid), 0.5f, 1e-4f);
+    EXPECT_NEAR(angularDistance(mid, b), 0.5f, 1e-4f);
+}
+
+TEST(Quat, AngularDistanceProperties) {
+    const Quat a = Quat::fromAxisAngle({0.4f, 0.1f, 0});
+    EXPECT_NEAR(angularDistance(a, a), 0.0f, 1e-4f);
+    const Quat b = Quat::fromAxisAngle({0, 0, 2.0f});
+    EXPECT_NEAR(angularDistance(Quat::identity(), b), 2.0f, 1e-4f);
+    // Symmetric.
+    EXPECT_NEAR(angularDistance(a, b), angularDistance(b, a), 1e-5f);
+}
+
+TEST(Quat, NormalizedHandlesZero) {
+    const Quat z{0, 0, 0, 0};
+    EXPECT_EQ(z.normalized(), Quat::identity());
+}
+
+}  // namespace
+}  // namespace semholo::geom

@@ -1,0 +1,139 @@
+#include "semholo/geometry/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::geom {
+namespace {
+
+TEST(RigidTransform, IdentityIsNeutral) {
+    const RigidTransform id = RigidTransform::identity();
+    const Vec3f p{1, 2, 3};
+    EXPECT_EQ(id.apply(p), p);
+}
+
+TEST(RigidTransform, InverseUndoes) {
+    std::mt19937 rng(2);
+    std::uniform_real_distribution<float> uni(-2.0f, 2.0f);
+    for (int trial = 0; trial < 50; ++trial) {
+        const RigidTransform xf{Quat::fromAxisAngle({uni(rng), uni(rng), uni(rng)}),
+                                {uni(rng), uni(rng), uni(rng)}};
+        const Vec3f p{uni(rng), uni(rng), uni(rng)};
+        const Vec3f back = xf.inverse().apply(xf.apply(p));
+        EXPECT_NEAR(back.x, p.x, 1e-4f);
+        EXPECT_NEAR(back.y, p.y, 1e-4f);
+        EXPECT_NEAR(back.z, p.z, 1e-4f);
+    }
+}
+
+TEST(RigidTransform, CompositionMatchesSequentialApplication) {
+    const RigidTransform a{Quat::fromAxisAngle({0, 0.5f, 0}), {1, 0, 0}};
+    const RigidTransform b{Quat::fromAxisAngle({0.3f, 0, 0}), {0, 2, 0}};
+    const Vec3f p{1, 1, 1};
+    const Vec3f seq = a.apply(b.apply(p));
+    const Vec3f comp = (a * b).apply(p);
+    EXPECT_NEAR(seq.x, comp.x, 1e-5f);
+    EXPECT_NEAR(seq.y, comp.y, 1e-5f);
+    EXPECT_NEAR(seq.z, comp.z, 1e-5f);
+}
+
+TEST(RigidTransform, Mat4RoundTrip) {
+    const RigidTransform xf{Quat::fromAxisAngle({0.4f, -0.2f, 0.9f}), {3, -1, 2}};
+    const RigidTransform back = RigidTransform::fromMat4(xf.toMat4());
+    const Vec3f p{0.5f, -0.7f, 1.2f};
+    const Vec3f a = xf.apply(p), b = back.apply(p);
+    EXPECT_NEAR(a.x, b.x, 1e-4f);
+    EXPECT_NEAR(a.y, b.y, 1e-4f);
+    EXPECT_NEAR(a.z, b.z, 1e-4f);
+}
+
+TEST(RigidTransform, InterpolateEndpoints) {
+    const RigidTransform a{Quat::identity(), {0, 0, 0}};
+    const RigidTransform b{Quat::fromAxisAngle({0, 1, 0}), {2, 2, 2}};
+    const Vec3f p{1, 0, 0};
+    EXPECT_EQ(interpolate(a, b, 0.0f).apply(p), a.apply(p));
+    const Vec3f atB = interpolate(a, b, 1.0f).apply(p);
+    const Vec3f expectB = b.apply(p);
+    EXPECT_NEAR(atB.x, expectB.x, 1e-5f);
+    EXPECT_NEAR(atB.z, expectB.z, 1e-5f);
+}
+
+TEST(AABB, ExpandAndContain) {
+    AABB box;
+    EXPECT_TRUE(box.empty());
+    box.expand({0, 0, 0});
+    box.expand({1, 2, 3});
+    EXPECT_FALSE(box.empty());
+    EXPECT_TRUE(box.contains({0.5f, 1.0f, 1.5f}));
+    EXPECT_FALSE(box.contains({2, 0, 0}));
+    EXPECT_EQ(box.center(), (Vec3f{0.5f, 1.0f, 1.5f}));
+    EXPECT_EQ(box.extent(), (Vec3f{1, 2, 3}));
+}
+
+TEST(AABB, InflateGrowsAllSides) {
+    AABB box;
+    box.expand({0, 0, 0});
+    box.expand({1, 1, 1});
+    box.inflate(0.5f);
+    EXPECT_TRUE(box.contains({-0.4f, -0.4f, -0.4f}));
+    EXPECT_TRUE(box.contains({1.4f, 1.4f, 1.4f}));
+}
+
+TEST(AABB, Intersects) {
+    AABB a, b, c;
+    a.expand({0, 0, 0});
+    a.expand({1, 1, 1});
+    b.expand({0.5f, 0.5f, 0.5f});
+    b.expand({2, 2, 2});
+    c.expand({3, 3, 3});
+    c.expand({4, 4, 4});
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(AABB, RayIntersection) {
+    AABB box;
+    box.expand({-1, -1, -1});
+    box.expand({1, 1, 1});
+    float t0, t1;
+    // Straight through the middle.
+    EXPECT_TRUE(box.intersectRay({{-5, 0, 0}, {1, 0, 0}}, t0, t1));
+    EXPECT_NEAR(t0, 4.0f, 1e-5f);
+    EXPECT_NEAR(t1, 6.0f, 1e-5f);
+    // Misses.
+    EXPECT_FALSE(box.intersectRay({{-5, 3, 0}, {1, 0, 0}}, t0, t1));
+    // Axis-parallel ray inside the slab.
+    EXPECT_TRUE(box.intersectRay({{0, 0, -5}, {0, 0, 1}}, t0, t1));
+}
+
+TEST(PointSegmentDistance, InteriorAndEndpoints) {
+    float t;
+    // Closest to the middle of the segment.
+    EXPECT_NEAR(pointSegmentDistance({0, 1, 0}, {-1, 0, 0}, {1, 0, 0}, t), 1.0f, 1e-5f);
+    EXPECT_NEAR(t, 0.5f, 1e-5f);
+    // Clamped to an endpoint.
+    EXPECT_NEAR(pointSegmentDistance({3, 0, 0}, {-1, 0, 0}, {1, 0, 0}, t), 2.0f, 1e-5f);
+    EXPECT_NEAR(t, 1.0f, 1e-5f);
+    // Degenerate segment.
+    EXPECT_NEAR(pointSegmentDistance({1, 0, 0}, {0, 0, 0}, {0, 0, 0}, t), 1.0f, 1e-5f);
+}
+
+TEST(ClosestPointOnTriangle, RegionsCovered) {
+    const Vec3f a{0, 0, 0}, b{2, 0, 0}, c{0, 2, 0};
+    // Interior projection.
+    const Vec3f pi = closestPointOnTriangle({0.5f, 0.5f, 3.0f}, a, b, c);
+    EXPECT_NEAR(pi.x, 0.5f, 1e-5f);
+    EXPECT_NEAR(pi.y, 0.5f, 1e-5f);
+    EXPECT_NEAR(pi.z, 0.0f, 1e-5f);
+    // Vertex region.
+    EXPECT_EQ(closestPointOnTriangle({-1, -1, 0}, a, b, c), a);
+    // Edge region (edge ab).
+    const Vec3f pe = closestPointOnTriangle({1, -2, 0}, a, b, c);
+    EXPECT_NEAR(pe.x, 1.0f, 1e-5f);
+    EXPECT_NEAR(pe.y, 0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace semholo::geom

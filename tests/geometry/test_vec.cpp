@@ -1,0 +1,90 @@
+#include "semholo/geometry/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::geom {
+namespace {
+
+TEST(Vec3, ArithmeticBasics) {
+    const Vec3f a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, (Vec3f{5, 7, 9}));
+    EXPECT_EQ(b - a, (Vec3f{3, 3, 3}));
+    EXPECT_EQ(a * 2.0f, (Vec3f{2, 4, 6}));
+    EXPECT_EQ(2.0f * a, a * 2.0f);
+    EXPECT_EQ(-a, (Vec3f{-1, -2, -3}));
+}
+
+TEST(Vec3, DotAndCross) {
+    const Vec3f x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+    EXPECT_EQ(x.cross(y), z);
+    EXPECT_EQ(y.cross(z), x);
+    EXPECT_EQ(z.cross(x), y);
+    EXPECT_EQ(x.cross(x), (Vec3f{}));
+}
+
+TEST(Vec3, NormAndNormalize) {
+    const Vec3f v{3, 4, 0};
+    EXPECT_FLOAT_EQ(v.norm(), 5.0f);
+    EXPECT_FLOAT_EQ(v.normalized().norm(), 1.0f);
+    // Normalizing zero stays zero rather than producing NaN.
+    EXPECT_EQ((Vec3f{}).normalized(), (Vec3f{}));
+}
+
+TEST(Vec3, IndexingMatchesComponents) {
+    Vec3f v{7, 8, 9};
+    EXPECT_FLOAT_EQ(v[0], 7.0f);
+    EXPECT_FLOAT_EQ(v[1], 8.0f);
+    EXPECT_FLOAT_EQ(v[2], 9.0f);
+    v[1] = 42.0f;
+    EXPECT_FLOAT_EQ(v.y, 42.0f);
+}
+
+TEST(Vec3, MinMaxCoeff) {
+    const Vec3f v{-2, 5, 1};
+    EXPECT_FLOAT_EQ(v.minCoeff(), -2.0f);
+    EXPECT_FLOAT_EQ(v.maxCoeff(), 5.0f);
+}
+
+TEST(Vec3, CwiseProduct) {
+    EXPECT_EQ((Vec3f{1, 2, 3}).cwise({4, 5, 6}), (Vec3f{4, 10, 18}));
+}
+
+TEST(Vec3, CastConvertsComponentTypes) {
+    const Vec3f v{1.7f, -2.3f, 3.0f};
+    const Vec3<int> i = v.cast<int>();
+    EXPECT_EQ(i.x, 1);
+    EXPECT_EQ(i.y, -2);
+    EXPECT_EQ(i.z, 3);
+}
+
+TEST(Vec2, Basics) {
+    const Vec2f a{1, 2}, b{3, 4};
+    EXPECT_EQ(a + b, (Vec2f{4, 6}));
+    EXPECT_FLOAT_EQ(a.dot(b), 11.0f);
+    EXPECT_FLOAT_EQ((Vec2f{3, 4}).norm(), 5.0f);
+}
+
+TEST(Vec4, BasicsAndXYZ) {
+    const Vec4f v{1, 2, 3, 4};
+    EXPECT_EQ(v.xyz(), (Vec3f{1, 2, 3}));
+    EXPECT_FLOAT_EQ(v.dot(v), 30.0f);
+    const Vec4f fromVec3{Vec3f{1, 2, 3}, 1.0f};
+    EXPECT_FLOAT_EQ(fromVec3.w, 1.0f);
+}
+
+TEST(Lerp, EndpointsAndMidpoint) {
+    const Vec3f a{0, 0, 0}, b{2, 4, 8};
+    EXPECT_EQ(lerp(a, b, 0.0f), a);
+    EXPECT_EQ(lerp(a, b, 1.0f), b);
+    EXPECT_EQ(lerp(a, b, 0.5f), (Vec3f{1, 2, 4}));
+}
+
+TEST(Clamp, Bounds) {
+    EXPECT_FLOAT_EQ(clamp(5.0f, 0.0f, 1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(clamp(-5.0f, 0.0f, 1.0f), 0.0f);
+    EXPECT_FLOAT_EQ(clamp(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+}  // namespace
+}  // namespace semholo::geom

@@ -1,0 +1,192 @@
+// Property-based suites over randomized inputs (parameterized gtest):
+// invariants that must hold for *every* seed, not just a hand-picked
+// example.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/body/ik.hpp"
+#include "semholo/compress/lzc.hpp"
+#include "semholo/compress/meshcodec.hpp"
+#include "semholo/mesh/isosurface.hpp"
+#include "semholo/mesh/metrics.hpp"
+#include "semholo/textsem/delta.hpp"
+
+namespace semholo {
+namespace {
+
+// ---- Iso-surface: watertight for any smooth blob field -----------------
+
+class IsoSurfaceBlobProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IsoSurfaceBlobProperty, RandomBlobUnionIsWatertightAndOutward) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<float> pos(-0.6f, 0.6f);
+    std::uniform_real_distribution<float> rad(0.25f, 0.5f);
+    struct Blob {
+        geom::Vec3f c;
+        float r;
+    };
+    std::vector<Blob> blobs;
+    const int count = 2 + static_cast<int>(GetParam() % 3);
+    for (int i = 0; i < count; ++i)
+        blobs.push_back({{pos(rng), pos(rng), pos(rng)}, rad(rng)});
+
+    const mesh::ScalarField field = [blobs](geom::Vec3f p) {
+        float d = 1e9f;
+        for (const Blob& b : blobs) d = std::min(d, (p - b.c).norm() - b.r);
+        return d;
+    };
+    geom::AABB bounds;
+    bounds.expand({-1.3f, -1.3f, -1.3f});
+    bounds.expand({1.3f, 1.3f, 1.3f});
+    const mesh::TriMesh m = mesh::extractIsoSurface(field, bounds, 28);
+
+    ASSERT_GT(m.triangleCount(), 0u);
+    EXPECT_EQ(m.countBoundaryEdges(), 0u) << "seed " << GetParam();
+    EXPECT_EQ(m.countNonManifoldEdges(), 0u) << "seed " << GetParam();
+    // Every vertex lies near the zero level set.
+    for (std::size_t i = 0; i < m.vertexCount(); i += 13)
+        EXPECT_LT(std::fabs(field(m.vertices[i])), 0.08f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsoSurfaceBlobProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---- LZC: round-trip over structured random generators ------------------
+
+struct LzcCase {
+    std::uint32_t seed;
+    int mode;  // 0 text-ish, 1 floats, 2 sparse, 3 adversarial backrefs
+};
+
+class LzcProperty : public ::testing::TestWithParam<LzcCase> {};
+
+TEST_P(LzcProperty, RoundTripExact) {
+    const auto [seed, mode] = GetParam();
+    std::mt19937 rng(seed);
+    std::vector<std::uint8_t> data;
+    const std::size_t n = 1000 + (seed * 7919) % 30000;
+    switch (mode) {
+        case 0: {  // Markov-ish text
+            std::uniform_int_distribution<int> c('a', 'z');
+            std::uniform_int_distribution<int> rep(1, 9);
+            while (data.size() < n) {
+                const auto ch = static_cast<std::uint8_t>(c(rng));
+                for (int r = rep(rng); r-- > 0 && data.size() < n;)
+                    data.push_back(ch);
+            }
+            break;
+        }
+        case 1: {  // float32 stream
+            std::normal_distribution<float> g(0.0f, 2.0f);
+            while (data.size() < n) {
+                const float f = g(rng);
+                const auto* p = reinterpret_cast<const std::uint8_t*>(&f);
+                data.insert(data.end(), p, p + 4);
+            }
+            break;
+        }
+        case 2: {  // sparse: mostly zeros with random spikes
+            data.assign(n, 0);
+            std::uniform_int_distribution<std::size_t> at(0, n - 1);
+            std::uniform_int_distribution<int> val(1, 255);
+            for (std::size_t k = 0; k < n / 50; ++k)
+                data[at(rng)] = static_cast<std::uint8_t>(val(rng));
+            break;
+        }
+        default: {  // adversarial: period exactly at the min-match edge
+            for (std::size_t i = 0; i < n; ++i)
+                data.push_back(static_cast<std::uint8_t>(i % 3));
+            break;
+        }
+    }
+    const auto compressed = compress::lzcCompress(data);
+    const auto back = compress::lzcDecompress(compressed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LzcProperty,
+    ::testing::Values(LzcCase{1, 0}, LzcCase{2, 0}, LzcCase{3, 1}, LzcCase{4, 1},
+                      LzcCase{5, 2}, LzcCase{6, 2}, LzcCase{7, 3}, LzcCase{8, 3},
+                      LzcCase{9, 0}, LzcCase{10, 1}));
+
+// ---- Mesh codec: topology exact, geometry bounded, any watertight input --
+
+class MeshCodecProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MeshCodecProperty, RandomBlobMeshSurvivesCodec) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<float> pos(-0.5f, 0.5f);
+    const geom::Vec3f c1{pos(rng), pos(rng), pos(rng)};
+    const geom::Vec3f c2{pos(rng), pos(rng), pos(rng)};
+    const mesh::ScalarField field = [&](geom::Vec3f p) {
+        return std::min((p - c1).norm() - 0.45f, (p - c2).norm() - 0.35f);
+    };
+    geom::AABB bounds;
+    bounds.expand({-1.2f, -1.2f, -1.2f});
+    bounds.expand({1.2f, 1.2f, 1.2f});
+    const mesh::TriMesh m = mesh::extractIsoSurface(field, bounds, 20);
+    ASSERT_GT(m.triangleCount(), 0u);
+
+    const auto decoded = compress::decodeMesh(compress::encodeMesh(m));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->triangleCount(), m.triangleCount());
+    const float bound = compress::quantizationError(m, 11);
+    for (std::size_t i = 0; i < m.vertexCount(); ++i)
+        EXPECT_LE((decoded->vertices[i] - m.vertices[i]).norm(), bound * 1.01f);
+    // Topology preserved => boundary-edge count identical.
+    EXPECT_EQ(decoded->countBoundaryEdges(), m.countBoundaryEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshCodecProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+// ---- IK: keypoints of the fit always land near the observations ----------
+
+class IkProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IkProperty, FitResidualBoundedForRandomReachablePoses) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<float> angle(-0.8f, 0.8f);
+    body::Pose pose;
+    for (auto& r : pose.jointRotations) r = {angle(rng), angle(rng), angle(rng)};
+    pose.rootTranslation = {angle(rng), angle(rng), angle(rng)};
+    const auto kps = body::jointKeypoints(pose);
+    const auto fit = body::fitPoseToKeypoints(kps);
+    // The frame-alignment solver is exact for single-child chains and
+    // near-exact elsewhere: residual stays in the centimetre class even
+    // for extreme random poses.
+    EXPECT_LT(fit.residual, 0.05f) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IkProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u, 27u, 28u));
+
+// ---- Text delta codec: decoder state always converges to encoder state ---
+
+class DeltaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaProperty, StreamingRoundTripForEveryMotion) {
+    const auto kind = static_cast<body::MotionKind>(GetParam());
+    const body::MotionGenerator gen(kind);
+    textsem::DeltaEncoder enc;
+    textsem::DeltaDecoder dec;
+    for (int f = 0; f < 40; ++f) {
+        body::Pose pose = gen.poseAt(f / 30.0);
+        pose.frameId = static_cast<std::uint32_t>(f);
+        const auto packet = enc.encode(pose);
+        const auto decoded = dec.decode(packet);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_LT(body::poseDistance(pose, *decoded), 0.09f)
+            << body::motionName(kind) << " frame " << f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Motions, DeltaProperty, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace semholo

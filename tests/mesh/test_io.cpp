@@ -1,0 +1,107 @@
+#include "semholo/mesh/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace semholo::mesh {
+namespace {
+
+class IoTest : public ::testing::Test {
+protected:
+    std::string tmpPath(const std::string& name) {
+        const auto dir = std::filesystem::temp_directory_path() / "semholo_io_test";
+        std::filesystem::create_directories(dir);
+        return (dir / name).string();
+    }
+};
+
+TEST_F(IoTest, ObjRoundTrip) {
+    const TriMesh original = makeUVSphere(1.0f, 8, 16);
+    const std::string path = tmpPath("sphere.obj");
+    ASSERT_TRUE(saveOBJ(original, path));
+
+    TriMesh loaded;
+    ASSERT_TRUE(loadOBJ(path, loaded));
+    ASSERT_EQ(loaded.vertexCount(), original.vertexCount());
+    ASSERT_EQ(loaded.triangleCount(), original.triangleCount());
+    for (std::size_t i = 0; i < loaded.vertexCount(); ++i)
+        EXPECT_NEAR((loaded.vertices[i] - original.vertices[i]).norm(), 0.0f, 1e-4f);
+    EXPECT_TRUE(loaded.hasNormals());
+    EXPECT_TRUE(loaded.hasUVs());
+}
+
+TEST_F(IoTest, ObjTriangulatesQuads) {
+    const std::string path = tmpPath("quad.obj");
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n", f);
+        std::fclose(f);
+    }
+    TriMesh m;
+    ASSERT_TRUE(loadOBJ(path, m));
+    EXPECT_EQ(m.vertexCount(), 4u);
+    EXPECT_EQ(m.triangleCount(), 2u);
+}
+
+TEST_F(IoTest, ObjNegativeIndices) {
+    const std::string path = tmpPath("neg.obj");
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n", f);
+        std::fclose(f);
+    }
+    TriMesh m;
+    ASSERT_TRUE(loadOBJ(path, m));
+    ASSERT_EQ(m.triangleCount(), 1u);
+    EXPECT_EQ(m.triangles[0].a, 0u);
+    EXPECT_EQ(m.triangles[0].c, 2u);
+}
+
+TEST_F(IoTest, PlyMeshRoundTrip) {
+    TriMesh original = makeBox({1, 1, 1});
+    original.colors.assign(original.vertexCount(), Vec3f{1.0f, 0.5f, 0.0f});
+    const std::string path = tmpPath("box.ply");
+    ASSERT_TRUE(savePLY(original, path));
+
+    TriMesh loaded;
+    ASSERT_TRUE(loadPLY(path, loaded));
+    ASSERT_EQ(loaded.vertexCount(), original.vertexCount());
+    EXPECT_EQ(loaded.triangleCount(), original.triangleCount());
+    ASSERT_TRUE(loaded.hasColors());
+    EXPECT_NEAR(loaded.colors[0].x, 1.0f, 0.01f);
+    EXPECT_NEAR(loaded.colors[0].y, 0.5f, 0.01f);
+}
+
+TEST_F(IoTest, PlyPointCloudWrites) {
+    PointCloud pc;
+    pc.addPoint({0, 0, 0}, {1, 0, 0});
+    pc.addPoint({1, 2, 3}, {0, 1, 0});
+    const std::string path = tmpPath("cloud.ply");
+    ASSERT_TRUE(savePLY(pc, path));
+    EXPECT_GT(std::filesystem::file_size(path), 0u);
+}
+
+TEST_F(IoTest, MissingFileFails) {
+    TriMesh m;
+    EXPECT_FALSE(loadOBJ(tmpPath("does_not_exist.obj"), m));
+    EXPECT_FALSE(loadPLY(tmpPath("does_not_exist.ply"), m));
+}
+
+TEST_F(IoTest, NonPlyFileRejected) {
+    const std::string path = tmpPath("not_a_ply.ply");
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("hello world\n", f);
+        std::fclose(f);
+    }
+    TriMesh m;
+    EXPECT_FALSE(loadPLY(path, m));
+}
+
+}  // namespace
+}  // namespace semholo::mesh

@@ -1,0 +1,116 @@
+#include "semholo/mesh/pointcloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace semholo::mesh {
+namespace {
+
+TEST(PointCloud, AddAndBounds) {
+    PointCloud pc;
+    pc.addPoint({0, 0, 0});
+    pc.addPoint({1, 2, 3});
+    EXPECT_EQ(pc.size(), 2u);
+    EXPECT_EQ(pc.bounds().hi, (Vec3f{1, 2, 3}));
+    EXPECT_EQ(pc.centroid(), (Vec3f{0.5f, 1.0f, 1.5f}));
+}
+
+TEST(PointCloud, ColorsTracked) {
+    PointCloud pc;
+    pc.addPoint({0, 0, 0}, {1, 0, 0});
+    EXPECT_TRUE(pc.hasColors());
+    pc.addPoint({1, 1, 1}, {0, 1, 0});
+    EXPECT_TRUE(pc.hasColors());
+}
+
+TEST(PointCloud, TransformMovesPointsAndRotatesNormals) {
+    PointCloud pc;
+    pc.points = {{1, 0, 0}};
+    pc.normals = {{1, 0, 0}};
+    pc.transform({geom::Quat::fromAxisAngle({0, 0, static_cast<float>(M_PI) / 2}),
+                  {0, 0, 5}});
+    EXPECT_NEAR(pc.points[0].y, 1.0f, 1e-5f);
+    EXPECT_NEAR(pc.points[0].z, 5.0f, 1e-5f);
+    EXPECT_NEAR(pc.normals[0].y, 1.0f, 1e-5f);
+    // Normals are directions: no translation applied.
+    EXPECT_NEAR(pc.normals[0].z, 0.0f, 1e-5f);
+}
+
+TEST(PointCloud, AppendConcatenates) {
+    PointCloud a, b;
+    a.addPoint({0, 0, 0});
+    b.addPoint({1, 1, 1});
+    b.addPoint({2, 2, 2});
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(PointCloud, AppendDropsMismatchedAttributes) {
+    PointCloud a, b;
+    a.addPoint({0, 0, 0}, {1, 1, 1});
+    b.addPoint({1, 1, 1});  // no colour
+    a.append(b);
+    EXPECT_FALSE(a.hasColors());
+}
+
+TEST(PointCloud, VoxelDownsampleReducesAndAverages) {
+    PointCloud pc;
+    // Four points in one voxel, one far away.
+    pc.points = {{0.1f, 0.1f, 0.1f},
+                 {0.2f, 0.1f, 0.1f},
+                 {0.1f, 0.2f, 0.1f},
+                 {0.2f, 0.2f, 0.1f},
+                 {10, 10, 10}};
+    const PointCloud down = pc.voxelDownsample(1.0f);
+    EXPECT_EQ(down.size(), 2u);
+    // One of the outputs is the average of the cluster.
+    bool foundCluster = false;
+    for (const Vec3f& p : down.points) {
+        if ((p - Vec3f{0.15f, 0.15f, 0.1f}).norm() < 1e-5f) foundCluster = true;
+    }
+    EXPECT_TRUE(foundCluster);
+}
+
+TEST(PointCloud, VoxelDownsampleDeterministicCount) {
+    std::mt19937 rng(21);
+    std::uniform_real_distribution<float> uni(0.0f, 4.0f);
+    PointCloud pc;
+    for (int i = 0; i < 5000; ++i) pc.addPoint({uni(rng), uni(rng), uni(rng)});
+    const PointCloud d1 = pc.voxelDownsample(0.5f);
+    const PointCloud d2 = pc.voxelDownsample(0.5f);
+    EXPECT_EQ(d1.size(), d2.size());
+    // 8x8x8 voxel lattice bounds the output size.
+    EXPECT_LE(d1.size(), 9u * 9u * 9u);
+    EXPECT_GT(d1.size(), 100u);
+}
+
+TEST(PointCloud, OutlierRemovalDropsIsolatedPoint) {
+    std::mt19937 rng(33);
+    std::normal_distribution<float> gauss(0.0f, 0.1f);
+    PointCloud pc;
+    for (int i = 0; i < 500; ++i) pc.addPoint({gauss(rng), gauss(rng), gauss(rng)});
+    pc.addPoint({50, 50, 50});  // blatant outlier
+    const PointCloud cleaned = pc.removeStatisticalOutliers(8, 2.0f);
+    EXPECT_LT(cleaned.size(), pc.size());
+    for (const Vec3f& p : cleaned.points) EXPECT_LT(p.norm(), 10.0f);
+}
+
+TEST(PointCloud, OutlierRemovalKeepsSmallClouds) {
+    PointCloud pc;
+    pc.addPoint({0, 0, 0});
+    pc.addPoint({1, 0, 0});
+    const PointCloud cleaned = pc.removeStatisticalOutliers(8, 1.0f);
+    EXPECT_EQ(cleaned.size(), 2u);
+}
+
+TEST(PointCloud, RawBytesCountsAttributes) {
+    PointCloud pc;
+    pc.points = {{0, 0, 0}, {1, 1, 1}};
+    EXPECT_EQ(pc.rawBytes(), 2 * sizeof(Vec3f));
+    pc.colors = {{1, 0, 0}, {0, 1, 0}};
+    EXPECT_EQ(pc.rawBytes(), 4 * sizeof(Vec3f));
+}
+
+}  // namespace
+}  // namespace semholo::mesh

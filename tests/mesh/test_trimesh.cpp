@@ -1,0 +1,128 @@
+#include "semholo/mesh/trimesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace semholo::mesh {
+namespace {
+
+TEST(TriMesh, BoxProperties) {
+    const TriMesh box = makeBox({1, 1, 1});
+    EXPECT_EQ(box.vertexCount(), 8u);
+    EXPECT_EQ(box.triangleCount(), 12u);
+    EXPECT_NEAR(box.surfaceArea(), 24.0, 1e-4);
+    EXPECT_EQ(box.countBoundaryEdges(), 0u);
+    EXPECT_EQ(box.countNonManifoldEdges(), 0u);
+}
+
+TEST(TriMesh, BoundsAndCentroid) {
+    const TriMesh box = makeBox({1, 2, 3}, {10, 0, 0});
+    const AABB b = box.bounds();
+    EXPECT_EQ(b.lo, (Vec3f{9, -2, -3}));
+    EXPECT_EQ(b.hi, (Vec3f{11, 2, 3}));
+    const Vec3f c = box.centroid();
+    EXPECT_NEAR(c.x, 10.0f, 1e-5f);
+    EXPECT_NEAR(c.y, 0.0f, 1e-5f);
+}
+
+TEST(TriMesh, SphereAreaApproximatesAnalytic) {
+    const float r = 2.0f;
+    const TriMesh s = makeUVSphere(r, 32, 64);
+    const double analytic = 4.0 * M_PI * r * r;
+    EXPECT_NEAR(s.surfaceArea(), analytic, analytic * 0.01);
+}
+
+TEST(TriMesh, SphereNormalsPointOutward) {
+    const TriMesh s = makeUVSphere(1.0f, 16, 32);
+    for (const Triangle& t : s.triangles) {
+        const Vec3f c = (s.vertices[t.a] + s.vertices[t.b] + s.vertices[t.c]) / 3.0f;
+        EXPECT_GT(s.triangleNormal(t).dot(c.normalized()), 0.0f);
+    }
+}
+
+TEST(TriMesh, ComputeVertexNormalsOnSphere) {
+    TriMesh s = makeUVSphere(1.0f, 24, 48);
+    s.normals.clear();
+    s.computeVertexNormals();
+    ASSERT_TRUE(s.hasNormals());
+    // On a sphere the vertex normal should be close to the radial
+    // direction. Pole-ring vertices touch a single sliver triangle whose
+    // face normal tilts, so skip the first and last rings.
+    const std::size_t ring = 48 + 1;
+    for (std::size_t i = ring; i + ring < s.vertexCount(); ++i) {
+        const float d = s.normals[i].dot(s.vertices[i].normalized());
+        EXPECT_GT(d, 0.98f);
+    }
+}
+
+TEST(TriMesh, TransformPreservesShape) {
+    TriMesh box = makeBox({1, 1, 1});
+    const double areaBefore = box.surfaceArea();
+    box.transform({geom::Quat::fromAxisAngle({0.3f, 0.9f, -0.4f}), {5, -2, 1}});
+    EXPECT_NEAR(box.surfaceArea(), areaBefore, 1e-3);
+    const Vec3f c = box.centroid();
+    EXPECT_NEAR((c - Vec3f{5, -2, 1}).norm(), 0.0f, 1e-4f);
+}
+
+TEST(TriMesh, WeldMergesDuplicates) {
+    TriMesh m;
+    // Two triangles sharing an edge but with duplicated vertices.
+    m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+    m.triangles = {{0, 1, 2}, {3, 5, 4}};
+    const std::size_t removed = m.weldVertices(1e-6f);
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(m.vertexCount(), 4u);
+    EXPECT_EQ(m.triangleCount(), 2u);
+    // The shared edge is now actually shared.
+    EXPECT_EQ(m.countBoundaryEdges(), 4u);
+}
+
+TEST(TriMesh, RemoveDegenerateTriangles) {
+    TriMesh m;
+    m.vertices = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+    m.triangles = {{0, 1, 2}, {0, 0, 1}, {1, 1, 1}};
+    EXPECT_EQ(m.removeDegenerateTriangles(), 2u);
+    EXPECT_EQ(m.triangleCount(), 1u);
+}
+
+TEST(TriMesh, AppendOffsetsIndices) {
+    TriMesh a = makeBox({1, 1, 1});
+    const TriMesh b = makeBox({1, 1, 1}, {5, 0, 0});
+    const std::size_t vertsA = a.vertexCount();
+    a.append(b);
+    EXPECT_EQ(a.vertexCount(), vertsA + b.vertexCount());
+    EXPECT_EQ(a.triangleCount(), 24u);
+    // All indices valid.
+    for (const Triangle& t : a.triangles) {
+        EXPECT_LT(t.a, a.vertexCount());
+        EXPECT_LT(t.b, a.vertexCount());
+        EXPECT_LT(t.c, a.vertexCount());
+    }
+    // Still two closed components.
+    EXPECT_EQ(a.countBoundaryEdges(), 0u);
+}
+
+TEST(TriMesh, CylinderIsClosed) {
+    const TriMesh c = makeCylinder(1.0f, 2.0f, 32);
+    // Caps + side; after welding the seam it should be closed.
+    TriMesh welded = c;
+    welded.weldVertices(1e-6f);
+    EXPECT_EQ(welded.countBoundaryEdges(), 0u);
+}
+
+TEST(TriMesh, RawGeometryBytes) {
+    const TriMesh box = makeBox({1, 1, 1});
+    EXPECT_EQ(box.rawGeometryBytes(), 8 * sizeof(Vec3f) + 12 * sizeof(Triangle));
+}
+
+TEST(TriMesh, ClearResetsEverything) {
+    TriMesh m = makeUVSphere(1.0f, 8, 8);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.triangleCount(), 0u);
+    EXPECT_FALSE(m.hasNormals());
+}
+
+}  // namespace
+}  // namespace semholo::mesh

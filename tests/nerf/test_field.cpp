@@ -1,0 +1,90 @@
+#include "semholo/nerf/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace semholo::nerf {
+namespace {
+
+TEST(PositionalEncoding, DimensionAndContent) {
+    const int levels = 4;
+    const auto enc = positionalEncoding({0.5f, -0.25f, 1.0f}, levels);
+    ASSERT_EQ(static_cast<int>(enc.size()), positionalEncodingDim(levels));
+    EXPECT_FLOAT_EQ(enc[0], 0.5f);
+    EXPECT_FLOAT_EQ(enc[1], -0.25f);
+    EXPECT_FLOAT_EQ(enc[2], 1.0f);
+    // First sin/cos triple at frequency 1.
+    EXPECT_NEAR(enc[3], std::sin(0.5f), 1e-6f);
+    EXPECT_NEAR(enc[4], std::cos(0.5f), 1e-6f);
+}
+
+TEST(PositionalEncoding, HighFrequencySeparatesNearbyPoints) {
+    const int levels = 6;
+    const auto a = positionalEncoding({0.50f, 0, 0}, levels);
+    const auto b = positionalEncoding({0.55f, 0, 0}, levels);
+    float rawDiff = std::fabs(a[0] - b[0]);
+    float highDiff = std::fabs(a[a.size() - 6] - b[b.size() - 6]);
+    // The highest frequency amplifies the small positional difference.
+    EXPECT_GT(highDiff, rawDiff);
+}
+
+TEST(RadianceField, OutputsInValidRanges) {
+    const RadianceField field;
+    for (const auto p : {Vec3f{0, 0, 0}, Vec3f{1, 2, 3}, Vec3f{-5, 0.1f, 2}}) {
+        const FieldSample s = field.query(p);
+        EXPECT_GE(s.color.x, 0.0f);
+        EXPECT_LE(s.color.x, 1.0f);
+        EXPECT_GE(s.color.y, 0.0f);
+        EXPECT_LE(s.color.z, 1.0f);
+        EXPECT_GE(s.density, 0.0f);
+    }
+}
+
+TEST(RadianceField, TrainingHeadGradientsFlow) {
+    RadianceField field;
+    const Vec3f p{0.3f, 0.2f, 0.1f};
+    MlpActivations acts;
+    std::vector<float> raw;
+    const FieldSample before = field.queryForTraining(p, 1.0f, acts, raw);
+
+    // Push colour towards red and density up for a few steps.
+    AdamConfig adam;
+    adam.learningRate = 5e-2f;
+    for (int i = 0; i < 30; ++i) {
+        MlpActivations a2;
+        std::vector<float> r2;
+        const FieldSample s = field.queryForTraining(p, 1.0f, a2, r2);
+        field.zeroGradients();
+        const Vec3f dColor{s.color.x - 1.0f, s.color.y, s.color.z};  // target red
+        const float dDensity = s.density - 5.0f;                     // target dense
+        field.backward(p, a2, r2, dColor * 2.0f, dDensity * 2.0f);
+        field.adamStep(adam, 1);
+    }
+    const FieldSample after = field.query(p);
+    EXPECT_GT(after.color.x, before.color.x);
+    EXPECT_GT(after.density, before.density);
+}
+
+TEST(RadianceField, ModelBytesShrinkWithWidth) {
+    const RadianceField field;
+    const std::size_t full = field.modelBytes(1.0f);
+    const std::size_t half = field.modelBytes(0.5f);
+    const std::size_t quarter = field.modelBytes(0.25f);
+    EXPECT_GT(full, half);
+    EXPECT_GT(half, quarter);
+    // Hidden-to-hidden weights dominate: half width is ~1/4 the params.
+    EXPECT_LT(static_cast<double>(half), 0.45 * static_cast<double>(full));
+}
+
+TEST(RadianceField, SlimmableQueriesValid) {
+    const RadianceField field;
+    for (const float frac : {0.25f, 0.5f, 1.0f}) {
+        const FieldSample s = field.query({0.1f, 0.2f, 0.3f}, frac);
+        EXPECT_TRUE(std::isfinite(s.density));
+        EXPECT_TRUE(std::isfinite(s.color.x));
+    }
+}
+
+}  // namespace
+}  // namespace semholo::nerf

@@ -1,0 +1,184 @@
+#include "semholo/nerf/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::nerf {
+namespace {
+
+TEST(Mlp, OutputDimensionsAndDeterminism) {
+    MlpConfig cfg;
+    cfg.inputDim = 5;
+    cfg.outputDim = 3;
+    const Mlp a(cfg), b(cfg);
+    const std::vector<float> x{0.1f, -0.2f, 0.3f, 0.0f, 1.0f};
+    const auto ya = a.forward(x);
+    const auto yb = b.forward(x);
+    ASSERT_EQ(ya.size(), 3u);
+    EXPECT_EQ(ya, yb);  // same seed, same init
+}
+
+TEST(Mlp, DifferentSeedsDiffer) {
+    MlpConfig a, b;
+    b.seed = 99;
+    const std::vector<float> x{0.5f, 0.5f, 0.5f};
+    EXPECT_NE(Mlp(a).forward(x), Mlp(b).forward(x));
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference) {
+    MlpConfig cfg;
+    cfg.inputDim = 3;
+    cfg.outputDim = 2;
+    cfg.hiddenWidth = 8;
+    cfg.hiddenLayers = 2;
+    Mlp mlp(cfg);
+    const std::vector<float> x{0.3f, -0.7f, 0.2f};
+
+    // Loss = 0.5 * |y|^2, dL/dy = y.
+    MlpActivations acts;
+    const auto y = mlp.forward(x, 1.0f, acts);
+    mlp.zeroGradients();
+    const auto dIn = mlp.backward(x, acts, y);
+    ASSERT_EQ(dIn.size(), 3u);
+
+    // Finite-difference on the input.
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        auto xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        auto lossOf = [&](const std::vector<float>& in) {
+            const auto out = mlp.forward(in);
+            float l = 0.0f;
+            for (const float v : out) l += 0.5f * v * v;
+            return l;
+        };
+        const float numeric = (lossOf(xp) - lossOf(xm)) / (2.0f * eps);
+        EXPECT_NEAR(dIn[i], numeric, 2e-2f * std::max(1.0f, std::fabs(numeric)));
+    }
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+    MlpConfig cfg;
+    cfg.inputDim = 2;
+    cfg.outputDim = 1;
+    cfg.hiddenWidth = 16;
+    cfg.hiddenLayers = 2;
+    Mlp mlp(cfg);
+    AdamConfig adam;
+    adam.learningRate = 5e-3f;
+
+    std::mt19937 rng(4);
+    std::uniform_real_distribution<float> uni(-1.0f, 1.0f);
+    double lastLoss = 0.0;
+    for (int step = 0; step < 800; ++step) {
+        mlp.zeroGradients();
+        double loss = 0.0;
+        const std::size_t batch = 16;
+        for (std::size_t i = 0; i < batch; ++i) {
+            const std::vector<float> x{uni(rng), uni(rng)};
+            const float target = 0.7f * x[0] - 0.3f * x[1] + 0.1f;
+            MlpActivations acts;
+            const auto y = mlp.forward(x, 1.0f, acts);
+            const float err = y[0] - target;
+            loss += 0.5 * err * err;
+            mlp.backward(x, acts, std::vector<float>{err});
+        }
+        mlp.adamStep(adam, batch);
+        lastLoss = loss / batch;
+    }
+    EXPECT_LT(lastLoss, 1e-3);
+}
+
+TEST(Mlp, SlimmableWidthsProduceValidOutputs) {
+    MlpConfig cfg;
+    cfg.inputDim = 4;
+    cfg.outputDim = 2;
+    cfg.hiddenWidth = 32;
+    const Mlp mlp(cfg);
+    const std::vector<float> x{0.1f, 0.2f, 0.3f, 0.4f};
+    for (const float frac : {0.25f, 0.5f, 0.75f, 1.0f}) {
+        const auto y = mlp.forward(x, frac);
+        ASSERT_EQ(y.size(), 2u);
+        for (const float v : y) EXPECT_TRUE(std::isfinite(v));
+    }
+    // Narrow and full outputs differ (more units contribute).
+    EXPECT_NE(mlp.forward(x, 0.25f), mlp.forward(x, 1.0f));
+}
+
+TEST(Mlp, EffectiveWidthRounding) {
+    MlpConfig cfg;
+    cfg.hiddenWidth = 32;
+    const Mlp mlp(cfg);
+    EXPECT_EQ(mlp.effectiveWidth(1.0f), 32);
+    EXPECT_EQ(mlp.effectiveWidth(0.5f), 16);
+    EXPECT_EQ(mlp.effectiveWidth(0.01f), 1);
+    EXPECT_EQ(mlp.effectiveWidth(0.0f), 32);   // 0 means "full"
+    EXPECT_EQ(mlp.effectiveWidth(2.0f), 32);   // clamped
+}
+
+TEST(Mlp, NarrowSubnetTrainsNarrowSlice) {
+    // Training at width 0.5 must not change the narrow forward output's
+    // dependence structure: the narrow output changes, and the full
+    // network still works.
+    MlpConfig cfg;
+    cfg.inputDim = 2;
+    cfg.outputDim = 1;
+    cfg.hiddenWidth = 16;
+    Mlp mlp(cfg);
+    const std::vector<float> x{0.4f, -0.6f};
+    const auto beforeNarrow = mlp.forward(x, 0.5f);
+    AdamConfig adam;
+    for (int i = 0; i < 20; ++i) {
+        mlp.zeroGradients();
+        MlpActivations acts;
+        const auto y = mlp.forward(x, 0.5f, acts);
+        mlp.backward(x, acts, std::vector<float>{y[0] - 1.0f});
+        mlp.adamStep(adam, 1);
+    }
+    const auto afterNarrow = mlp.forward(x, 0.5f);
+    EXPECT_NE(beforeNarrow, afterNarrow);
+    EXPECT_TRUE(std::isfinite(mlp.forward(x, 1.0f)[0]));
+}
+
+TEST(Mlp, SerializeRoundTrip) {
+    MlpConfig cfg;
+    cfg.inputDim = 3;
+    cfg.outputDim = 2;
+    Mlp a(cfg);
+    Mlp b(cfg);
+    // Perturb a, then copy to b via serialization.
+    AdamConfig adam;
+    MlpActivations acts;
+    const std::vector<float> x{1.0f, 2.0f, 3.0f};
+    a.zeroGradients();
+    const auto y = a.forward(x, 1.0f, acts);
+    a.backward(x, acts, y);
+    a.adamStep(adam, 1);
+    ASSERT_NE(a.forward(x), b.forward(x));
+
+    ASSERT_TRUE(b.deserialize(a.serialize()));
+    EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(Mlp, DeserializeRejectsWrongSize) {
+    Mlp mlp(MlpConfig{});
+    std::vector<std::uint8_t> bad(13, 0);
+    EXPECT_FALSE(mlp.deserialize(bad));
+}
+
+TEST(Mlp, ParameterCount) {
+    MlpConfig cfg;
+    cfg.inputDim = 10;
+    cfg.outputDim = 4;
+    cfg.hiddenWidth = 32;
+    cfg.hiddenLayers = 2;
+    const Mlp mlp(cfg);
+    // (10*32+32) + (32*32+32) + (32*4+4)
+    EXPECT_EQ(mlp.parameterCount(), 10u * 32 + 32 + 32u * 32 + 32 + 32u * 4 + 4);
+}
+
+}  // namespace
+}  // namespace semholo::nerf

@@ -1,0 +1,96 @@
+#include "semholo/net/abr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::net {
+namespace {
+
+std::vector<QualityLevel> testLadder() {
+    return {{"low", 1e6, 1.0}, {"mid", 5e6, 2.0}, {"high", 20e6, 3.0},
+            {"ultra", 80e6, 4.0}};
+}
+
+TEST(EwmaEstimator, ConvergesToConstantInput) {
+    EwmaEstimator est(0.3);
+    EXPECT_FALSE(est.hasEstimate());
+    for (int i = 0; i < 50; ++i) est.addSample(7e6);
+    EXPECT_NEAR(est.estimate(), 7e6, 1.0);
+}
+
+TEST(EwmaEstimator, TracksChanges) {
+    EwmaEstimator est(0.5);
+    est.addSample(10e6);
+    est.addSample(2e6);
+    EXPECT_LT(est.estimate(), 10e6);
+    EXPECT_GT(est.estimate(), 2e6);
+}
+
+TEST(HarmonicEstimator, RobustToSpikes) {
+    HarmonicEstimator est(5);
+    for (int i = 0; i < 4; ++i) est.addSample(5e6);
+    est.addSample(500e6);  // spike
+    // Harmonic mean stays close to the typical rate.
+    EXPECT_LT(est.estimate(), 8e6);
+    EXPECT_GT(est.estimate(), 5e6);
+}
+
+TEST(HarmonicEstimator, WindowSlides) {
+    HarmonicEstimator est(2);
+    est.addSample(1e6);
+    est.addSample(10e6);
+    est.addSample(10e6);  // evicts the 1e6 sample
+    EXPECT_NEAR(est.estimate(), 10e6, 1.0);
+}
+
+TEST(HarmonicEstimator, IgnoresNonPositive) {
+    HarmonicEstimator est(3);
+    est.addSample(0.0);
+    est.addSample(-5.0);
+    EXPECT_FALSE(est.hasEstimate());
+    EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+}
+
+TEST(RateBasedAbr, PicksHighestSustainableLevel) {
+    const RateBasedAbr abr(testLadder(), 0.9);
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(100e6)].name, "ultra");
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(25e6)].name, "high");
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(6e6)].name, "mid");
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(0.5e6)].name, "low");  // floor
+}
+
+TEST(RateBasedAbr, SafetyMarginApplied) {
+    const RateBasedAbr abr(testLadder(), 0.5);
+    // 20 Mbps level requires estimate >= 40 Mbps at 0.5 safety.
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(39e6)].name, "mid");
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(41e6)].name, "high");
+}
+
+TEST(RateBasedAbr, UnsortedLadderHandled) {
+    auto ladder = testLadder();
+    std::swap(ladder[0], ladder[3]);
+    const RateBasedAbr abr(ladder, 0.9);
+    EXPECT_EQ(abr.ladder()[abr.chooseLevel(6e6)].name, "mid");
+}
+
+TEST(BufferAwareAbr, FullBufferAllowsHigherLevel) {
+    const BufferAwareAbr abr(testLadder(), 0.2, 0.9);
+    const double estimate = 22e6;  // borderline for "high" (20 Mbps)
+    const std::size_t starving = abr.chooseLevel(estimate, 0.0);
+    const std::size_t healthy = abr.chooseLevel(estimate, 0.4);
+    EXPECT_GT(healthy, starving);
+}
+
+TEST(BufferAwareAbr, CriticalBufferForcesDowngrade) {
+    const BufferAwareAbr abr(testLadder(), 0.2, 0.9);
+    const std::size_t normal = abr.chooseLevel(100e6, 0.2);
+    const std::size_t panic = abr.chooseLevel(100e6, 0.01);
+    EXPECT_LT(panic, normal);
+}
+
+TEST(BufferAwareAbr, NeverBelowFloor) {
+    const BufferAwareAbr abr(testLadder(), 0.2, 0.9);
+    EXPECT_EQ(abr.chooseLevel(0.1e6, 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace semholo::net

@@ -1,0 +1,49 @@
+#include "semholo/net/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::net {
+namespace {
+
+TEST(BandwidthTrace, ConstantRate) {
+    const auto trace = BandwidthTrace::constant(10e6);
+    EXPECT_DOUBLE_EQ(trace.rateAt(0.0), 10e6);
+    EXPECT_DOUBLE_EQ(trace.rateAt(123.4), 10e6);
+    EXPECT_DOUBLE_EQ(trace.minRate(), 10e6);
+    EXPECT_DOUBLE_EQ(trace.meanRate(), 10e6);
+}
+
+TEST(BandwidthTrace, SquareAlternates) {
+    const auto trace = BandwidthTrace::square(20e6, 5e6, 1.0);
+    EXPECT_DOUBLE_EQ(trace.rateAt(0.5), 20e6);
+    EXPECT_DOUBLE_EQ(trace.rateAt(1.5), 5e6);
+    EXPECT_DOUBLE_EQ(trace.rateAt(2.5), 20e6);  // cycles
+    EXPECT_DOUBLE_EQ(trace.minRate(), 5e6);
+}
+
+TEST(BandwidthTrace, SineBounded) {
+    const auto trace = BandwidthTrace::sine(2e6, 10e6, 4.0);
+    for (double t = 0.0; t < 8.0; t += 0.05) {
+        EXPECT_GE(trace.rateAt(t), 2e6 - 1.0);
+        EXPECT_LE(trace.rateAt(t), 10e6 + 1.0);
+    }
+    EXPECT_NEAR(trace.meanRate(), 6e6, 0.5e6);
+}
+
+TEST(BandwidthTrace, RandomWalkBoundedAndDeterministic) {
+    const auto a = BandwidthTrace::randomWalk(10e6, 1e6, 20e6, 0.1, 30.0, 7);
+    const auto b = BandwidthTrace::randomWalk(10e6, 1e6, 20e6, 0.1, 30.0, 7);
+    for (double t = 0.0; t < 30.0; t += 0.3) {
+        EXPECT_DOUBLE_EQ(a.rateAt(t), b.rateAt(t));
+        EXPECT_GE(a.rateAt(t), 1e6);
+        EXPECT_LE(a.rateAt(t), 20e6);
+    }
+}
+
+TEST(BandwidthTrace, NegativeTimeClamped) {
+    const auto trace = BandwidthTrace::square(20e6, 5e6, 1.0);
+    EXPECT_DOUBLE_EQ(trace.rateAt(-5.0), trace.rateAt(0.0));
+}
+
+}  // namespace
+}  // namespace semholo::net

@@ -1,0 +1,146 @@
+#include "semholo/net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::net {
+namespace {
+
+LinkConfig cleanLink(double bps, double propDelay = 0.02) {
+    LinkConfig cfg;
+    cfg.bandwidth = BandwidthTrace::constant(bps);
+    cfg.propagationDelayS = propDelay;
+    cfg.jitterStddevS = 0.0;
+    cfg.lossRate = 0.0;
+    cfg.queueCapacityBytes = 10 * 1024 * 1024;
+    return cfg;
+}
+
+TEST(LinkSimulator, TransferTimeMatchesSerializationPlusPropagation) {
+    LinkSimulator sim(cleanLink(8e6, 0.01));  // 1 MB/s
+    const std::size_t bytes = 100000;
+    const auto result = sim.sendMessage(bytes, 0.0);
+    ASSERT_TRUE(result.delivered);
+    // 100 KB at 1 MB/s = 0.1 s serialization + 0.01 s propagation.
+    EXPECT_NEAR(result.completionTime, 0.11, 0.002);
+    EXPECT_NEAR(result.throughputBps(), 8e6 * (0.1 / 0.11), 0.5e6);
+}
+
+TEST(LinkSimulator, ZeroBytesDeliveredInstantly) {
+    LinkSimulator sim(cleanLink(1e6));
+    const auto result = sim.sendMessage(0, 5.0);
+    EXPECT_TRUE(result.delivered);
+    EXPECT_NEAR(result.completionTime, 5.0 + 0.02, 1e-9);
+}
+
+TEST(LinkSimulator, BackToBackMessagesQueue) {
+    LinkSimulator sim(cleanLink(8e6, 0.0));
+    const auto first = sim.sendMessage(100000, 0.0);
+    const auto second = sim.sendMessage(100000, 0.0);  // sent at same instant
+    // The second message serialises after the first.
+    EXPECT_NEAR(second.completionTime, first.completionTime + 0.1, 0.005);
+}
+
+TEST(LinkSimulator, HigherBandwidthFaster) {
+    LinkSimulator slow(cleanLink(5e6));
+    LinkSimulator fast(cleanLink(50e6));
+    const auto rs = slow.sendMessage(500000, 0.0);
+    const auto rf = fast.sendMessage(500000, 0.0);
+    EXPECT_GT(rs.durationS(), rf.durationS() * 5.0);
+}
+
+TEST(LinkSimulator, LossCausesRetransmissionsButDelivers) {
+    LinkConfig cfg = cleanLink(10e6);
+    cfg.lossRate = 0.1;
+    cfg.seed = 3;
+    LinkSimulator sim(cfg);
+    const auto result = sim.sendMessage(500000, 0.0);
+    EXPECT_TRUE(result.delivered);
+    EXPECT_GT(result.lostPackets, 0u);
+    EXPECT_GT(result.retransmissions, 0u);
+    // Slower than the loss-free equivalent.
+    LinkSimulator clean(cleanLink(10e6));
+    EXPECT_GT(result.durationS(), clean.sendMessage(500000, 0.0).durationS());
+}
+
+TEST(LinkSimulator, UnreliableModeDropsInsteadOfRetrying) {
+    LinkConfig cfg = cleanLink(10e6);
+    cfg.lossRate = 0.2;
+    cfg.seed = 5;
+    LinkSimulator sim(cfg);
+    TransferOptions opt;
+    opt.reliable = false;
+    const auto result = sim.sendMessage(500000, 0.0, opt);
+    EXPECT_GT(result.lostPackets, 0u);
+    EXPECT_EQ(result.retransmissions, 0u);
+    EXPECT_FALSE(result.delivered);
+}
+
+TEST(LinkSimulator, JitterDelaysArrivalOnly) {
+    LinkConfig cfg = cleanLink(10e6);
+    cfg.jitterStddevS = 0.005;
+    LinkSimulator noisy(cfg);
+    LinkSimulator clean(cleanLink(10e6));
+    const auto rn = noisy.sendMessage(50000, 0.0);
+    const auto rc = clean.sendMessage(50000, 0.0);
+    EXPECT_GE(rn.completionTime, rc.completionTime - 1e-9);
+}
+
+TEST(LinkSimulator, PacketizationCountsMtus) {
+    LinkSimulator sim(cleanLink(10e6));
+    const auto result = sim.sendMessage(kMtuBytes * 3 + 10, 0.0);
+    EXPECT_EQ(result.packets, 4u);
+}
+
+TEST(LinkSimulator, VaryingBandwidthSlowsLowPhase) {
+    LinkConfig cfg;
+    cfg.bandwidth = BandwidthTrace::square(50e6, 2e6, 10.0);
+    cfg.propagationDelayS = 0.0;
+    cfg.jitterStddevS = 0.0;
+    LinkSimulator sim(cfg);
+    // During the high phase.
+    const auto fast = sim.sendMessage(250000, 0.0);
+    // During the low phase.
+    const auto slow = sim.sendMessage(250000, 12.0);
+    EXPECT_GT(slow.durationS(), fast.durationS() * 5.0);
+}
+
+TEST(LinkSimulator, DeterministicGivenSeed) {
+    LinkConfig cfg = cleanLink(10e6);
+    cfg.lossRate = 0.05;
+    cfg.jitterStddevS = 0.003;
+    LinkSimulator a(cfg), b(cfg);
+    const auto ra = a.sendMessage(200000, 0.0);
+    const auto rb = b.sendMessage(200000, 0.0);
+    EXPECT_DOUBLE_EQ(ra.completionTime, rb.completionTime);
+    EXPECT_EQ(ra.retransmissions, rb.retransmissions);
+}
+
+TEST(LinkSimulator, ThirtyFpsKeypointStreamFitsNarrowLink) {
+    // Table 2 scenario: 0.46 Mbps keypoint stream over a 1 Mbps link at
+    // 30 FPS never builds a queue.
+    LinkSimulator sim(cleanLink(1e6, 0.02));
+    double maxLatency = 0.0;
+    for (int f = 0; f < 90; ++f) {
+        const double t = f / 30.0;
+        const auto r = sim.sendMessage(1956, t);  // pose payload
+        ASSERT_TRUE(r.delivered);
+        maxLatency = std::max(maxLatency, r.completionTime - t);
+    }
+    EXPECT_LT(maxLatency, 0.05);
+}
+
+TEST(LinkSimulator, ThirtyFpsRawMeshOverwhelmsBroadband) {
+    // Table 2: 95.4 Mbps of raw mesh over 25 Mbps broadband falls behind.
+    LinkSimulator sim(cleanLink(25e6, 0.02));
+    double lastLatency = 0.0;
+    for (int f = 0; f < 30; ++f) {
+        const double t = f / 30.0;
+        const auto r = sim.sendMessage(397700, t);
+        lastLatency = r.completionTime - t;
+    }
+    // Latency grows far beyond one frame interval: unsustainable.
+    EXPECT_GT(lastLatency, 1.0);
+}
+
+}  // namespace
+}  // namespace semholo::net

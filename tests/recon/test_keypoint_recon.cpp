@@ -1,0 +1,140 @@
+#include "semholo/recon/keypoint_recon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/mesh/metrics.hpp"
+#include "semholo/mesh/sampling.hpp"
+
+namespace semholo::recon {
+namespace {
+
+using body::MotionGenerator;
+using body::MotionKind;
+using body::Pose;
+
+TEST(DeviceProfile, MemoryFeasibilityMatchesFigure4) {
+    const DeviceProfile laptop = DeviceProfile::laptop();
+    const DeviceProfile workstation = DeviceProfile::workstation();
+    // Laptop handles 128 and 256 but not 512 or 1024 (paper, section 4.2).
+    EXPECT_TRUE(laptop.fitsInMemory(reconstructionWorkingSetBytes(128)));
+    EXPECT_TRUE(laptop.fitsInMemory(reconstructionWorkingSetBytes(256)));
+    EXPECT_FALSE(laptop.fitsInMemory(reconstructionWorkingSetBytes(512)));
+    EXPECT_FALSE(laptop.fitsInMemory(reconstructionWorkingSetBytes(1024)));
+    // Workstation handles all four.
+    EXPECT_TRUE(workstation.fitsInMemory(reconstructionWorkingSetBytes(1024)));
+}
+
+TEST(DeviceProfile, HostUncapped) {
+    EXPECT_TRUE(DeviceProfile::host().fitsInMemory(1ull << 60));
+    EXPECT_DOUBLE_EQ(DeviceProfile::host().scaleMs(10.0), 10.0);
+    EXPECT_GT(DeviceProfile::laptop().scaleMs(10.0), 10.0);  // slower device
+}
+
+TEST(Reconstruction, FromPoseProducesClosedMesh) {
+    const Pose pose = MotionGenerator(MotionKind::Wave).poseAt(0.5);
+    ReconstructionOptions opt;
+    opt.resolution = 48;
+    const auto result = reconstructFromPose(pose, opt);
+    ASSERT_TRUE(result.success) << result.failureReason;
+    EXPECT_GT(result.mesh.triangleCount(), 500u);
+    EXPECT_EQ(result.mesh.countBoundaryEdges(), 0u);
+    EXPECT_GT(result.fieldSampleMs, 0.0);
+    EXPECT_GT(result.extractMs, 0.0);
+}
+
+TEST(Reconstruction, LaptopFailsAtHighResolution) {
+    ReconstructionOptions opt;
+    opt.resolution = 512;
+    opt.device = DeviceProfile::laptop();
+    const auto result = reconstructFromPose(Pose{}, opt);
+    EXPECT_FALSE(result.success);
+    EXPECT_NE(result.failureReason.find("out of memory"), std::string::npos);
+    EXPECT_TRUE(result.mesh.empty());
+}
+
+TEST(Reconstruction, QualityImprovesWithResolution) {
+    // Figure 2: higher output resolution recovers more detail.
+    const body::BodyModel model(body::ShapeParams{}, 72);
+    const Pose pose = MotionGenerator(MotionKind::Talk).poseAt(0.6);
+    const mesh::TriMesh groundTruth = model.deform(pose);
+
+    ReconstructionOptions lo, hi;
+    lo.resolution = 24;
+    hi.resolution = 72;
+    const auto reconLo = reconstructFromPose(pose, lo);
+    const auto reconHi = reconstructFromPose(pose, hi);
+    ASSERT_TRUE(reconLo.success && reconHi.success);
+    const auto errLo = mesh::compareMeshes(groundTruth, reconLo.mesh, 8000);
+    const auto errHi = mesh::compareMeshes(groundTruth, reconHi.mesh, 8000);
+    EXPECT_LT(errHi.chamfer, errLo.chamfer);
+}
+
+TEST(Reconstruction, QualitySaturates) {
+    // Figure 2: 512 ~ 1024 — beyond some resolution the missing clothing
+    // detail dominates and quality stops improving proportionally.
+    const body::BodyModel model(body::ShapeParams{}, 72);
+    const Pose pose;
+    const mesh::TriMesh groundTruth = model.deform(pose);
+
+    ReconstructionOptions mid, high;
+    mid.resolution = 64;
+    high.resolution = 96;
+    const auto reconMid = reconstructFromPose(pose, mid);
+    const auto reconHigh = reconstructFromPose(pose, high);
+    ASSERT_TRUE(reconMid.success && reconHigh.success);
+    const double errMid = mesh::compareMeshes(groundTruth, reconMid.mesh, 8000).chamfer;
+    const double errHigh =
+        mesh::compareMeshes(groundTruth, reconHigh.mesh, 8000).chamfer;
+    // Improvement from 64 -> 96 is much smaller than 1.5x.
+    EXPECT_LT(errHigh, errMid * 1.05);
+    EXPECT_GT(errHigh, errMid * 0.4);
+}
+
+TEST(Reconstruction, CostScalesRoughlyCubically) {
+    // Figure 4: reconstruction time is dominated by the O(R^3) field pass.
+    ReconstructionOptions a, b;
+    a.resolution = 32;
+    b.resolution = 64;
+    const auto ra = reconstructFromPose(Pose{}, a);
+    const auto rb = reconstructFromPose(Pose{}, b);
+    ASSERT_TRUE(ra.success && rb.success);
+    const double ratio = rb.fieldSampleMs / std::max(1e-9, ra.fieldSampleMs);
+    // 2x resolution => ~8x field cost; allow generous slack for timer noise.
+    EXPECT_GT(ratio, 3.0);
+}
+
+TEST(Reconstruction, FromKeypointsMatchesGroundTruthPose) {
+    const Pose pose = MotionGenerator(MotionKind::Collaborate).poseAt(2.5);
+    const auto kps = body::jointKeypoints(pose);
+    std::array<float, kJointCount> conf;
+    conf.fill(1.0f);
+    ReconstructionOptions opt;
+    opt.resolution = 48;
+    const auto result = reconstructFromKeypoints(kps, conf, opt);
+    ASSERT_TRUE(result.success);
+    EXPECT_GT(result.ikMs, 0.0);
+
+    // Compare against the direct-from-pose reconstruction.
+    const auto direct = reconstructFromPose(pose, opt);
+    const auto err = mesh::compareMeshes(direct.mesh, result.mesh, 6000);
+    EXPECT_LT(err.chamfer, 0.03);
+}
+
+TEST(Reconstruction, MissingFoldsAreTheQualityFloor) {
+    // The ground-truth template has clothing folds; reconstruction from
+    // keypoints cannot recover them at any resolution (section 4.2).
+    const body::BodyModel model(body::ShapeParams{}, 72);
+    const Pose pose;
+    const mesh::TriMesh groundTruth = model.deform(pose);
+    ReconstructionOptions opt;
+    opt.resolution = 96;
+    const auto recon = reconstructFromPose(pose, opt);
+    ASSERT_TRUE(recon.success);
+    const auto err = mesh::compareMeshes(groundTruth, recon.mesh, 10000);
+    // Error floor at (roughly) the fold amplitude, not at zero.
+    EXPECT_GT(err.chamfer, 0.002);
+}
+
+}  // namespace
+}  // namespace semholo::recon

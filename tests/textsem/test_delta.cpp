@@ -1,0 +1,137 @@
+#include "semholo/textsem/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/body/animation.hpp"
+
+namespace semholo::textsem {
+namespace {
+
+using body::MotionGenerator;
+using body::MotionKind;
+using body::Pose;
+
+TEST(Delta, FirstFrameIsKeyframe) {
+    DeltaEncoder enc;
+    const auto packet = enc.encode(Pose{});
+    EXPECT_TRUE(packet.keyframe);
+    EXPECT_TRUE(packet.globalPresent);
+    EXPECT_EQ(packet.cellsEncoded(), kCellCount);
+}
+
+TEST(Delta, UnchangedFrameSendsNothing) {
+    DeltaEncoder enc;
+    Pose pose;
+    enc.encode(pose);
+    pose.frameId = 1;  // frame id changes but quantised content does not
+    const auto packet = enc.encode(pose);
+    EXPECT_FALSE(packet.keyframe);
+    EXPECT_EQ(packet.channelMask, 0u);
+}
+
+TEST(Delta, OnlyChangedCellTransmitted) {
+    DeltaEncoder enc;
+    Pose pose;
+    enc.encode(pose);
+    pose.rotation(body::JointId::LeftElbow) = {0, 0, -1.0f};
+    pose.frameId = 1;
+    const auto packet = enc.encode(pose);
+    EXPECT_FALSE(packet.keyframe);
+    EXPECT_EQ(packet.cellsEncoded(), 1u);
+    EXPECT_TRUE(packet.channelMask &
+                (1u << static_cast<std::size_t>(BodyCell::LeftArm)));
+}
+
+TEST(Delta, EncodeDecodeRoundTripOverSequence) {
+    const MotionGenerator gen(MotionKind::Talk);
+    DeltaEncoder enc;
+    DeltaDecoder dec;
+    const auto poses = gen.sequence(30, 30.0);
+    for (const Pose& pose : poses) {
+        const auto packet = enc.encode(pose);
+        const auto decoded = dec.decode(packet);
+        ASSERT_TRUE(decoded.has_value()) << "frame " << pose.frameId;
+        EXPECT_EQ(decoded->frameId, pose.frameId);
+        EXPECT_LT(body::poseDistance(pose, *decoded), 0.08f)
+            << "frame " << pose.frameId;
+    }
+}
+
+TEST(Delta, DeltaFramesSmallerThanKeyframes) {
+    const MotionGenerator gen(MotionKind::Talk);
+    DeltaEncoder enc;
+    const auto poses = gen.sequence(30, 30.0);
+    std::size_t keyBytes = 0, deltaBytes = 0, deltaCount = 0;
+    for (const Pose& pose : poses) {
+        const auto packet = enc.encode(pose);
+        if (packet.keyframe) {
+            keyBytes = packet.wireBytes();
+        } else {
+            deltaBytes += packet.wireBytes();
+            ++deltaCount;
+        }
+    }
+    ASSERT_GT(deltaCount, 0u);
+    EXPECT_LT(deltaBytes / deltaCount, keyBytes);
+}
+
+TEST(Delta, DeltaReducesSimulatedInference) {
+    // Section 3.3: encoding only changed cells cuts extraction and
+    // reconstruction cost.
+    const MotionGenerator gen(MotionKind::Wave);  // only one arm moves
+    DeltaEncoder enc;
+    const auto poses = gen.sequence(20, 30.0);
+    double fullCost = 0.0, deltaCost = 0.0;
+    for (const Pose& pose : poses) {
+        const auto packet = enc.encode(pose);
+        fullCost += reconCostMs(kCellCount);
+        deltaCost += reconCostMs(packet.cellsEncoded());
+    }
+    EXPECT_LT(deltaCost, fullCost * 0.8);
+}
+
+TEST(Delta, DecoderRequiresKeyframeFirst) {
+    DeltaEncoder enc;
+    DeltaDecoder dec;
+    Pose pose;
+    enc.encode(pose);  // keyframe consumed by nobody
+    pose.rotation(body::JointId::LeftElbow) = {0, 0, -1.0f};
+    pose.frameId = 1;
+    const auto delta = enc.encode(pose);
+    EXPECT_FALSE(dec.decode(delta).has_value());
+}
+
+TEST(Delta, ForceKeyframeRecovers) {
+    const MotionGenerator gen(MotionKind::Walk);
+    DeltaEncoder enc;
+    DeltaDecoder dec;
+    enc.encode(gen.poseAt(0.0));  // lost keyframe
+    const Pose pose = gen.poseAt(0.5);
+    const auto packet = enc.encode(pose, /*forceKeyframe=*/true);
+    EXPECT_TRUE(packet.keyframe);
+    const auto decoded = dec.decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_LT(body::poseDistance(pose, *decoded), 0.08f);
+}
+
+TEST(Delta, CorruptPayloadRejected) {
+    DeltaEncoder enc;
+    auto packet = enc.encode(Pose{});
+    packet.payload.assign(10, 0xFF);
+    DeltaDecoder dec;
+    EXPECT_FALSE(dec.decode(packet).has_value());
+}
+
+TEST(Delta, StateResetsCleanly) {
+    DeltaEncoder enc;
+    DeltaDecoder dec;
+    enc.encode(Pose{});
+    enc.reset();
+    const auto packet = enc.encode(Pose{});
+    EXPECT_TRUE(packet.keyframe);  // reset forces a new keyframe
+    dec.reset();
+    EXPECT_TRUE(dec.decode(packet).has_value());
+}
+
+}  // namespace
+}  // namespace semholo::textsem
