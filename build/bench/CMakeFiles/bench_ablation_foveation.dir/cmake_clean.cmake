@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_foveation.dir/bench_ablation_foveation.cpp.o"
+  "CMakeFiles/bench_ablation_foveation.dir/bench_ablation_foveation.cpp.o.d"
+  "bench_ablation_foveation"
+  "bench_ablation_foveation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_foveation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keypoints.dir/bench_ablation_keypoints.cpp.o"
+  "CMakeFiles/bench_ablation_keypoints.dir/bench_ablation_keypoints.cpp.o.d"
+  "bench_ablation_keypoints"
+  "bench_ablation_keypoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keypoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slimmable.dir/bench_ablation_slimmable.cpp.o"
+  "CMakeFiles/bench_ablation_slimmable.dir/bench_ablation_slimmable.cpp.o.d"
+  "bench_ablation_slimmable"
+  "bench_ablation_slimmable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slimmable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

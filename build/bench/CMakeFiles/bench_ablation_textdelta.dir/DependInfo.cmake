@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_textdelta.cpp" "bench/CMakeFiles/bench_ablation_textdelta.dir/bench_ablation_textdelta.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_textdelta.dir/bench_ablation_textdelta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/semholo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recon/CMakeFiles/semholo_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/semholo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gaze/CMakeFiles/semholo_gaze.dir/DependInfo.cmake"
+  "/root/repo/build/src/nerf/CMakeFiles/semholo_nerf.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/semholo_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/textsem/CMakeFiles/semholo_textsem.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/semholo_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

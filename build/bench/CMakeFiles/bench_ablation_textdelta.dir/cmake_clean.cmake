@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_textdelta.dir/bench_ablation_textdelta.cpp.o"
+  "CMakeFiles/bench_ablation_textdelta.dir/bench_ablation_textdelta.cpp.o.d"
+  "bench_ablation_textdelta"
+  "bench_ablation_textdelta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_textdelta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

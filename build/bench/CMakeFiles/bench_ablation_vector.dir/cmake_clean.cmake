@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vector.dir/bench_ablation_vector.cpp.o"
+  "CMakeFiles/bench_ablation_vector.dir/bench_ablation_vector.cpp.o.d"
+  "bench_ablation_vector"
+  "bench_ablation_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_texture.dir/bench_fig3_texture.cpp.o"
+  "CMakeFiles/bench_fig3_texture.dir/bench_fig3_texture.cpp.o.d"
+  "bench_fig3_texture"
+  "bench_fig3_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fps.dir/bench_fig4_fps.cpp.o"
+  "CMakeFiles/bench_fig4_fps.dir/bench_fig4_fps.cpp.o.d"
+  "bench_fig4_fps"
+  "bench_fig4_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_streaming.dir/adaptive_streaming.cpp.o"
+  "CMakeFiles/adaptive_streaming.dir/adaptive_streaming.cpp.o.d"
+  "adaptive_streaming"
+  "adaptive_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holographic_conference.dir/holographic_conference.cpp.o"
+  "CMakeFiles/holographic_conference.dir/holographic_conference.cpp.o.d"
+  "holographic_conference"
+  "holographic_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holographic_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_collaboration.dir/remote_collaboration.cpp.o"
+  "CMakeFiles/remote_collaboration.dir/remote_collaboration.cpp.o.d"
+  "remote_collaboration"
+  "remote_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

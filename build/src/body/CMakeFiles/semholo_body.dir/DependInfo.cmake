@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/body/src/animation.cpp" "src/body/CMakeFiles/semholo_body.dir/src/animation.cpp.o" "gcc" "src/body/CMakeFiles/semholo_body.dir/src/animation.cpp.o.d"
+  "/root/repo/src/body/src/body_model.cpp" "src/body/CMakeFiles/semholo_body.dir/src/body_model.cpp.o" "gcc" "src/body/CMakeFiles/semholo_body.dir/src/body_model.cpp.o.d"
+  "/root/repo/src/body/src/ik.cpp" "src/body/CMakeFiles/semholo_body.dir/src/ik.cpp.o" "gcc" "src/body/CMakeFiles/semholo_body.dir/src/ik.cpp.o.d"
+  "/root/repo/src/body/src/pose.cpp" "src/body/CMakeFiles/semholo_body.dir/src/pose.cpp.o" "gcc" "src/body/CMakeFiles/semholo_body.dir/src/pose.cpp.o.d"
+  "/root/repo/src/body/src/skeleton.cpp" "src/body/CMakeFiles/semholo_body.dir/src/skeleton.cpp.o" "gcc" "src/body/CMakeFiles/semholo_body.dir/src/skeleton.cpp.o.d"
+  "/root/repo/src/body/src/temporal.cpp" "src/body/CMakeFiles/semholo_body.dir/src/temporal.cpp.o" "gcc" "src/body/CMakeFiles/semholo_body.dir/src/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_body.dir/src/animation.cpp.o"
+  "CMakeFiles/semholo_body.dir/src/animation.cpp.o.d"
+  "CMakeFiles/semholo_body.dir/src/body_model.cpp.o"
+  "CMakeFiles/semholo_body.dir/src/body_model.cpp.o.d"
+  "CMakeFiles/semholo_body.dir/src/ik.cpp.o"
+  "CMakeFiles/semholo_body.dir/src/ik.cpp.o.d"
+  "CMakeFiles/semholo_body.dir/src/pose.cpp.o"
+  "CMakeFiles/semholo_body.dir/src/pose.cpp.o.d"
+  "CMakeFiles/semholo_body.dir/src/skeleton.cpp.o"
+  "CMakeFiles/semholo_body.dir/src/skeleton.cpp.o.d"
+  "CMakeFiles/semholo_body.dir/src/temporal.cpp.o"
+  "CMakeFiles/semholo_body.dir/src/temporal.cpp.o.d"
+  "libsemholo_body.a"
+  "libsemholo_body.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_body.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

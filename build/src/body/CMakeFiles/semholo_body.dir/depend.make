@@ -1,0 +1,2 @@
+# Empty dependencies file for semholo_body.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/src/keypoints.cpp" "src/capture/CMakeFiles/semholo_capture.dir/src/keypoints.cpp.o" "gcc" "src/capture/CMakeFiles/semholo_capture.dir/src/keypoints.cpp.o.d"
+  "/root/repo/src/capture/src/noise.cpp" "src/capture/CMakeFiles/semholo_capture.dir/src/noise.cpp.o" "gcc" "src/capture/CMakeFiles/semholo_capture.dir/src/noise.cpp.o.d"
+  "/root/repo/src/capture/src/rasterizer.cpp" "src/capture/CMakeFiles/semholo_capture.dir/src/rasterizer.cpp.o" "gcc" "src/capture/CMakeFiles/semholo_capture.dir/src/rasterizer.cpp.o.d"
+  "/root/repo/src/capture/src/rig.cpp" "src/capture/CMakeFiles/semholo_capture.dir/src/rig.cpp.o" "gcc" "src/capture/CMakeFiles/semholo_capture.dir/src/rig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_capture.dir/src/keypoints.cpp.o"
+  "CMakeFiles/semholo_capture.dir/src/keypoints.cpp.o.d"
+  "CMakeFiles/semholo_capture.dir/src/noise.cpp.o"
+  "CMakeFiles/semholo_capture.dir/src/noise.cpp.o.d"
+  "CMakeFiles/semholo_capture.dir/src/rasterizer.cpp.o"
+  "CMakeFiles/semholo_capture.dir/src/rasterizer.cpp.o.d"
+  "CMakeFiles/semholo_capture.dir/src/rig.cpp.o"
+  "CMakeFiles/semholo_capture.dir/src/rig.cpp.o.d"
+  "libsemholo_capture.a"
+  "libsemholo_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

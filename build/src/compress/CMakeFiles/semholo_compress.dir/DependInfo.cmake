@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/src/lzc.cpp" "src/compress/CMakeFiles/semholo_compress.dir/src/lzc.cpp.o" "gcc" "src/compress/CMakeFiles/semholo_compress.dir/src/lzc.cpp.o.d"
+  "/root/repo/src/compress/src/meshcodec.cpp" "src/compress/CMakeFiles/semholo_compress.dir/src/meshcodec.cpp.o" "gcc" "src/compress/CMakeFiles/semholo_compress.dir/src/meshcodec.cpp.o.d"
+  "/root/repo/src/compress/src/pointcloudcodec.cpp" "src/compress/CMakeFiles/semholo_compress.dir/src/pointcloudcodec.cpp.o" "gcc" "src/compress/CMakeFiles/semholo_compress.dir/src/pointcloudcodec.cpp.o.d"
+  "/root/repo/src/compress/src/rangecoder.cpp" "src/compress/CMakeFiles/semholo_compress.dir/src/rangecoder.cpp.o" "gcc" "src/compress/CMakeFiles/semholo_compress.dir/src/rangecoder.cpp.o.d"
+  "/root/repo/src/compress/src/texturecodec.cpp" "src/compress/CMakeFiles/semholo_compress.dir/src/texturecodec.cpp.o" "gcc" "src/compress/CMakeFiles/semholo_compress.dir/src/texturecodec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_compress.dir/src/lzc.cpp.o"
+  "CMakeFiles/semholo_compress.dir/src/lzc.cpp.o.d"
+  "CMakeFiles/semholo_compress.dir/src/meshcodec.cpp.o"
+  "CMakeFiles/semholo_compress.dir/src/meshcodec.cpp.o.d"
+  "CMakeFiles/semholo_compress.dir/src/pointcloudcodec.cpp.o"
+  "CMakeFiles/semholo_compress.dir/src/pointcloudcodec.cpp.o.d"
+  "CMakeFiles/semholo_compress.dir/src/rangecoder.cpp.o"
+  "CMakeFiles/semholo_compress.dir/src/rangecoder.cpp.o.d"
+  "CMakeFiles/semholo_compress.dir/src/texturecodec.cpp.o"
+  "CMakeFiles/semholo_compress.dir/src/texturecodec.cpp.o.d"
+  "libsemholo_compress.a"
+  "libsemholo_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

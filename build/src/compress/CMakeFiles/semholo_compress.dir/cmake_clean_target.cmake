@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemholo_compress.a"
+)

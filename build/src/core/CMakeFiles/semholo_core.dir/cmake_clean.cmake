@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_core.dir/src/adaptive_mesh_channel.cpp.o"
+  "CMakeFiles/semholo_core.dir/src/adaptive_mesh_channel.cpp.o.d"
+  "CMakeFiles/semholo_core.dir/src/channels.cpp.o"
+  "CMakeFiles/semholo_core.dir/src/channels.cpp.o.d"
+  "CMakeFiles/semholo_core.dir/src/image_channel.cpp.o"
+  "CMakeFiles/semholo_core.dir/src/image_channel.cpp.o.d"
+  "CMakeFiles/semholo_core.dir/src/qoe.cpp.o"
+  "CMakeFiles/semholo_core.dir/src/qoe.cpp.o.d"
+  "CMakeFiles/semholo_core.dir/src/session.cpp.o"
+  "CMakeFiles/semholo_core.dir/src/session.cpp.o.d"
+  "CMakeFiles/semholo_core.dir/src/vector_channel.cpp.o"
+  "CMakeFiles/semholo_core.dir/src/vector_channel.cpp.o.d"
+  "libsemholo_core.a"
+  "libsemholo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gaze/src/foveation.cpp" "src/gaze/CMakeFiles/semholo_gaze.dir/src/foveation.cpp.o" "gcc" "src/gaze/CMakeFiles/semholo_gaze.dir/src/foveation.cpp.o.d"
+  "/root/repo/src/gaze/src/gaze.cpp" "src/gaze/CMakeFiles/semholo_gaze.dir/src/gaze.cpp.o" "gcc" "src/gaze/CMakeFiles/semholo_gaze.dir/src/gaze.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_gaze.dir/src/foveation.cpp.o"
+  "CMakeFiles/semholo_gaze.dir/src/foveation.cpp.o.d"
+  "CMakeFiles/semholo_gaze.dir/src/gaze.cpp.o"
+  "CMakeFiles/semholo_gaze.dir/src/gaze.cpp.o.d"
+  "libsemholo_gaze.a"
+  "libsemholo_gaze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_gaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/src/camera.cpp" "src/geometry/CMakeFiles/semholo_geometry.dir/src/camera.cpp.o" "gcc" "src/geometry/CMakeFiles/semholo_geometry.dir/src/camera.cpp.o.d"
+  "/root/repo/src/geometry/src/eigen.cpp" "src/geometry/CMakeFiles/semholo_geometry.dir/src/eigen.cpp.o" "gcc" "src/geometry/CMakeFiles/semholo_geometry.dir/src/eigen.cpp.o.d"
+  "/root/repo/src/geometry/src/mat.cpp" "src/geometry/CMakeFiles/semholo_geometry.dir/src/mat.cpp.o" "gcc" "src/geometry/CMakeFiles/semholo_geometry.dir/src/mat.cpp.o.d"
+  "/root/repo/src/geometry/src/quat.cpp" "src/geometry/CMakeFiles/semholo_geometry.dir/src/quat.cpp.o" "gcc" "src/geometry/CMakeFiles/semholo_geometry.dir/src/quat.cpp.o.d"
+  "/root/repo/src/geometry/src/transform.cpp" "src/geometry/CMakeFiles/semholo_geometry.dir/src/transform.cpp.o" "gcc" "src/geometry/CMakeFiles/semholo_geometry.dir/src/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_geometry.dir/src/camera.cpp.o"
+  "CMakeFiles/semholo_geometry.dir/src/camera.cpp.o.d"
+  "CMakeFiles/semholo_geometry.dir/src/eigen.cpp.o"
+  "CMakeFiles/semholo_geometry.dir/src/eigen.cpp.o.d"
+  "CMakeFiles/semholo_geometry.dir/src/mat.cpp.o"
+  "CMakeFiles/semholo_geometry.dir/src/mat.cpp.o.d"
+  "CMakeFiles/semholo_geometry.dir/src/quat.cpp.o"
+  "CMakeFiles/semholo_geometry.dir/src/quat.cpp.o.d"
+  "CMakeFiles/semholo_geometry.dir/src/transform.cpp.o"
+  "CMakeFiles/semholo_geometry.dir/src/transform.cpp.o.d"
+  "libsemholo_geometry.a"
+  "libsemholo_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/src/io.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/io.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/io.cpp.o.d"
+  "/root/repo/src/mesh/src/isosurface.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/isosurface.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/isosurface.cpp.o.d"
+  "/root/repo/src/mesh/src/kdtree.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/kdtree.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/kdtree.cpp.o.d"
+  "/root/repo/src/mesh/src/metrics.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/metrics.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/mesh/src/pointcloud.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/pointcloud.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/pointcloud.cpp.o.d"
+  "/root/repo/src/mesh/src/sampling.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/sampling.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/sampling.cpp.o.d"
+  "/root/repo/src/mesh/src/simplify.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/simplify.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/simplify.cpp.o.d"
+  "/root/repo/src/mesh/src/trimesh.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/trimesh.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/trimesh.cpp.o.d"
+  "/root/repo/src/mesh/src/voxelgrid.cpp" "src/mesh/CMakeFiles/semholo_mesh.dir/src/voxelgrid.cpp.o" "gcc" "src/mesh/CMakeFiles/semholo_mesh.dir/src/voxelgrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

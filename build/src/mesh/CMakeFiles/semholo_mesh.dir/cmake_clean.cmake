@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_mesh.dir/src/io.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/io.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/isosurface.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/isosurface.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/kdtree.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/kdtree.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/metrics.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/pointcloud.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/pointcloud.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/sampling.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/sampling.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/simplify.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/simplify.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/trimesh.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/trimesh.cpp.o.d"
+  "CMakeFiles/semholo_mesh.dir/src/voxelgrid.cpp.o"
+  "CMakeFiles/semholo_mesh.dir/src/voxelgrid.cpp.o.d"
+  "libsemholo_mesh.a"
+  "libsemholo_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nerf/src/field.cpp" "src/nerf/CMakeFiles/semholo_nerf.dir/src/field.cpp.o" "gcc" "src/nerf/CMakeFiles/semholo_nerf.dir/src/field.cpp.o.d"
+  "/root/repo/src/nerf/src/mlp.cpp" "src/nerf/CMakeFiles/semholo_nerf.dir/src/mlp.cpp.o" "gcc" "src/nerf/CMakeFiles/semholo_nerf.dir/src/mlp.cpp.o.d"
+  "/root/repo/src/nerf/src/renderer.cpp" "src/nerf/CMakeFiles/semholo_nerf.dir/src/renderer.cpp.o" "gcc" "src/nerf/CMakeFiles/semholo_nerf.dir/src/renderer.cpp.o.d"
+  "/root/repo/src/nerf/src/trainer.cpp" "src/nerf/CMakeFiles/semholo_nerf.dir/src/trainer.cpp.o" "gcc" "src/nerf/CMakeFiles/semholo_nerf.dir/src/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/semholo_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_nerf.dir/src/field.cpp.o"
+  "CMakeFiles/semholo_nerf.dir/src/field.cpp.o.d"
+  "CMakeFiles/semholo_nerf.dir/src/mlp.cpp.o"
+  "CMakeFiles/semholo_nerf.dir/src/mlp.cpp.o.d"
+  "CMakeFiles/semholo_nerf.dir/src/renderer.cpp.o"
+  "CMakeFiles/semholo_nerf.dir/src/renderer.cpp.o.d"
+  "CMakeFiles/semholo_nerf.dir/src/trainer.cpp.o"
+  "CMakeFiles/semholo_nerf.dir/src/trainer.cpp.o.d"
+  "libsemholo_nerf.a"
+  "libsemholo_nerf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_nerf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

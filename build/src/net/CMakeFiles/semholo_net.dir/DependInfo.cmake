@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/src/abr.cpp" "src/net/CMakeFiles/semholo_net.dir/src/abr.cpp.o" "gcc" "src/net/CMakeFiles/semholo_net.dir/src/abr.cpp.o.d"
+  "/root/repo/src/net/src/link.cpp" "src/net/CMakeFiles/semholo_net.dir/src/link.cpp.o" "gcc" "src/net/CMakeFiles/semholo_net.dir/src/link.cpp.o.d"
+  "/root/repo/src/net/src/simulator.cpp" "src/net/CMakeFiles/semholo_net.dir/src/simulator.cpp.o" "gcc" "src/net/CMakeFiles/semholo_net.dir/src/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

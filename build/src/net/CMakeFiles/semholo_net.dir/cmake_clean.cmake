@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_net.dir/src/abr.cpp.o"
+  "CMakeFiles/semholo_net.dir/src/abr.cpp.o.d"
+  "CMakeFiles/semholo_net.dir/src/link.cpp.o"
+  "CMakeFiles/semholo_net.dir/src/link.cpp.o.d"
+  "CMakeFiles/semholo_net.dir/src/simulator.cpp.o"
+  "CMakeFiles/semholo_net.dir/src/simulator.cpp.o.d"
+  "libsemholo_net.a"
+  "libsemholo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_recon.dir/src/device_profile.cpp.o"
+  "CMakeFiles/semholo_recon.dir/src/device_profile.cpp.o.d"
+  "CMakeFiles/semholo_recon.dir/src/keypoint_recon.cpp.o"
+  "CMakeFiles/semholo_recon.dir/src/keypoint_recon.cpp.o.d"
+  "CMakeFiles/semholo_recon.dir/src/texture.cpp.o"
+  "CMakeFiles/semholo_recon.dir/src/texture.cpp.o.d"
+  "libsemholo_recon.a"
+  "libsemholo_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textsem/src/captioner.cpp" "src/textsem/CMakeFiles/semholo_textsem.dir/src/captioner.cpp.o" "gcc" "src/textsem/CMakeFiles/semholo_textsem.dir/src/captioner.cpp.o.d"
+  "/root/repo/src/textsem/src/delta.cpp" "src/textsem/CMakeFiles/semholo_textsem.dir/src/delta.cpp.o" "gcc" "src/textsem/CMakeFiles/semholo_textsem.dir/src/delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/semholo_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semholo_textsem.dir/src/captioner.cpp.o"
+  "CMakeFiles/semholo_textsem.dir/src/captioner.cpp.o.d"
+  "CMakeFiles/semholo_textsem.dir/src/delta.cpp.o"
+  "CMakeFiles/semholo_textsem.dir/src/delta.cpp.o.d"
+  "libsemholo_textsem.a"
+  "libsemholo_textsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semholo_textsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/body/test_animation.cpp" "tests/CMakeFiles/test_body.dir/body/test_animation.cpp.o" "gcc" "tests/CMakeFiles/test_body.dir/body/test_animation.cpp.o.d"
+  "/root/repo/tests/body/test_body_model.cpp" "tests/CMakeFiles/test_body.dir/body/test_body_model.cpp.o" "gcc" "tests/CMakeFiles/test_body.dir/body/test_body_model.cpp.o.d"
+  "/root/repo/tests/body/test_ik.cpp" "tests/CMakeFiles/test_body.dir/body/test_ik.cpp.o" "gcc" "tests/CMakeFiles/test_body.dir/body/test_ik.cpp.o.d"
+  "/root/repo/tests/body/test_pose.cpp" "tests/CMakeFiles/test_body.dir/body/test_pose.cpp.o" "gcc" "tests/CMakeFiles/test_body.dir/body/test_pose.cpp.o.d"
+  "/root/repo/tests/body/test_skeleton.cpp" "tests/CMakeFiles/test_body.dir/body/test_skeleton.cpp.o" "gcc" "tests/CMakeFiles/test_body.dir/body/test_skeleton.cpp.o.d"
+  "/root/repo/tests/body/test_temporal.cpp" "tests/CMakeFiles/test_body.dir/body/test_temporal.cpp.o" "gcc" "tests/CMakeFiles/test_body.dir/body/test_temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_body.dir/body/test_animation.cpp.o"
+  "CMakeFiles/test_body.dir/body/test_animation.cpp.o.d"
+  "CMakeFiles/test_body.dir/body/test_body_model.cpp.o"
+  "CMakeFiles/test_body.dir/body/test_body_model.cpp.o.d"
+  "CMakeFiles/test_body.dir/body/test_ik.cpp.o"
+  "CMakeFiles/test_body.dir/body/test_ik.cpp.o.d"
+  "CMakeFiles/test_body.dir/body/test_pose.cpp.o"
+  "CMakeFiles/test_body.dir/body/test_pose.cpp.o.d"
+  "CMakeFiles/test_body.dir/body/test_skeleton.cpp.o"
+  "CMakeFiles/test_body.dir/body/test_skeleton.cpp.o.d"
+  "CMakeFiles/test_body.dir/body/test_temporal.cpp.o"
+  "CMakeFiles/test_body.dir/body/test_temporal.cpp.o.d"
+  "test_body"
+  "test_body.pdb"
+  "test_body[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_body.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

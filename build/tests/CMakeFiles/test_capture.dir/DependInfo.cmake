@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/capture/test_keypoint_sets.cpp" "tests/CMakeFiles/test_capture.dir/capture/test_keypoint_sets.cpp.o" "gcc" "tests/CMakeFiles/test_capture.dir/capture/test_keypoint_sets.cpp.o.d"
+  "/root/repo/tests/capture/test_keypoints.cpp" "tests/CMakeFiles/test_capture.dir/capture/test_keypoints.cpp.o" "gcc" "tests/CMakeFiles/test_capture.dir/capture/test_keypoints.cpp.o.d"
+  "/root/repo/tests/capture/test_rasterizer.cpp" "tests/CMakeFiles/test_capture.dir/capture/test_rasterizer.cpp.o" "gcc" "tests/CMakeFiles/test_capture.dir/capture/test_rasterizer.cpp.o.d"
+  "/root/repo/tests/capture/test_rig.cpp" "tests/CMakeFiles/test_capture.dir/capture/test_rig.cpp.o" "gcc" "tests/CMakeFiles/test_capture.dir/capture/test_rig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/semholo_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capture.dir/capture/test_keypoint_sets.cpp.o"
+  "CMakeFiles/test_capture.dir/capture/test_keypoint_sets.cpp.o.d"
+  "CMakeFiles/test_capture.dir/capture/test_keypoints.cpp.o"
+  "CMakeFiles/test_capture.dir/capture/test_keypoints.cpp.o.d"
+  "CMakeFiles/test_capture.dir/capture/test_rasterizer.cpp.o"
+  "CMakeFiles/test_capture.dir/capture/test_rasterizer.cpp.o.d"
+  "CMakeFiles/test_capture.dir/capture/test_rig.cpp.o"
+  "CMakeFiles/test_capture.dir/capture/test_rig.cpp.o.d"
+  "test_capture"
+  "test_capture.pdb"
+  "test_capture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

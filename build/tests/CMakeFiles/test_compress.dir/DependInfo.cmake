@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compress/test_lzc.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_lzc.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_lzc.cpp.o.d"
+  "/root/repo/tests/compress/test_meshcodec.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_meshcodec.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_meshcodec.cpp.o.d"
+  "/root/repo/tests/compress/test_pointcloudcodec.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_pointcloudcodec.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_pointcloudcodec.cpp.o.d"
+  "/root/repo/tests/compress/test_rangecoder.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_rangecoder.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_rangecoder.cpp.o.d"
+  "/root/repo/tests/compress/test_texturecodec.cpp" "tests/CMakeFiles/test_compress.dir/compress/test_texturecodec.cpp.o" "gcc" "tests/CMakeFiles/test_compress.dir/compress/test_texturecodec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/semholo_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress.dir/compress/test_lzc.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_lzc.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_meshcodec.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_meshcodec.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_pointcloudcodec.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_pointcloudcodec.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_rangecoder.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_rangecoder.cpp.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_texturecodec.cpp.o"
+  "CMakeFiles/test_compress.dir/compress/test_texturecodec.cpp.o.d"
+  "test_compress"
+  "test_compress.pdb"
+  "test_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

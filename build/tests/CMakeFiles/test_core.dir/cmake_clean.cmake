@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adaptive_mesh.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adaptive_mesh.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_channels.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_channels.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multiuser.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multiuser.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_vector_channel.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_vector_channel.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

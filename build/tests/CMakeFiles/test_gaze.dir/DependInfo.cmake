@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gaze/test_foveation.cpp" "tests/CMakeFiles/test_gaze.dir/gaze/test_foveation.cpp.o" "gcc" "tests/CMakeFiles/test_gaze.dir/gaze/test_foveation.cpp.o.d"
+  "/root/repo/tests/gaze/test_gaze.cpp" "tests/CMakeFiles/test_gaze.dir/gaze/test_gaze.cpp.o" "gcc" "tests/CMakeFiles/test_gaze.dir/gaze/test_gaze.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gaze/CMakeFiles/semholo_gaze.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

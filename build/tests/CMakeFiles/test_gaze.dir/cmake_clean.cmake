@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaze.dir/gaze/test_foveation.cpp.o"
+  "CMakeFiles/test_gaze.dir/gaze/test_foveation.cpp.o.d"
+  "CMakeFiles/test_gaze.dir/gaze/test_gaze.cpp.o"
+  "CMakeFiles/test_gaze.dir/gaze/test_gaze.cpp.o.d"
+  "test_gaze"
+  "test_gaze.pdb"
+  "test_gaze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

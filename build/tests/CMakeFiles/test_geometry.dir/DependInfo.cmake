@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geometry/test_camera.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/test_camera.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/test_camera.cpp.o.d"
+  "/root/repo/tests/geometry/test_eigen.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/test_eigen.cpp.o.d"
+  "/root/repo/tests/geometry/test_mat.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/test_mat.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/test_mat.cpp.o.d"
+  "/root/repo/tests/geometry/test_quat.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/test_quat.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/test_quat.cpp.o.d"
+  "/root/repo/tests/geometry/test_transform.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/test_transform.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/test_transform.cpp.o.d"
+  "/root/repo/tests/geometry/test_vec.cpp" "tests/CMakeFiles/test_geometry.dir/geometry/test_vec.cpp.o" "gcc" "tests/CMakeFiles/test_geometry.dir/geometry/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

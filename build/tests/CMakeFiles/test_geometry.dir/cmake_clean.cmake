@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/geometry/test_camera.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_camera.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_eigen.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_eigen.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_mat.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_mat.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_quat.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_quat.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_transform.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_transform.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_vec.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_vec.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+  "test_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mesh/test_io.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_io.cpp.o.d"
+  "/root/repo/tests/mesh/test_isosurface.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_isosurface.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_isosurface.cpp.o.d"
+  "/root/repo/tests/mesh/test_kdtree.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_kdtree.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_kdtree.cpp.o.d"
+  "/root/repo/tests/mesh/test_metrics.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_metrics.cpp.o.d"
+  "/root/repo/tests/mesh/test_pointcloud.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_pointcloud.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_pointcloud.cpp.o.d"
+  "/root/repo/tests/mesh/test_simplify.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_simplify.cpp.o.d"
+  "/root/repo/tests/mesh/test_trimesh.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/test_trimesh.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/test_trimesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

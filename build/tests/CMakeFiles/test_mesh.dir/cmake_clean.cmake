@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/mesh/test_io.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_io.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_isosurface.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_isosurface.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_kdtree.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_kdtree.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_metrics.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_metrics.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_pointcloud.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_pointcloud.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_simplify.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_simplify.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/test_trimesh.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/test_trimesh.cpp.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+  "test_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nerf/test_field.cpp" "tests/CMakeFiles/test_nerf.dir/nerf/test_field.cpp.o" "gcc" "tests/CMakeFiles/test_nerf.dir/nerf/test_field.cpp.o.d"
+  "/root/repo/tests/nerf/test_gradients.cpp" "tests/CMakeFiles/test_nerf.dir/nerf/test_gradients.cpp.o" "gcc" "tests/CMakeFiles/test_nerf.dir/nerf/test_gradients.cpp.o.d"
+  "/root/repo/tests/nerf/test_mlp.cpp" "tests/CMakeFiles/test_nerf.dir/nerf/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/test_nerf.dir/nerf/test_mlp.cpp.o.d"
+  "/root/repo/tests/nerf/test_renderer.cpp" "tests/CMakeFiles/test_nerf.dir/nerf/test_renderer.cpp.o" "gcc" "tests/CMakeFiles/test_nerf.dir/nerf/test_renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nerf/CMakeFiles/semholo_nerf.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/semholo_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

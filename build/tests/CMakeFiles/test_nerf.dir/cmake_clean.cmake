@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nerf.dir/nerf/test_field.cpp.o"
+  "CMakeFiles/test_nerf.dir/nerf/test_field.cpp.o.d"
+  "CMakeFiles/test_nerf.dir/nerf/test_gradients.cpp.o"
+  "CMakeFiles/test_nerf.dir/nerf/test_gradients.cpp.o.d"
+  "CMakeFiles/test_nerf.dir/nerf/test_mlp.cpp.o"
+  "CMakeFiles/test_nerf.dir/nerf/test_mlp.cpp.o.d"
+  "CMakeFiles/test_nerf.dir/nerf/test_renderer.cpp.o"
+  "CMakeFiles/test_nerf.dir/nerf/test_renderer.cpp.o.d"
+  "test_nerf"
+  "test_nerf.pdb"
+  "test_nerf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nerf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

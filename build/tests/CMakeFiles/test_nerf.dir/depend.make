@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nerf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/recon/test_keypoint_recon.cpp" "tests/CMakeFiles/test_recon.dir/recon/test_keypoint_recon.cpp.o" "gcc" "tests/CMakeFiles/test_recon.dir/recon/test_keypoint_recon.cpp.o.d"
+  "/root/repo/tests/recon/test_texture.cpp" "tests/CMakeFiles/test_recon.dir/recon/test_texture.cpp.o" "gcc" "tests/CMakeFiles/test_recon.dir/recon/test_texture.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recon/CMakeFiles/semholo_recon.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/semholo_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/body/CMakeFiles/semholo_body.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/semholo_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/semholo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textsem.dir/textsem/test_captioner.cpp.o"
+  "CMakeFiles/test_textsem.dir/textsem/test_captioner.cpp.o.d"
+  "CMakeFiles/test_textsem.dir/textsem/test_delta.cpp.o"
+  "CMakeFiles/test_textsem.dir/textsem/test_delta.cpp.o.d"
+  "test_textsem"
+  "test_textsem.pdb"
+  "test_textsem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
