@@ -7,10 +7,15 @@
 // the cubic field-evaluation cost to 512/1024 (running them outright
 // takes minutes and adds no information: the scaling exponent is the
 // result). The laptop feasibility column uses the device memory model.
+//
+// Per-resolution wall times are recorded into telemetry histograms
+// (several repeats at the small resolutions) and exported to
+// BENCH_fig4.json so perf PRs can track the reconstruction trajectory.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "semholo/body/animation.hpp"
+#include "semholo/core/telemetry.hpp"
 #include "semholo/recon/keypoint_recon.hpp"
 
 using namespace semholo;
@@ -23,7 +28,7 @@ int main() {
 
     struct Row {
         int resolution;
-        double totalMs;
+        core::telemetry::Histogram reconMs;
         bool measured;
     };
     std::vector<Row> rows;
@@ -32,19 +37,33 @@ int main() {
         recon::ReconstructionOptions opt;
         opt.resolution = res;
         opt.device = recon::DeviceProfile::host();
-        const auto r = recon::reconstructFromPose(pose, opt);
-        rows.push_back({res, r.totalMs(), true});
-        unitCost = r.totalMs() / (static_cast<double>(res) * res * res);
+        Row row{res, {}, true};
+        // Repeat the cheap resolutions so the histogram has a spread;
+        // one pass of 256 already costs seconds on a laptop-class CPU.
+        const int repeats = res <= 64 ? 5 : (res <= 128 ? 2 : 1);
+        for (int i = 0; i < repeats; ++i) {
+            const auto r = recon::reconstructFromPose(pose, opt);
+            row.reconMs.record(r.totalMs());
+            unitCost = r.totalMs() / (static_cast<double>(res) * res * res);
+        }
+        rows.push_back(std::move(row));
     }
     for (const int res : {512, 1024}) {
         const double voxels = static_cast<double>(res) * res * res;
-        rows.push_back({res, unitCost * voxels, false});
+        Row row{res, {}, false};
+        row.reconMs.record(unitCost * voxels);
+        rows.push_back(std::move(row));
     }
 
     const auto laptop = recon::DeviceProfile::laptop();
-    bench::Table table({"resolution", "total ms", "FPS (host)", "mode",
-                        "laptop feasible", "paper FPS (A100)"});
+    bench::Table table({"resolution", "total ms (p50)", "p95 ms", "FPS (host)",
+                        "mode", "laptop feasible", "paper FPS (A100)"});
+    core::telemetry::JsonWriter json;
+    json.beginObject();
+    json.field("bench", std::string("fig4_fps"));
+    json.beginArray("rows");
     for (const Row& row : rows) {
+        const double totalMs = row.reconMs.p50();
         const bool fits =
             laptop.fitsInMemory(recon::reconstructionWorkingSetBytes(row.resolution));
         const char* paper = row.resolution == 128   ? "~2.5"
@@ -52,12 +71,35 @@ int main() {
                             : row.resolution == 512 ? "~0.4"
                             : row.resolution == 1024 ? "~0.2"
                                                      : "-";
-        table.addRow({std::to_string(row.resolution), bench::fmt("%.0f", row.totalMs),
-                      bench::fmt("%.3f", 1000.0 / row.totalMs),
+        table.addRow({std::to_string(row.resolution), bench::fmt("%.0f", totalMs),
+                      bench::fmt("%.0f", row.reconMs.p95()),
+                      bench::fmt("%.3f", 1000.0 / totalMs),
                       row.measured ? "measured" : "extrapolated (cubic)",
                       fits ? "yes" : "NO (out of memory)", paper});
+        json.beginObject()
+            .field("resolution", static_cast<std::uint64_t>(row.resolution))
+            .field("measured", std::string(row.measured ? "yes" : "no"))
+            .field("samples", static_cast<std::uint64_t>(row.reconMs.count()))
+            .field("recon_ms_p50", row.reconMs.p50())
+            .field("recon_ms_p95", row.reconMs.p95())
+            .field("recon_ms_p99", row.reconMs.p99())
+            .field("recon_ms_mean", row.reconMs.mean())
+            .field("fps_p50", 1000.0 / totalMs)
+            .field("laptop_feasible", std::string(fits ? "yes" : "no"))
+            .endObject();
     }
+    json.endArray();
+    json.endObject();
     table.print();
+    {
+        std::FILE* f = std::fopen("BENCH_fig4.json", "w");
+        if (f != nullptr) {
+            std::fputs(json.str().c_str(), f);
+            std::fputs("\n", f);
+            std::fclose(f);
+            std::printf("\nwrote BENCH_fig4.json\n");
+        }
+    }
 
     std::printf(
         "\nShape check: FPS decays ~cubically with resolution and is far below\n"

@@ -4,13 +4,15 @@
 //
 // Paper values: semantic 0.46 / 0.30 Mbps; traditional 95.4 / 10.1 Mbps;
 // savings ~207x (raw) and ~34x (compressed).
+//
+// Each table row is a ChannelSpec: the sweep iterates over data, and the
+// wire bytes come from the same channel implementations the session
+// engines run, so this table can never drift from the real pipeline.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "semholo/body/animation.hpp"
 #include "semholo/body/body_model.hpp"
-#include "semholo/compress/lzc.hpp"
-#include "semholo/compress/meshcodec.hpp"
 #include "semholo/compress/pointcloudcodec.hpp"
 #include "semholo/core/channel.hpp"
 #include "semholo/mesh/sampling.hpp"
@@ -27,45 +29,57 @@ int main() {
     constexpr int kFrames = 30;
     constexpr double kFps = 30.0;
 
-    double semRaw = 0.0, semComp = 0.0, tradRaw = 0.0, tradComp = 0.0;
-    for (int f = 0; f < kFrames; ++f) {
-        body::Pose pose = gen.poseAt(f / kFps);
-        pose.frameId = static_cast<std::uint32_t>(f);
-        const auto payload = body::serializePose(pose);
-        semRaw += static_cast<double>(payload.size());
-        semComp += static_cast<double>(compress::lzcCompress(payload).size());
-
-        mesh::TriMesh m = model.deform(pose);
-        m.colors.clear();  // Table 2 uses the untextured mesh
-        tradRaw += static_cast<double>(m.rawGeometryBytes());
-        compress::MeshCodecOptions codec;
-        codec.encodeColors = false;
-        tradComp += static_cast<double>(compress::encodeMesh(m, codec).size());
-    }
-    semRaw /= kFrames;
-    semComp /= kFrames;
-    tradRaw /= kFrames;
-    tradComp /= kFrames;
+    struct Row {
+        const char* label;
+        core::ChannelSpec spec;
+        const char* paperMbps;
+        const char* byteFormat;
+    };
+    const std::vector<Row> rows{
+        {"semantic w/o compression",
+         {"keypoint", {{"compressPayload", 0}}},
+         "0.46",
+         "%.2f"},
+        {"semantic w/ compression (LZC~LZMA)",
+         {"keypoint", {{"compressPayload", 1}}},
+         "0.30",
+         "%.2f"},
+        {"traditional w/o compression",
+         {"traditional", {{"compress", 0}}},
+         "95.4",
+         "%.1f"},
+        {"traditional w/ compression (~Draco)",
+         {"traditional", {{"compress", 1}}},
+         "10.1",
+         "%.1f"},
+    };
 
     auto mbps = [](double bytesPerFrame) { return bytesPerFrame * 8.0 * 30.0 / 1e6; };
 
+    std::vector<double> meanBytes;
     bench::Table table({"approach", "KB/frame", "Mbps@30FPS", "paper Mbps"});
-    table.addRow({"semantic w/o compression", bench::fmt("%.2f", semRaw / 1024.0),
-                  bench::fmt("%.2f", mbps(semRaw)), "0.46"});
-    table.addRow({"semantic w/ compression (LZC~LZMA)",
-                  bench::fmt("%.2f", semComp / 1024.0), bench::fmt("%.2f", mbps(semComp)),
-                  "0.30"});
-    table.addRow({"traditional w/o compression", bench::fmt("%.1f", tradRaw / 1024.0),
-                  bench::fmt("%.1f", mbps(tradRaw)), "95.4"});
-    table.addRow({"traditional w/ compression (~Draco)",
-                  bench::fmt("%.1f", tradComp / 1024.0),
-                  bench::fmt("%.1f", mbps(tradComp)), "10.1"});
+    for (const Row& row : rows) {
+        auto channel = core::makeChannel(row.spec, &model);
+        double bytes = 0.0;
+        for (int f = 0; f < kFrames; ++f) {
+            core::FrameContext ctx;
+            ctx.pose = gen.poseAt(f / kFps);
+            ctx.pose.frameId = static_cast<std::uint32_t>(f);
+            ctx.model = &model;
+            ctx.timestamp = f / kFps;
+            bytes += static_cast<double>(channel->encode(ctx).bytes());
+        }
+        bytes /= kFrames;
+        meanBytes.push_back(bytes);
+        table.addRow({row.label, bench::fmt(row.byteFormat, bytes / 1024.0),
+                      bench::fmt(row.byteFormat, mbps(bytes)), row.paperMbps});
+    }
     table.print();
 
     std::printf("\nBandwidth savings (raw):        %.0fx   (paper: ~207x)\n",
-                tradRaw / semRaw);
+                meanBytes[2] / meanBytes[0]);
     std::printf("Bandwidth savings (compressed): %.0fx   (paper: ~34x)\n",
-                tradComp / semComp);
+                meanBytes[3] / meanBytes[1]);
 
     // Supplementary: the point-cloud flavour of the traditional format
     // (section 2.1 lists both), through the octree codec.

@@ -30,10 +30,11 @@ int main() {
     frame.pose = motion.poseAt(0.5);
     frame.model = &model;
 
-    // 3. Sender: encode the frame on the keypoint channel.
-    core::KeypointChannelOptions options;
-    options.reconResolution = 96;
-    auto channel = core::makeKeypointChannel(options);
+    // 3. Sender: encode the frame on the keypoint channel. Channels are
+    // built from data — swap the kind or params to try another column of
+    // the taxonomy (core::listChannelKinds() enumerates them).
+    const core::ChannelSpec spec{"keypoint", {{"reconResolution", 96}}};
+    auto channel = core::makeChannel(spec, &model);
     const core::EncodedFrame encoded = channel->encode(frame);
     std::printf("keypoint payload: %zu bytes (%.2f KB; paper: 1.91 KB raw, "
                 "1.23 KB after LZMA)\n",

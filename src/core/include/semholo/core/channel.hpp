@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,9 +74,49 @@ public:
     virtual std::string name() const = 0;
     virtual EncodedFrame encode(const FrameContext& frame) = 0;
     virtual DecodedFrame decode(const EncodedFrame& encoded) = 0;
-    // Reset per-session state (delta history, NeRF weights...).
+    // Reset per-session state (delta history, NeRF weights...), leaving
+    // the channel as if freshly constructed.
+    //
+    // Contract: the session engines (runSession / runMultiUserSession,
+    // serial and parallel) invoke reset() once before a channel's first
+    // frame, so a channel instance may be reused across sessions without
+    // the caller constructing a fresh one. Stateful channels MUST
+    // implement this; stateless channels inherit the no-op.
     virtual void reset() {}
 };
+
+// ---- Data-driven channel registry ----------------------------------------
+//
+// One spec describes any channel the framework provides, so sweeps and
+// config files iterate over data instead of hand-wired factory calls:
+//
+//     core::ChannelSpec spec{"keypoint", {{"reconResolution", 24}}};
+//     auto channel = core::makeChannel(spec);
+//
+// 'kind' is one of listChannelKinds(); 'params' maps option-struct field
+// names to numeric values (booleans as 0/1), with unset keys taking the
+// option struct's default. makeChannel throws std::invalid_argument on
+// an unknown kind or an unknown param key (catching sweep typos early).
+// The typed factories below remain as thin wrappers over the same
+// implementations.
+
+struct ChannelSpec {
+    std::string kind;
+    std::map<std::string, double> params;
+};
+
+// Registered kinds: "traditional", "keypoint", "text", "image",
+// "foveated", "adaptive-mesh", "vector" (stable, sorted).
+std::vector<std::string> listChannelKinds();
+
+// Accepted param keys for one kind (throws on unknown kind).
+std::vector<std::string> listChannelParams(const std::string& kind);
+
+// Build a channel from a spec. 'model' is required by model-bound kinds
+// (currently "vector", which learns its PCA basis from the subject);
+// other kinds ignore it.
+std::unique_ptr<SemanticChannel> makeChannel(const ChannelSpec& spec,
+                                             const body::BodyModel* model = nullptr);
 
 // ---- Channel factories -------------------------------------------------
 

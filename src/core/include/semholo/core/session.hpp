@@ -2,15 +2,45 @@
 // path -> receiver pipeline, per-frame accounting of every Figure 1
 // stage, and (optionally sampled) reconstruction quality against the
 // ground-truth capture mesh.
+//
+// Two engines share the same semantics:
+//
+//  - the serial engine (workers == 1) runs everything on the calling
+//    thread — the exact legacy path;
+//  - the parallel engine (workers != 1) runs each user's sender pipeline
+//    (encode) and receiver pipeline (decode + Chamfer sampling) as
+//    independent worker-pool tasks, while the shared-bottleneck
+//    LinkSimulator remains a single sequenced stage so capture-order
+//    interleaving and congestion semantics match the serial engine. In
+//    single-user runs the pool absorbs the per-frame quality evaluation.
+//
+// With TimingModel::Simulated the pipeline clock is fully deterministic,
+// so `workers=1` and `workers=N` produce byte-identical per-frame
+// bytes/delivered/dropped sequences (see tests/core/test_parallel_session).
 #pragma once
 
 #include <limits>
 
 #include "semholo/body/animation.hpp"
 #include "semholo/core/channel.hpp"
+#include "semholo/core/telemetry.hpp"
 #include "semholo/net/simulator.hpp"
 
 namespace semholo::core {
+
+// What advances the pipeline availability clocks (extractor/recon busy
+// times, link send times).
+enum class TimingModel {
+    // Measured wall time + simulated DL inference time (legacy). Wall
+    // time varies run to run, so drop decisions and link timings are
+    // only statistically reproducible.
+    Measured,
+    // Only the simulated (deterministic) stage costs drive the clocks;
+    // measured wall time is still *reported* in FrameStats/telemetry but
+    // never influences scheduling. Use for determinism tests and for
+    // comparing engines bit-for-bit.
+    Simulated,
+};
 
 struct SessionConfig {
     double fps{30.0};
@@ -31,6 +61,10 @@ struct SessionConfig {
     // when false, frames queue and latency grows without bound for
     // stages slower than the frame interval.
     bool dropWhenBusy{true};
+    // Worker threads for the parallel engine: 0 = hardware_concurrency,
+    // 1 = exact legacy serial path.
+    std::size_t workers{0};
+    TimingModel timing{TimingModel::Measured};
 };
 
 struct FrameStats {
@@ -40,6 +74,7 @@ struct FrameStats {
     double transferMs{};   // network (queue + serialisation + propagation)
     double reconMs{};      // measured + simulated receiver inference
     double e2eMs{};        // capture-to-render
+    double qualityMs{};    // Chamfer-eval wall time (0 when not evaluated)
     bool delivered{false};
     bool decoded{false};
     bool droppedAtSender{false};    // extractor still busy at capture time
@@ -67,9 +102,14 @@ struct SessionStats {
     double achievableFps{};
     // Mean Chamfer over evaluated frames (NaN when never evaluated).
     double meanChamfer{std::numeric_limits<double>::quiet_NaN()};
+    // Per-stage wall-time histograms (p50/p95/p99), drop/retransmission
+    // counters, and bottleneck queue-depth samples for this session.
+    telemetry::SessionTelemetry telemetry;
 };
 
-// Run a one-way session (site A captures, site B renders).
+// Run a one-way session (site A captures, site B renders). Calls
+// channel.reset() before the first frame; dispatches to the serial or
+// parallel engine based on config.workers.
 SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
                         const SessionConfig& config);
 
@@ -79,12 +119,16 @@ SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
 // server model of the multi-user volumetric delivery literature the
 // paper builds on). Every user runs their own channel instance and
 // motion seed; their frames interleave on the shared link in capture
-// order, so heavy channels congest each other.
+// order, so heavy channels congest each other. Each channel is reset()
+// before its first frame.
 
 struct MultiSessionStats {
     std::vector<SessionStats> perUser;
     double aggregateMbps{};
     double meanE2eMs{};
+    // Merged per-user telemetry plus the shared link's packet/queue
+    // counters and queue-depth histogram.
+    telemetry::SessionTelemetry telemetry;
     // Users whose mean end-to-end latency meets 'budgetMs'.
     std::size_t usersWithinLatency(double budgetMs) const;
 };

@@ -1,0 +1,108 @@
+// Per-stage telemetry for the session engines: wall-time histograms
+// (exact p50/p95/p99 over recorded samples), counters for drops,
+// retransmissions and queue depth, and a JSON exporter the bench
+// harnesses write next to their tables (BENCH_*.json) so successive
+// perf PRs have a measured trajectory to compare against.
+//
+// Thread model: a Histogram/Counters instance is NOT internally
+// synchronised. The parallel engine gives each worker task its own
+// instance and merge()s them on the coordinating thread; the sequenced
+// link stage owns the link/queue metrics outright.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace semholo::core::telemetry {
+
+// Sample-retaining histogram: exact percentiles at bench scale (10^2..
+// 10^5 samples per session), merge by concatenation.
+class Histogram {
+public:
+    void record(double value);
+    void merge(const Histogram& other);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    double sum() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    // Nearest-rank percentile over recorded samples; p in [0, 100].
+    // Returns 0 when empty.
+    double percentile(double p) const;
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+private:
+    const std::vector<double>& sorted() const;
+
+    std::vector<double> samples_;
+    // Sorted lazily on first percentile query after a mutation.
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_{false};
+};
+
+struct Counters {
+    std::uint64_t framesCaptured{};
+    std::uint64_t framesDelivered{};
+    std::uint64_t framesDecoded{};
+    std::uint64_t dropsAtSender{};     // extractor busy at capture time
+    std::uint64_t dropsAtReceiver{};   // reconstructor busy at arrival
+    std::uint64_t packets{};
+    std::uint64_t packetsLost{};       // first-transmission losses
+    std::uint64_t retransmissions{};
+    std::uint64_t queueDrops{};        // bottleneck tail drops
+    std::uint64_t bytesSent{};
+
+    void merge(const Counters& other);
+};
+
+// Everything one session (or one user of a multi-user session) records.
+struct SessionTelemetry {
+    Histogram encodeMs;          // sender extraction + encoding wall time
+    Histogram transferMs;        // link queue + serialisation + propagation
+    Histogram decodeMs;          // receiver reconstruction wall time
+    Histogram qualityMs;         // Chamfer-eval mesh sampling wall time
+    Histogram e2eMs;             // capture-to-render per delivered frame
+    Histogram bytesPerFrame;     // wire payload sizes
+    Histogram queueDepthBytes;   // bottleneck backlog sampled at each send
+    Counters counters;
+
+    void merge(const SessionTelemetry& other);
+    // JSON object: {"stages": {name: {count,mean,min,max,p50,p95,p99}},
+    //               "counters": {...}}.
+    std::string toJson(int indent = 0) const;
+    bool writeJson(const std::string& path) const;
+};
+
+// Minimal JSON document builder shared by the bench exporters, so ad-hoc
+// bench output (speedups, per-row results) lands in the same files as
+// the engine telemetry without a JSON dependency.
+class JsonWriter {
+public:
+    JsonWriter& beginObject(const std::string& key = {});
+    JsonWriter& endObject();
+    JsonWriter& beginArray(const std::string& key = {});
+    JsonWriter& endArray();
+    JsonWriter& field(const std::string& key, double value);
+    JsonWriter& field(const std::string& key, std::uint64_t value);
+    JsonWriter& field(const std::string& key, const std::string& value);
+    JsonWriter& raw(const std::string& key, const std::string& jsonValue);
+    std::string str() const { return out_; }
+
+private:
+    void comma();
+    void keyPrefix(const std::string& key);
+
+    std::string out_;
+    std::vector<bool> needComma_;
+};
+
+// Render a SessionTelemetry as a JSON value (used by JsonWriter::raw to
+// embed engine telemetry inside larger bench documents).
+std::string toJsonValue(const SessionTelemetry& t);
+
+}  // namespace semholo::core::telemetry

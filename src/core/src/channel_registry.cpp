@@ -1,0 +1,194 @@
+// Data-driven channel registry: maps ChannelSpec{kind, params} onto the
+// typed option structs and factories. Each entry declares the numeric
+// params it accepts; unknown kinds and unknown params throw so sweeps
+// fail loudly on typos instead of silently running defaults.
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+#include "semholo/core/channel.hpp"
+
+namespace semholo::core {
+
+namespace {
+
+// Tracks which spec params a builder consumed so leftovers can be
+// reported as errors.
+class ParamReader {
+public:
+    explicit ParamReader(const ChannelSpec& spec) : spec_(spec) {}
+
+    double get(const std::string& key, double fallback) {
+        used_.insert(key);
+        const auto it = spec_.params.find(key);
+        return it == spec_.params.end() ? fallback : it->second;
+    }
+    int getInt(const std::string& key, int fallback) {
+        return static_cast<int>(get(key, fallback));
+    }
+    bool getBool(const std::string& key, bool fallback) {
+        return get(key, fallback ? 1.0 : 0.0) != 0.0;
+    }
+    std::size_t getSize(const std::string& key, std::size_t fallback) {
+        return static_cast<std::size_t>(get(key, static_cast<double>(fallback)));
+    }
+
+    void finish() const {
+        for (const auto& [key, value] : spec_.params) {
+            (void)value;
+            if (used_.count(key) == 0)
+                throw std::invalid_argument(
+                    "makeChannel: unknown param '" + key + "' for kind '" +
+                    spec_.kind + "'");
+        }
+    }
+
+private:
+    const ChannelSpec& spec_;
+    std::set<std::string> used_;
+};
+
+struct RegistryEntry {
+    std::vector<std::string> params;
+    bool needsModel{false};
+    std::function<std::unique_ptr<SemanticChannel>(ParamReader&,
+                                                   const body::BodyModel*)>
+        build;
+};
+
+// Sorted map => listChannelKinds() is stable and sorted.
+const std::map<std::string, RegistryEntry>& registry() {
+    static const std::map<std::string, RegistryEntry> entries = [] {
+        std::map<std::string, RegistryEntry> r;
+        r["traditional"] = {
+            {"compress", "withColors"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                TraditionalOptions o;
+                o.compress = p.getBool("compress", o.compress);
+                o.withColors = p.getBool("withColors", o.withColors);
+                return makeTraditionalChannel(o);
+            }};
+        r["keypoint"] = {
+            {"reconResolution", "compressPayload", "simulatedDetectMs"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                KeypointChannelOptions o;
+                o.reconResolution = p.getInt("reconResolution", o.reconResolution);
+                o.compressPayload = p.getBool("compressPayload", o.compressPayload);
+                o.simulatedDetectMs =
+                    p.get("simulatedDetectMs", o.simulatedDetectMs);
+                return makeKeypointChannel(o);
+            }};
+        r["text"] = {
+            {"reconResolution", "reconstructMesh"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                TextChannelOptions o;
+                o.reconResolution = p.getInt("reconResolution", o.reconResolution);
+                o.reconstructMesh = p.getBool("reconstructMesh", o.reconstructMesh);
+                return makeTextChannel(o);
+            }};
+        r["image"] = {
+            {"viewCount", "imageWidth", "imageHeight", "nerfWidthFraction",
+             "pretrainSteps", "fineTuneSteps", "cameraRadius", "fovY", "seed"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                ImageChannelOptions o;
+                o.viewCount = p.getInt("viewCount", o.viewCount);
+                o.imageWidth = p.getInt("imageWidth", o.imageWidth);
+                o.imageHeight = p.getInt("imageHeight", o.imageHeight);
+                o.nerfWidthFraction = static_cast<float>(
+                    p.get("nerfWidthFraction", o.nerfWidthFraction));
+                o.pretrainSteps = p.getInt("pretrainSteps", o.pretrainSteps);
+                o.fineTuneSteps = p.getInt("fineTuneSteps", o.fineTuneSteps);
+                o.cameraRadius =
+                    static_cast<float>(p.get("cameraRadius", o.cameraRadius));
+                o.fovY = static_cast<float>(p.get("fovY", o.fovY));
+                o.seed = static_cast<std::uint64_t>(
+                    p.get("seed", static_cast<double>(o.seed)));
+                return makeImageChannel(o);
+            }};
+        r["foveated"] = {
+            {"fovealRadiusDeg", "peripheralResolution", "compress",
+             "saccadicOmission"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                FoveatedOptions o;
+                o.fovealRadiusDeg = p.get("fovealRadiusDeg", o.fovealRadiusDeg);
+                o.peripheralResolution =
+                    p.getInt("peripheralResolution", o.peripheralResolution);
+                o.compress = p.getBool("compress", o.compress);
+                o.saccadicOmission =
+                    p.getBool("saccadicOmission", o.saccadicOmission);
+                return makeFoveatedChannel(o);
+            }};
+        r["adaptive-mesh"] = {
+            {"fps", "safety"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                AdaptiveMeshOptions o;
+                o.fps = p.get("fps", o.fps);
+                o.safety = p.get("safety", o.safety);
+                return makeAdaptiveMeshChannel(o);
+            }};
+        r["vector"] = {
+            {"latentDim", "trainingFrames", "trainingSeed"},
+            true,
+            [](ParamReader& p, const body::BodyModel* model) {
+                VectorChannelOptions o;
+                o.latentDim = p.getInt("latentDim", o.latentDim);
+                o.trainingFrames = p.getSize("trainingFrames", o.trainingFrames);
+                o.trainingSeed = static_cast<std::uint32_t>(
+                    p.get("trainingSeed", o.trainingSeed));
+                return makeVectorChannel(*model, o);
+            }};
+        return r;
+    }();
+    return entries;
+}
+
+const RegistryEntry& entryFor(const std::string& kind) {
+    const auto& r = registry();
+    const auto it = r.find(kind);
+    if (it == r.end()) {
+        std::string known;
+        for (const auto& [name, entry] : r) {
+            (void)entry;
+            known += known.empty() ? name : ", " + name;
+        }
+        throw std::invalid_argument("makeChannel: unknown channel kind '" + kind +
+                                    "' (known: " + known + ")");
+    }
+    return it->second;
+}
+
+}  // namespace
+
+std::vector<std::string> listChannelKinds() {
+    std::vector<std::string> kinds;
+    for (const auto& [name, entry] : registry()) {
+        (void)entry;
+        kinds.push_back(name);
+    }
+    return kinds;
+}
+
+std::vector<std::string> listChannelParams(const std::string& kind) {
+    return entryFor(kind).params;
+}
+
+std::unique_ptr<SemanticChannel> makeChannel(const ChannelSpec& spec,
+                                             const body::BodyModel* model) {
+    const RegistryEntry& entry = entryFor(spec.kind);
+    if (entry.needsModel && model == nullptr)
+        throw std::invalid_argument("makeChannel: kind '" + spec.kind +
+                                    "' requires a body model");
+    ParamReader reader(spec);
+    auto channel = entry.build(reader, model);
+    reader.finish();
+    return channel;
+}
+
+}  // namespace semholo::core

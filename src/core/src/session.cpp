@@ -1,18 +1,152 @@
 #include "semholo/core/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "semholo/core/thread_pool.hpp"
 #include "semholo/mesh/metrics.hpp"
 #include "semholo/net/abr.hpp"
+#include "session_internal.hpp"
 
 namespace semholo::core {
 
-SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
-                        const SessionConfig& config) {
+namespace internal {
+
+std::size_t effectiveWorkers(const SessionConfig& config) {
+    return config.workers == 0 ? ThreadPool::defaultWorkers() : config.workers;
+}
+
+void observeLink(net::LinkSimulator& link, telemetry::SessionTelemetry& t) {
+    link.setObserver([&t](const net::TransferResult& r, std::size_t queuedBytes) {
+        t.counters.packets += r.packets;
+        t.counters.packetsLost += r.lostPackets;
+        t.counters.retransmissions += r.retransmissions;
+        t.counters.queueDrops += r.droppedAtQueue;
+        t.counters.bytesSent += r.bytes;
+        t.queueDepthBytes.record(static_cast<double>(queuedBytes));
+    });
+}
+
+void finalizeSessionStats(SessionStats& stats, const SessionConfig& config) {
+    // Aggregate over processed (non-dropped) frames; byte/time means are
+    // over frames that actually ran the stage in question.
+    double sumBytes = 0.0, sumExtract = 0.0, sumTransfer = 0.0, sumRecon = 0.0,
+           sumE2e = 0.0, sumStage = 0.0, sumChamfer = 0.0;
+    std::size_t sent = 0, reconCount = 0, evaluated = 0;
+    std::vector<double> e2es;
+    telemetry::SessionTelemetry& t = stats.telemetry;
+    t.counters.framesCaptured += stats.frames.size();
+    for (const FrameStats& frame : stats.frames) {
+        if (frame.droppedAtSender) {
+            ++stats.droppedSenderFrames;
+            ++t.counters.dropsAtSender;
+            continue;
+        }
+        sumBytes += static_cast<double>(frame.bytes);
+        sumExtract += frame.extractMs;
+        sumTransfer += frame.transferMs;
+        t.encodeMs.record(frame.extractMs);
+        t.transferMs.record(frame.transferMs);
+        t.bytesPerFrame.record(static_cast<double>(frame.bytes));
+        ++sent;
+        if (frame.droppedAtReceiver) {
+            ++stats.droppedReceiverFrames;
+            ++t.counters.dropsAtReceiver;
+            continue;
+        }
+        if (frame.delivered) {
+            ++stats.deliveredFrames;
+            ++t.counters.framesDelivered;
+            sumE2e += frame.e2eMs;
+            e2es.push_back(frame.e2eMs);
+            t.e2eMs.record(frame.e2eMs);
+        }
+        if (frame.decoded) {
+            ++stats.decodedFrames;
+            ++t.counters.framesDecoded;
+            sumRecon += frame.reconMs;
+            t.decodeMs.record(frame.reconMs);
+            ++reconCount;
+        }
+        sumStage += std::max(frame.extractMs, frame.reconMs);
+        if (!std::isnan(frame.chamfer)) {
+            sumChamfer += frame.chamfer;
+            t.qualityMs.record(frame.qualityMs);
+            ++evaluated;
+        }
+    }
+    if (sent > 0) {
+        stats.meanBytesPerFrame = sumBytes / static_cast<double>(sent);
+        stats.meanExtractMs = sumExtract / static_cast<double>(sent);
+        stats.meanTransferMs = sumTransfer / static_cast<double>(sent);
+        // Effective bandwidth: bytes actually sent over the session span.
+        const double spanS = static_cast<double>(config.frames) / config.fps;
+        stats.bandwidthMbps = sumBytes * 8.0 / spanS / 1e6;
+    }
+    if (reconCount > 0) {
+        stats.meanReconMs = sumRecon / static_cast<double>(reconCount);
+        const double meanStage = sumStage / static_cast<double>(reconCount);
+        stats.achievableFps = meanStage > 0.0 ? 1000.0 / meanStage : config.fps;
+    }
+    if (stats.deliveredFrames > 0) {
+        stats.meanE2eMs = sumE2e / static_cast<double>(stats.deliveredFrames);
+        std::sort(e2es.begin(), e2es.end());
+        stats.p95E2eMs = e2es[static_cast<std::size_t>(
+            0.95 * static_cast<double>(e2es.size() - 1))];
+    }
+    if (evaluated > 0) stats.meanChamfer = sumChamfer / static_cast<double>(evaluated);
+}
+
+void finalizeMultiSessionStats(MultiSessionStats& out, const SessionConfig& config) {
+    double totalBytes = 0.0, totalE2e = 0.0;
+    std::size_t e2eCount = 0;
+    const double spanS = static_cast<double>(config.frames) / config.fps;
+    for (SessionStats& s : out.perUser) {
+        finalizeSessionStats(s, config);
+        for (const FrameStats& frame : s.frames) {
+            if (frame.droppedAtSender) continue;
+            totalBytes += static_cast<double>(frame.bytes);
+            if (!frame.droppedAtReceiver && frame.delivered) {
+                totalE2e += frame.e2eMs;
+                ++e2eCount;
+            }
+        }
+        out.telemetry.merge(s.telemetry);
+    }
+    out.aggregateMbps = totalBytes * 8.0 / spanS / 1e6;
+    if (e2eCount > 0) out.meanE2eMs = totalE2e / static_cast<double>(e2eCount);
+}
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+// Evaluate decoded-mesh quality against the LBS ground truth for one
+// frame; shared by both engines (the parallel engine runs it inside
+// pool tasks). Deterministic given the pose/mesh/samples.
+void evaluateQuality(FrameStats& frame, const body::BodyModel& model,
+                     const body::Pose& pose, const mesh::TriMesh& decodedMesh,
+                     std::size_t samples) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const mesh::TriMesh gt = model.deform(pose);
+    frame.chamfer = mesh::compareMeshes(gt, decodedMesh, samples).chamfer;
+    frame.qualityMs = msSince(t0);
+}
+
+SessionStats runSessionSerial(SemanticChannel& channel,
+                              const body::BodyModel& model,
+                              const SessionConfig& config) {
     SessionStats stats;
     channel.reset();
     net::LinkSimulator link(config.link);
+    observeLink(link, stats.telemetry);
     const body::MotionGenerator motion(config.motion, model.shape(),
                                        config.motionSeed);
 
@@ -47,7 +181,8 @@ SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
         frame.bytes = encoded.bytes();
         frame.extractMs = encoded.extractMs();
         const double extractStart = std::max(captureTime, extractorFreeAt);
-        const double sendTime = extractStart + frame.extractMs / 1000.0;
+        const double sendTime =
+            extractStart + internal::clockExtractMs(encoded, config.timing) / 1000.0;
         extractorFreeAt = sendTime;
 
         const auto transfer =
@@ -74,15 +209,14 @@ SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
             frame.decoded = decoded.valid;
             frame.reconMs = decoded.reconMs();
             const double reconStart = std::max(arrival, reconFreeAt);
-            const double renderTime = reconStart + frame.reconMs / 1000.0;
+            const double renderTime =
+                reconStart + internal::clockReconMs(decoded, config.timing) / 1000.0;
             reconFreeAt = renderTime;
             frame.e2eMs = (renderTime - captureTime) * 1000.0;
             if (decoded.valid && config.qualityEvalInterval > 0 &&
                 f % config.qualityEvalInterval == 0 && !decoded.mesh.empty()) {
-                const mesh::TriMesh gt = ctx.groundTruth();
-                frame.chamfer =
-                    mesh::compareMeshes(gt, decoded.mesh, config.qualitySamples)
-                        .chamfer;
+                evaluateQuality(frame, model, ctx.pose, decoded.mesh,
+                                config.qualitySamples);
             }
         } else {
             frame.e2eMs = (transfer.completionTime - captureTime) * 1000.0;
@@ -90,72 +224,11 @@ SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
         stats.frames.push_back(std::move(frame));
     }
 
-    // Aggregate over processed (non-dropped) frames; byte/time means are
-    // over frames that actually ran the stage in question.
-    double sumBytes = 0.0, sumExtract = 0.0, sumTransfer = 0.0, sumRecon = 0.0,
-           sumE2e = 0.0, sumStage = 0.0, sumChamfer = 0.0;
-    std::size_t sent = 0, reconCount = 0, evaluated = 0;
-    std::vector<double> e2es;
-    for (const FrameStats& frame : stats.frames) {
-        if (frame.droppedAtSender) {
-            ++stats.droppedSenderFrames;
-            continue;
-        }
-        sumBytes += static_cast<double>(frame.bytes);
-        sumExtract += frame.extractMs;
-        sumTransfer += frame.transferMs;
-        ++sent;
-        if (frame.droppedAtReceiver) {
-            ++stats.droppedReceiverFrames;
-            continue;
-        }
-        if (frame.delivered) {
-            ++stats.deliveredFrames;
-            sumE2e += frame.e2eMs;
-            e2es.push_back(frame.e2eMs);
-        }
-        if (frame.decoded) {
-            ++stats.decodedFrames;
-            sumRecon += frame.reconMs;
-            ++reconCount;
-        }
-        sumStage += std::max(frame.extractMs, frame.reconMs);
-        if (!std::isnan(frame.chamfer)) {
-            sumChamfer += frame.chamfer;
-            ++evaluated;
-        }
-    }
-    if (sent > 0) {
-        stats.meanBytesPerFrame = sumBytes / static_cast<double>(sent);
-        stats.meanExtractMs = sumExtract / static_cast<double>(sent);
-        stats.meanTransferMs = sumTransfer / static_cast<double>(sent);
-        // Effective bandwidth: bytes actually sent over the session span.
-        const double spanS = static_cast<double>(config.frames) / config.fps;
-        stats.bandwidthMbps = sumBytes * 8.0 / spanS / 1e6;
-    }
-    if (reconCount > 0) {
-        stats.meanReconMs = sumRecon / static_cast<double>(reconCount);
-        const double meanStage = sumStage / static_cast<double>(reconCount);
-        stats.achievableFps = meanStage > 0.0 ? 1000.0 / meanStage : config.fps;
-    }
-    if (stats.deliveredFrames > 0) {
-        stats.meanE2eMs = sumE2e / static_cast<double>(stats.deliveredFrames);
-        std::sort(e2es.begin(), e2es.end());
-        stats.p95E2eMs = e2es[static_cast<std::size_t>(
-            0.95 * static_cast<double>(e2es.size() - 1))];
-    }
-    if (evaluated > 0) stats.meanChamfer = sumChamfer / static_cast<double>(evaluated);
+    finalizeSessionStats(stats, config);
     return stats;
 }
 
-std::size_t MultiSessionStats::usersWithinLatency(double budgetMs) const {
-    std::size_t n = 0;
-    for (const SessionStats& s : perUser)
-        if (s.deliveredFrames > 0 && s.meanE2eMs <= budgetMs) ++n;
-    return n;
-}
-
-MultiSessionStats runMultiUserSession(
+MultiSessionStats runMultiUserSessionSerial(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
     const SessionConfig& base) {
     MultiSessionStats out;
@@ -164,6 +237,7 @@ MultiSessionStats runMultiUserSession(
     if (users == 0) return out;
 
     net::LinkSimulator shared(base.link);
+    observeLink(shared, out.telemetry);
     std::vector<body::MotionGenerator> motions;
     std::vector<double> extractorFreeAt(users, 0.0);
     std::vector<double> reconFreeAt(users, 0.0);
@@ -193,8 +267,9 @@ MultiSessionStats runMultiUserSession(
             const EncodedFrame encoded = channels[u]->encode(ctx);
             frame.bytes = encoded.bytes();
             frame.extractMs = encoded.extractMs();
-            const double sendTime = std::max(captureTime, extractorFreeAt[u]) +
-                                    frame.extractMs / 1000.0;
+            const double sendTime =
+                std::max(captureTime, extractorFreeAt[u]) +
+                internal::clockExtractMs(encoded, base.timing) / 1000.0;
             extractorFreeAt[u] = sendTime;
 
             // All users share the same bottleneck.
@@ -211,63 +286,48 @@ MultiSessionStats runMultiUserSession(
                     frame.decoded = decoded.valid;
                     frame.reconMs = decoded.reconMs();
                     const double renderTime =
-                        std::max(arrival, reconFreeAt[u]) + frame.reconMs / 1000.0;
+                        std::max(arrival, reconFreeAt[u]) +
+                        internal::clockReconMs(decoded, base.timing) / 1000.0;
                     reconFreeAt[u] = renderTime;
                     frame.e2eMs = (renderTime - captureTime) * 1000.0;
+                    if (decoded.valid && base.qualityEvalInterval > 0 &&
+                        f % base.qualityEvalInterval == 0 && !decoded.mesh.empty()) {
+                        evaluateQuality(frame, model, ctx.pose, decoded.mesh,
+                                        base.qualitySamples);
+                    }
                 }
             }
             out.perUser[u].frames.push_back(frame);
         }
     }
 
-    // Per-user aggregation mirrors runSession's.
-    double totalBytes = 0.0, totalE2e = 0.0;
-    std::size_t e2eCount = 0;
-    const double spanS = static_cast<double>(base.frames) / base.fps;
-    for (SessionStats& s : out.perUser) {
-        double bytes = 0.0, e2e = 0.0, extract = 0.0, transferTotal = 0.0,
-               recon = 0.0;
-        std::size_t sent = 0, reconN = 0;
-        for (const FrameStats& frame : s.frames) {
-            if (frame.droppedAtSender) {
-                ++s.droppedSenderFrames;
-                continue;
-            }
-            bytes += static_cast<double>(frame.bytes);
-            extract += frame.extractMs;
-            transferTotal += frame.transferMs;
-            ++sent;
-            if (frame.droppedAtReceiver) {
-                ++s.droppedReceiverFrames;
-                continue;
-            }
-            if (frame.delivered) {
-                ++s.deliveredFrames;
-                e2e += frame.e2eMs;
-            }
-            if (frame.decoded) {
-                ++s.decodedFrames;
-                recon += frame.reconMs;
-                ++reconN;
-            }
-        }
-        if (sent > 0) {
-            s.meanBytesPerFrame = bytes / static_cast<double>(sent);
-            s.meanExtractMs = extract / static_cast<double>(sent);
-            s.meanTransferMs = transferTotal / static_cast<double>(sent);
-            s.bandwidthMbps = bytes * 8.0 / spanS / 1e6;
-        }
-        if (reconN > 0) s.meanReconMs = recon / static_cast<double>(reconN);
-        if (s.deliveredFrames > 0) {
-            s.meanE2eMs = e2e / static_cast<double>(s.deliveredFrames);
-            totalE2e += e2e;
-            e2eCount += s.deliveredFrames;
-        }
-        totalBytes += bytes;
-    }
-    out.aggregateMbps = totalBytes * 8.0 / spanS / 1e6;
-    if (e2eCount > 0) out.meanE2eMs = totalE2e / static_cast<double>(e2eCount);
+    finalizeMultiSessionStats(out, base);
     return out;
+}
+
+}  // namespace internal
+
+std::size_t MultiSessionStats::usersWithinLatency(double budgetMs) const {
+    std::size_t n = 0;
+    for (const SessionStats& s : perUser)
+        if (s.deliveredFrames > 0 && s.meanE2eMs <= budgetMs) ++n;
+    return n;
+}
+
+SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
+                        const SessionConfig& config) {
+    const std::size_t workers = internal::effectiveWorkers(config);
+    if (workers <= 1) return internal::runSessionSerial(channel, model, config);
+    return internal::runSessionParallel(channel, model, config, workers);
+}
+
+MultiSessionStats runMultiUserSession(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base) {
+    const std::size_t workers = internal::effectiveWorkers(base);
+    if (workers <= 1)
+        return internal::runMultiUserSessionSerial(channels, model, base);
+    return internal::runMultiUserSessionParallel(channels, model, base, workers);
 }
 
 }  // namespace semholo::core

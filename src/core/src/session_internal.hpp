@@ -1,0 +1,65 @@
+// Shared internals of the serial and parallel session engines: pipeline
+// clock helpers, stat aggregation, and the link telemetry observer. Not
+// installed — both engines must aggregate identically so the parallel
+// engine can be validated bit-for-bit against the serial one.
+#pragma once
+
+#include "semholo/core/session.hpp"
+
+namespace semholo::core::internal {
+
+// Stage cost that advances the availability clocks (extractor/recon
+// busy-until, link send times) under the configured timing model.
+inline double clockExtractMs(const EncodedFrame& encoded, TimingModel timing) {
+    return timing == TimingModel::Measured ? encoded.extractMs()
+                                           : encoded.simulatedExtractMs;
+}
+
+inline double clockReconMs(const DecodedFrame& decoded, TimingModel timing) {
+    return timing == TimingModel::Measured ? decoded.reconMs()
+                                           : decoded.simulatedReconMs;
+}
+
+// config.workers with 0 resolved to hardware concurrency.
+std::size_t effectiveWorkers(const SessionConfig& config);
+
+// Compute every frame-derived aggregate of 'stats' (means, percentiles,
+// drop counts, achievable FPS, Chamfer mean) and fill the per-stage
+// telemetry histograms/counters from stats.frames. Link-level counters
+// (packets, retransmissions, queue depth) are recorded separately by the
+// observer attached via observeLink.
+void finalizeSessionStats(SessionStats& stats, const SessionConfig& config);
+
+// Per-user finalize + aggregate rollup (bandwidth, mean e2e, merged
+// telemetry). out.telemetry may already hold the shared link's counters.
+void finalizeMultiSessionStats(MultiSessionStats& out, const SessionConfig& config);
+
+// Record packet/loss/retransmission/queue-drop counters and queue-depth
+// samples of every message 'link' carries into 't'. The link is a
+// sequenced single-thread stage; 't' must outlive the link's use.
+void observeLink(net::LinkSimulator& link, telemetry::SessionTelemetry& t);
+
+// One frame's Chamfer evaluation vs the LBS ground truth (fills
+// frame.chamfer / frame.qualityMs). Deterministic given its inputs, so
+// both engines produce identical quality numbers.
+void evaluateQuality(FrameStats& frame, const body::BodyModel& model,
+                     const body::Pose& pose, const mesh::TriMesh& decodedMesh,
+                     std::size_t samples);
+
+// Serial engines (the workers == 1 path), defined in session.cpp.
+SessionStats runSessionSerial(SemanticChannel& channel,
+                              const body::BodyModel& model,
+                              const SessionConfig& config);
+MultiSessionStats runMultiUserSessionSerial(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base);
+
+// Parallel engines, defined in parallel_session.cpp.
+SessionStats runSessionParallel(SemanticChannel& channel,
+                                const body::BodyModel& model,
+                                const SessionConfig& config, std::size_t workers);
+MultiSessionStats runMultiUserSessionParallel(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base, std::size_t workers);
+
+}  // namespace semholo::core::internal

@@ -4,6 +4,7 @@
 // retransmission. Deterministic given the link seed.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "semholo/net/link.hpp"
@@ -55,10 +56,23 @@ public:
     // Bytes currently modelled as queued if a message were sent at 'time'.
     std::size_t queuedBytesAt(double time) const;
 
+    // Telemetry hook: called after every sendMessage with the message's
+    // result and the bottleneck backlog observed at send time. The
+    // simulator is a sequenced (single-thread) stage, so the callback is
+    // always invoked from the thread driving sendMessage and does not
+    // need internal synchronisation.
+    using MessageObserver =
+        std::function<void(const TransferResult&, std::size_t queuedBytesAtSend)>;
+    void setObserver(MessageObserver observer) { observer_ = std::move(observer); }
+
 private:
+    TransferResult sendMessageImpl(std::size_t bytes, double sendTime,
+                                   const TransferOptions& options);
+
     LinkConfig config_;
     double busyUntil_{0.0};
     std::uint64_t packetCounter_{0};
+    MessageObserver observer_;
 };
 
 }  // namespace semholo::net

@@ -17,6 +17,14 @@ std::size_t LinkSimulator::queuedBytesAt(double time) const {
 
 TransferResult LinkSimulator::sendMessage(std::size_t bytes, double sendTime,
                                           const TransferOptions& options) {
+    const std::size_t queuedAtSend = queuedBytesAt(sendTime);
+    const TransferResult result = sendMessageImpl(bytes, sendTime, options);
+    if (observer_) observer_(result, queuedAtSend);
+    return result;
+}
+
+TransferResult LinkSimulator::sendMessageImpl(std::size_t bytes, double sendTime,
+                                              const TransferOptions& options) {
     TransferResult result;
     result.startTime = sendTime;
     result.bytes = bytes;

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "semholo/core/channel.hpp"
+
+namespace semholo::core {
+namespace {
+
+const body::BodyModel& sharedModel() {
+    static const body::BodyModel model{body::ShapeParams{}, 24};
+    return model;
+}
+
+FrameContext frameAt(double t) {
+    static const body::MotionGenerator motion(body::MotionKind::Talk,
+                                              sharedModel().shape());
+    FrameContext ctx;
+    ctx.pose = motion.poseAt(t);
+    ctx.pose.frameId = 0;
+    ctx.model = &sharedModel();
+    ctx.timestamp = t;
+    return ctx;
+}
+
+ChannelSpec cheapSpec(const std::string& kind) {
+    ChannelSpec spec{kind, {}};
+    if (kind == "keypoint" || kind == "text")
+        spec.params = {{"reconResolution", 12}};
+    else if (kind == "foveated")
+        spec.params = {{"peripheralResolution", 12}};
+    else if (kind == "image")
+        spec.params = {{"viewCount", 1},    {"imageWidth", 8},
+                       {"imageHeight", 6},  {"pretrainSteps", 2},
+                       {"fineTuneSteps", 1}};
+    else if (kind == "vector")
+        spec.params = {{"latentDim", 8}, {"trainingFrames", 10}};
+    return spec;
+}
+
+TEST(ChannelRegistry, ListsAllKindsSorted) {
+    const auto kinds = listChannelKinds();
+    const std::vector<std::string> expected{"adaptive-mesh", "foveated", "image",
+                                            "keypoint",      "text",     "traditional",
+                                            "vector"};
+    EXPECT_EQ(kinds, expected);
+    EXPECT_TRUE(std::is_sorted(kinds.begin(), kinds.end()));
+}
+
+TEST(ChannelRegistry, RoundTripEncodeDecodeEveryKind) {
+    for (const std::string& kind : listChannelKinds()) {
+        SCOPED_TRACE(kind);
+        auto channel = makeChannel(cheapSpec(kind), &sharedModel());
+        ASSERT_NE(channel, nullptr);
+        EXPECT_FALSE(channel->name().empty());
+        channel->reset();
+        const EncodedFrame encoded = channel->encode(frameAt(0.5));
+        EXPECT_GT(encoded.bytes(), 0u);
+        const DecodedFrame decoded = channel->decode(encoded);
+        EXPECT_TRUE(decoded.valid);
+        // Every kind except image semantics reconstructs geometry.
+        if (kind != "image") EXPECT_FALSE(decoded.mesh.empty());
+    }
+}
+
+TEST(ChannelRegistry, WrapperFactoriesMatchSpecConstruction) {
+    KeypointChannelOptions opt;
+    opt.reconResolution = 24;
+    auto viaFactory = makeKeypointChannel(opt);
+    auto viaSpec = makeChannel({"keypoint", {{"reconResolution", 24}}});
+    const FrameContext ctx = frameAt(0.25);
+    EXPECT_EQ(viaFactory->encode(ctx).bytes(), viaSpec->encode(ctx).bytes());
+    EXPECT_EQ(viaFactory->name(), viaSpec->name());
+}
+
+TEST(ChannelRegistry, DefaultsMatchOptionStructDefaults) {
+    auto viaFactory = makeTraditionalChannel({});
+    auto viaSpec = makeChannel({"traditional", {}});
+    const FrameContext ctx = frameAt(0.1);
+    EXPECT_EQ(viaFactory->encode(ctx).bytes(), viaSpec->encode(ctx).bytes());
+}
+
+TEST(ChannelRegistry, UnknownKindThrows) {
+    EXPECT_THROW(makeChannel({"holograms-over-carrier-pigeon", {}}),
+                 std::invalid_argument);
+    EXPECT_THROW(listChannelParams("nope"), std::invalid_argument);
+}
+
+TEST(ChannelRegistry, UnknownParamThrows) {
+    EXPECT_THROW(makeChannel({"keypoint", {{"reconResoluton", 24}}}),
+                 std::invalid_argument);
+}
+
+TEST(ChannelRegistry, ModelBoundKindRequiresModel) {
+    EXPECT_THROW(makeChannel({"vector", {}}), std::invalid_argument);
+    EXPECT_NE(makeChannel({"vector", {{"latentDim", 8}, {"trainingFrames", 10}}},
+                          &sharedModel()),
+              nullptr);
+}
+
+TEST(ChannelRegistry, ListChannelParamsNamesOptionFields) {
+    const auto params = listChannelParams("keypoint");
+    EXPECT_NE(std::find(params.begin(), params.end(), "reconResolution"),
+              params.end());
+    EXPECT_NE(std::find(params.begin(), params.end(), "compressPayload"),
+              params.end());
+}
+
+}  // namespace
+}  // namespace semholo::core

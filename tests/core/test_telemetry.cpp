@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "semholo/core/telemetry.hpp"
+
+namespace semholo::core::telemetry {
+namespace {
+
+TEST(Histogram, NearestRankPercentiles) {
+    Histogram h;
+    for (int v = 1; v <= 100; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+    const Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, MergeConcatenatesSamples) {
+    Histogram a, b;
+    a.record(1.0);
+    a.record(2.0);
+    b.record(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    // Percentiles stay correct after interleaved record/merge.
+    a.record(0.5);
+    EXPECT_DOUBLE_EQ(a.percentile(0), 0.5);
+}
+
+TEST(Counters, MergeSumsEveryField) {
+    Counters a, b;
+    a.framesCaptured = 3;
+    a.retransmissions = 2;
+    b.framesCaptured = 4;
+    b.queueDrops = 5;
+    a.merge(b);
+    EXPECT_EQ(a.framesCaptured, 7u);
+    EXPECT_EQ(a.retransmissions, 2u);
+    EXPECT_EQ(a.queueDrops, 5u);
+}
+
+TEST(SessionTelemetryJson, ContainsStagesAndCounters) {
+    SessionTelemetry t;
+    t.encodeMs.record(1.5);
+    t.encodeMs.record(2.5);
+    t.counters.framesCaptured = 2;
+    t.counters.retransmissions = 1;
+    const std::string json = t.toJson();
+    EXPECT_NE(json.find("\"stages\""), std::string::npos);
+    EXPECT_NE(json.find("\"encode_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"retransmissions\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"frames_captured\":2"), std::string::npos);
+}
+
+TEST(SessionTelemetryJson, WritesFile) {
+    SessionTelemetry t;
+    t.decodeMs.record(4.0);
+    const std::string path = "telemetry_test_out.json";
+    ASSERT_TRUE(t.writeJson(path));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("\"decode_ms\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(JsonWriter, NestedObjectsArraysAndEscaping) {
+    JsonWriter w;
+    w.beginObject()
+        .field("name", std::string("multi\"user\n"))
+        .field("speedup", 2.5)
+        .beginArray("rows")
+        .beginObject()
+        .field("users", std::uint64_t{8})
+        .endObject()
+        .beginObject()
+        .field("users", std::uint64_t{4})
+        .endObject()
+        .endArray()
+        .raw("telemetry", "{\"inner\":1}")
+        .endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"multi\\\"user\\n\",\"speedup\":2.5,"
+              "\"rows\":[{\"users\":8},{\"users\":4}],"
+              "\"telemetry\":{\"inner\":1}}");
+}
+
+}  // namespace
+}  // namespace semholo::core::telemetry
