@@ -39,7 +39,10 @@ struct FrameContext {
     gaze::EyeMovement viewerGazeState{gaze::EyeMovement::Fixation};
     gaze::Vec2f viewerPredictedLandingDeg{};
     // Receiver throughput feedback (bps); 0 when no estimate yet. Rate-
-    // adaptive channels pick their quality level from this.
+    // adaptive channels pick their quality level from this. When the
+    // session's DegradationPolicy is enabled, the engine pre-scales this
+    // value down under sustained congestion or injected link faults, so
+    // channels step down their ladder without any policy awareness.
     double estimatedBandwidthBps{0.0};
 
     // Ground-truth capture mesh for this frame (LBS-deformed template).

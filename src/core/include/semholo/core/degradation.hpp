@@ -1,0 +1,91 @@
+// Closed-loop graceful degradation (the robustness side of section
+// 3.2's rate adaption): a policy that watches per-frame link outcomes —
+// delivery failures, queue pressure, fault-schedule events, transfer
+// latency — and steps a channel down its quality ladder under sustained
+// congestion, back up after sustained recovery.
+//
+// The policy acts through the throughput feedback the channels already
+// consume: FrameContext::estimatedBandwidthBps is multiplied by
+// bandwidthScale() (stepScale^level), so every rate-adaptive channel
+// (adaptive-mesh LOD ladder, slimmable-NeRF image channel) degrades
+// without knowing the policy exists. This closes the loop that pure
+// throughput estimation leaves open: when congestion kills every frame,
+// no throughput samples arrive and the estimator goes stale — the
+// policy reacts to the failures themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace semholo::core {
+
+struct DegradationConfig {
+    bool enabled{false};
+    // Deepest step-down level; level 0 applies no degradation.
+    std::size_t maxLevel{3};
+    // Bandwidth-estimate multiplier per level: scale = stepScale^level.
+    double stepScale{0.5};
+    // A frame counts as congested when its transfer took longer than
+    // this many frame intervals...
+    double latencyBudgetFrames{2.0};
+    // ...or the bottleneck backlog at send exceeded this fraction of the
+    // queue capacity, or it saw queue drops / unrecovered losses /
+    // fault-window events, or it was simply not delivered.
+    double queuePressure{0.5};
+    int downgradeAfter{2};  // consecutive congested frames to step down
+    int upgradeAfter{12};   // consecutive clean frames to step back up
+};
+
+// One frame's network outcome as seen by the session engine.
+struct LinkObservation {
+    bool delivered{false};
+    double transferS{0.0};
+    std::size_t unrecoveredPackets{0};
+    std::size_t queueDrops{0};
+    std::size_t faultEvents{0};
+    std::size_t queuedBytesAtSend{0};
+};
+
+enum class DegradationAction { Hold, StepDown, StepUp };
+
+struct DegradationDecision {
+    std::uint32_t frameId{};
+    DegradationAction action{DegradationAction::Hold};
+    std::size_t level{};  // level in effect after the action
+};
+
+class DegradationPolicy {
+public:
+    DegradationPolicy(const DegradationConfig& config, double fps,
+                      std::size_t queueCapacityBytes);
+
+    // Feed one frame's link outcome; returns the action taken. Hold
+    // decisions are not recorded (only transitions are).
+    DegradationAction observe(std::uint32_t frameId, const LinkObservation& obs);
+
+    std::size_t level() const { return level_; }
+    // Multiplier for the bandwidth estimate fed to channels.
+    double bandwidthScale() const;
+    std::size_t downgrades() const { return downgrades_; }
+    std::size_t upgrades() const { return upgrades_; }
+    const std::vector<DegradationDecision>& decisions() const {
+        return decisions_;
+    }
+    void reset();
+
+private:
+    bool congested(const LinkObservation& obs) const;
+
+    DegradationConfig config_;
+    double frameIntervalS_{1.0 / 30.0};
+    std::size_t queueCapacityBytes_{0};
+    std::size_t level_{0};
+    int badStreak_{0};
+    int goodStreak_{0};
+    std::size_t downgrades_{0};
+    std::size_t upgrades_{0};
+    std::vector<DegradationDecision> decisions_;
+};
+
+}  // namespace semholo::core

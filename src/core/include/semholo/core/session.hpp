@@ -23,6 +23,7 @@
 
 #include "semholo/body/animation.hpp"
 #include "semholo/core/channel.hpp"
+#include "semholo/core/degradation.hpp"
 #include "semholo/core/telemetry.hpp"
 #include "semholo/net/simulator.hpp"
 
@@ -65,6 +66,16 @@ struct SessionConfig {
     // 1 = exact legacy serial path.
     std::size_t workers{0};
     TimingModel timing{TimingModel::Measured};
+    // Closed-loop graceful degradation: when enabled, both single-user
+    // engines (serial and parallel) run a DegradationPolicy over each
+    // frame's link outcome and scale the bandwidth estimate fed to
+    // rate-adaptive channels, stepping quality down under sustained
+    // congestion or injected faults and back up on recovery. Transitions
+    // land in telemetry (counters.degradations / upgrades). Multi-user
+    // sessions ignore this (their parallel engine encodes all frames
+    // before the shared link runs, so no per-frame feedback exists, and
+    // the serial engine must stay bit-identical to it).
+    DegradationConfig degradation{};
 };
 
 struct FrameStats {

@@ -53,9 +53,14 @@ struct Counters {
     std::uint64_t dropsAtReceiver{};   // reconstructor busy at arrival
     std::uint64_t packets{};
     std::uint64_t packetsLost{};       // first-transmission losses
+    std::uint64_t packetsUnrecovered{}; // never reached the receiver
     std::uint64_t retransmissions{};
-    std::uint64_t queueDrops{};        // bottleneck tail drops
+    std::uint64_t queueDrops{};        // bottleneck tail drops (overflow)
     std::uint64_t bytesSent{};
+    std::uint64_t faultEvents{};       // fault windows / burst onsets entered
+    std::uint64_t degradations{};      // quality-ladder step-downs
+    std::uint64_t upgrades{};          // quality-ladder step-ups
+
 
     void merge(const Counters& other);
 };

@@ -1,0 +1,66 @@
+#include "semholo/core/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace semholo::core {
+
+DegradationPolicy::DegradationPolicy(const DegradationConfig& config, double fps,
+                                     std::size_t queueCapacityBytes)
+    : config_(config),
+      frameIntervalS_(fps > 0.0 ? 1.0 / fps : 1.0 / 30.0),
+      queueCapacityBytes_(queueCapacityBytes) {}
+
+double DegradationPolicy::bandwidthScale() const {
+    return std::pow(config_.stepScale, static_cast<double>(level_));
+}
+
+bool DegradationPolicy::congested(const LinkObservation& obs) const {
+    if (!obs.delivered) return true;
+    if (obs.queueDrops > 0 || obs.unrecoveredPackets > 0 || obs.faultEvents > 0)
+        return true;
+    if (obs.transferS > config_.latencyBudgetFrames * frameIntervalS_) return true;
+    if (queueCapacityBytes_ > 0 &&
+        static_cast<double>(obs.queuedBytesAtSend) >
+            config_.queuePressure * static_cast<double>(queueCapacityBytes_))
+        return true;
+    return false;
+}
+
+DegradationAction DegradationPolicy::observe(std::uint32_t frameId,
+                                             const LinkObservation& obs) {
+    if (!config_.enabled) return DegradationAction::Hold;
+    if (congested(obs)) {
+        ++badStreak_;
+        goodStreak_ = 0;
+        if (badStreak_ >= config_.downgradeAfter && level_ < config_.maxLevel) {
+            ++level_;
+            ++downgrades_;
+            badStreak_ = 0;
+            decisions_.push_back({frameId, DegradationAction::StepDown, level_});
+            return DegradationAction::StepDown;
+        }
+    } else {
+        ++goodStreak_;
+        badStreak_ = 0;
+        if (goodStreak_ >= config_.upgradeAfter && level_ > 0) {
+            --level_;
+            ++upgrades_;
+            goodStreak_ = 0;
+            decisions_.push_back({frameId, DegradationAction::StepUp, level_});
+            return DegradationAction::StepUp;
+        }
+    }
+    return DegradationAction::Hold;
+}
+
+void DegradationPolicy::reset() {
+    level_ = 0;
+    badStreak_ = 0;
+    goodStreak_ = 0;
+    downgrades_ = 0;
+    upgrades_ = 0;
+    decisions_.clear();
+}
+
+}  // namespace semholo::core

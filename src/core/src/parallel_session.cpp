@@ -67,6 +67,8 @@ SessionStats runSessionParallel(SemanticChannel& channel,
     double extractorFreeAt = 0.0;
     double reconFreeAt = 0.0;
     net::HarmonicEstimator throughput(5);
+    DegradationPolicy degrade(config.degradation, config.fps,
+                              config.link.queueCapacityBytes);
     // Deferred quality evaluations: (frame index, pending result).
     std::vector<std::pair<std::size_t, std::future<QualityResult>>> pending;
 
@@ -79,7 +81,8 @@ SessionStats runSessionParallel(SemanticChannel& channel,
         ctx.timestamp = captureTime;
         ctx.viewerHead = config.viewerHead;
         if (throughput.hasEstimate())
-            ctx.estimatedBandwidthBps = throughput.estimate();
+            ctx.estimatedBandwidthBps =
+                throughput.estimate() * degrade.bandwidthScale();
 
         FrameStats frame;
         frame.frameId = ctx.pose.frameId;
@@ -97,6 +100,8 @@ SessionStats runSessionParallel(SemanticChannel& channel,
                                 clockExtractMs(encoded, config.timing) / 1000.0;
         extractorFreeAt = sendTime;
 
+        const std::size_t queuedAtSend =
+            config.degradation.enabled ? link.queuedBytesAt(sendTime) : 0;
         const auto transfer =
             link.sendMessage(encoded.bytes(), sendTime, config.transfer);
         frame.delivered = transfer.delivered;
@@ -106,6 +111,17 @@ SessionStats runSessionParallel(SemanticChannel& channel,
                 1e-5, transfer.durationS() - config.link.propagationDelayS);
             throughput.addSample(static_cast<double>(encoded.bytes()) * 8.0 /
                                  serialS);
+        }
+        if (config.degradation.enabled) {
+            const DegradationAction action = degrade.observe(
+                frame.frameId,
+                {transfer.delivered, transfer.durationS(),
+                 transfer.unrecoveredPackets, transfer.droppedAtQueue,
+                 transfer.faultEvents, queuedAtSend});
+            if (action == DegradationAction::StepDown)
+                ++stats.telemetry.counters.degradations;
+            else if (action == DegradationAction::StepUp)
+                ++stats.telemetry.counters.upgrades;
         }
 
         if (transfer.delivered) {

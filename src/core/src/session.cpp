@@ -21,9 +21,11 @@ void observeLink(net::LinkSimulator& link, telemetry::SessionTelemetry& t) {
     link.setObserver([&t](const net::TransferResult& r, std::size_t queuedBytes) {
         t.counters.packets += r.packets;
         t.counters.packetsLost += r.lostPackets;
+        t.counters.packetsUnrecovered += r.unrecoveredPackets;
         t.counters.retransmissions += r.retransmissions;
         t.counters.queueDrops += r.droppedAtQueue;
         t.counters.bytesSent += r.bytes;
+        t.counters.faultEvents += r.faultEvents;
         t.queueDepthBytes.record(static_cast<double>(queuedBytes));
     });
 }
@@ -154,8 +156,11 @@ SessionStats runSessionSerial(SemanticChannel& channel,
     // stages with their own availability clocks.
     double extractorFreeAt = 0.0;
     double reconFreeAt = 0.0;
-    // Receiver throughput feedback loop for rate-adaptive channels.
+    // Receiver throughput feedback loop for rate-adaptive channels, and
+    // the closed-loop degradation policy that scales it under faults.
     net::HarmonicEstimator throughput(5);
+    DegradationPolicy degrade(config.degradation, config.fps,
+                              config.link.queueCapacityBytes);
 
     for (std::size_t f = 0; f < config.frames; ++f) {
         const double captureTime = static_cast<double>(f) / config.fps;
@@ -166,7 +171,8 @@ SessionStats runSessionSerial(SemanticChannel& channel,
         ctx.timestamp = captureTime;
         ctx.viewerHead = config.viewerHead;
         if (throughput.hasEstimate())
-            ctx.estimatedBandwidthBps = throughput.estimate();
+            ctx.estimatedBandwidthBps =
+                throughput.estimate() * degrade.bandwidthScale();
 
         FrameStats frame;
         frame.frameId = ctx.pose.frameId;
@@ -185,6 +191,8 @@ SessionStats runSessionSerial(SemanticChannel& channel,
             extractStart + internal::clockExtractMs(encoded, config.timing) / 1000.0;
         extractorFreeAt = sendTime;
 
+        const std::size_t queuedAtSend =
+            config.degradation.enabled ? link.queuedBytesAt(sendTime) : 0;
         const auto transfer =
             link.sendMessage(encoded.bytes(), sendTime, config.transfer);
         frame.delivered = transfer.delivered;
@@ -196,6 +204,17 @@ SessionStats runSessionSerial(SemanticChannel& channel,
                 1e-5, transfer.durationS() - config.link.propagationDelayS);
             throughput.addSample(static_cast<double>(encoded.bytes()) * 8.0 /
                                  serialS);
+        }
+        if (config.degradation.enabled) {
+            const DegradationAction action = degrade.observe(
+                frame.frameId,
+                {transfer.delivered, transfer.durationS(),
+                 transfer.unrecoveredPackets, transfer.droppedAtQueue,
+                 transfer.faultEvents, queuedAtSend});
+            if (action == DegradationAction::StepDown)
+                ++stats.telemetry.counters.degradations;
+            else if (action == DegradationAction::StepUp)
+                ++stats.telemetry.counters.upgrades;
         }
 
         if (transfer.delivered) {

@@ -65,9 +65,13 @@ void Counters::merge(const Counters& other) {
     dropsAtReceiver += other.dropsAtReceiver;
     packets += other.packets;
     packetsLost += other.packetsLost;
+    packetsUnrecovered += other.packetsUnrecovered;
     retransmissions += other.retransmissions;
     queueDrops += other.queueDrops;
     bytesSent += other.bytesSent;
+    faultEvents += other.faultEvents;
+    degradations += other.degradations;
+    upgrades += other.upgrades;
 }
 
 void SessionTelemetry::merge(const SessionTelemetry& other) {
@@ -124,9 +128,13 @@ std::string toJsonValue(const SessionTelemetry& t) {
         .field("drops_at_receiver", t.counters.dropsAtReceiver)
         .field("packets", t.counters.packets)
         .field("packets_lost", t.counters.packetsLost)
+        .field("packets_unrecovered", t.counters.packetsUnrecovered)
         .field("retransmissions", t.counters.retransmissions)
         .field("queue_drops", t.counters.queueDrops)
         .field("bytes_sent", t.counters.bytesSent)
+        .field("fault_events", t.counters.faultEvents)
+        .field("degradations", t.counters.degradations)
+        .field("upgrades", t.counters.upgrades)
         .endObject();
     w.endObject();
     return w.str();

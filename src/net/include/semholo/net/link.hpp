@@ -1,9 +1,12 @@
 // Link model for the Internet path between telepresence sites: a
 // time-varying bottleneck rate (bandwidth trace), propagation delay,
-// deterministic-seeded jitter and random loss, and a FIFO bottleneck
-// queue that produces realistic queuing delay when the sender bursts.
+// deterministic-seeded jitter and random loss, a FIFO bottleneck queue
+// that produces realistic queuing delay when the sender bursts, and a
+// fault schedule (outages, bandwidth collapses, Gilbert-Elliott burst
+// loss) for robustness experiments.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,11 +31,60 @@ public:
 
     double rateAt(double timeSeconds) const;
     double minRate() const;
+    double maxRate() const;
     double meanRate() const;
+    // Sample spacing: the rate is constant on [k*interval, (k+1)*interval).
+    double interval() const { return interval_; }
+
+    // Exact integral of the piecewise-constant rate over [t0, t1), in
+    // bits (negative times clamp to 0, matching rateAt).
+    double integralBits(double t0, double t1) const;
 
 private:
     std::vector<double> samples_;
     double interval_{1.0};
+};
+
+// ---- Fault injection -----------------------------------------------------
+//
+// Deterministic failure scenarios layered on top of the bandwidth trace.
+// Outages zero the bottleneck rate (packets stall in the queue and tail
+// drop once it fills); collapses scale it; Gilbert-Elliott burst loss
+// replaces the i.i.d. loss model with a two-state Markov chain whose
+// transitions are drawn from the same seeded per-message RNG, so runs
+// stay reproducible.
+
+struct OutageWindow {
+    double startS{0.0};
+    double durationS{0.0};
+};
+
+struct BandwidthCollapse {
+    double startS{0.0};
+    double durationS{0.0};
+    double factor{0.1};  // bottleneck rate multiplier inside the window
+};
+
+struct GilbertElliott {
+    bool enabled{false};
+    double pGoodToBad{0.01};  // per-packet transition probabilities
+    double pBadToGood{0.3};
+    double lossGood{0.0};     // packet loss probability in each state
+    double lossBad{0.3};
+};
+
+struct FaultSchedule {
+    std::vector<OutageWindow> outages;
+    std::vector<BandwidthCollapse> collapses;
+    GilbertElliott burstLoss;
+
+    bool empty() const {
+        return outages.empty() && collapses.empty() && !burstLoss.enabled;
+    }
+    bool inOutage(double t) const;
+    // Composite rate multiplier at 't': 0 inside an outage, product of
+    // active collapse factors otherwise.
+    double rateMultiplier(double t) const;
 };
 
 struct LinkConfig {
@@ -42,6 +94,7 @@ struct LinkConfig {
     double lossRate{0.0};
     // Bottleneck queue capacity; packets beyond it are dropped (tail drop).
     std::size_t queueCapacityBytes{256 * 1024};
+    FaultSchedule faults{};
     std::uint64_t seed{1};
 };
 

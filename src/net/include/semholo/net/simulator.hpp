@@ -1,7 +1,12 @@
-// Discrete-event transfer simulation over a Link: packetisation into
-// MTU-sized packets, bottleneck-queue serialisation against the
-// time-varying rate, propagation + jitter, loss, and optional ARQ
-// retransmission. Deterministic given the link seed.
+// Packet-event transfer simulation over a Link: packetisation into
+// MTU-sized packets, a byte-accurate FIFO bottleneck queue whose
+// occupancy is checked per packet (so a single oversized message can
+// tail-drop mid-message), drain times computed by integrating the
+// bandwidth trace and fault schedule across rate steps, propagation +
+// mean-preserving jitter, i.i.d. or Gilbert-Elliott burst loss, and
+// optional ARQ retransmission where queue drops are re-enqueued after a
+// detection delay instead of sailing through for free. Deterministic
+// given the link seed.
 #pragma once
 
 #include <functional>
@@ -14,7 +19,8 @@ namespace semholo::net {
 inline constexpr std::size_t kMtuBytes = 1400;
 
 struct TransferOptions {
-    // Retransmit lost packets (simple ARQ with one RTT penalty per loss).
+    // Retransmit lost or queue-dropped packets (simple ARQ with one RTT
+    // detection delay per attempt).
     bool reliable{true};
     // Give up after this many retransmissions of one packet.
     int maxRetransmissions{8};
@@ -27,9 +33,20 @@ struct TransferResult {
     double durationS() const { return completionTime - startTime; }
     std::size_t bytes{0};
     std::size_t packets{0};
+    std::size_t deliveredPackets{0};
+    // Packets that never reached the receiver: for unreliable transfers
+    // every first-transmission loss or queue drop; for reliable ones
+    // packets whose retransmission budget ran out (the message aborts,
+    // so unsent remainder packets count here too). Conservation:
+    // packets == deliveredPackets + unrecoveredPackets.
+    std::size_t unrecoveredPackets{0};
     std::size_t lostPackets{0};       // first-transmission losses
-    std::size_t retransmissions{0};
-    std::size_t droppedAtQueue{0};
+    std::size_t retransmissions{0};   // resends after loss or queue drop
+    std::size_t droppedAtQueue{0};    // tail-drop events (incl. retried ones)
+    // Fault-schedule windows this message newly entered (outages,
+    // collapses, Gilbert-Elliott good->bad transitions). Each scheduled
+    // window is counted once per simulator lifetime.
+    std::size_t faultEvents{0};
     double throughputBps() const {
         const double d = durationS();
         return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
@@ -39,7 +56,9 @@ struct TransferResult {
 // Simulates one sender-to-receiver path. Transfers are serialised in
 // FIFO order through the bottleneck (state persists between sendMessage
 // calls, so back-to-back frames queue behind each other as they would on
-// a real link).
+// a real link). The queue is work-conserving: its exact occupancy at any
+// instant is the integral of the effective (trace x fault) drain rate
+// from that instant to the time the backlog empties.
 class LinkSimulator {
 public:
     explicit LinkSimulator(const LinkConfig& config = {});
@@ -53,8 +72,13 @@ public:
     double queueBusyUntil() const { return busyUntil_; }
     const LinkConfig& config() const { return config_; }
 
-    // Bytes currently modelled as queued if a message were sent at 'time'.
+    // Bytes currently modelled as queued if a message were sent at
+    // 'time': the effective drain rate integrated over [time, busyUntil)
+    // — exact across trace rate steps and fault windows.
     std::size_t queuedBytesAt(double time) const;
+
+    // Bottleneck rate in effect at 'time' (trace rate x fault multiplier).
+    double effectiveRateAt(double time) const;
 
     // Telemetry hook: called after every sendMessage with the message's
     // result and the bottleneck backlog observed at send time. The
@@ -69,9 +93,24 @@ private:
     TransferResult sendMessageImpl(std::size_t bytes, double sendTime,
                                    const TransferOptions& options);
 
+    // Effective-rate integral over [t0, t1) in bits, stepping across
+    // trace sample boundaries and fault window edges.
+    double integrateBits(double t0, double t1) const;
+    // Earliest t >= from at which 'bits' have drained through the
+    // bottleneck (outages stall, collapses stretch the drain).
+    double drainDeadline(double from, double bits) const;
+    double nextBoundaryAfter(double t) const;
+    std::size_t backlogBytes(double at, double until) const;
+    // Count scheduled fault windows overlapping [start, end] that no
+    // earlier message has touched.
+    void noteFaultWindows(double start, double end, TransferResult& result);
+
     LinkConfig config_;
     double busyUntil_{0.0};
     std::uint64_t packetCounter_{0};
+    bool burstStateBad_{false};  // Gilbert-Elliott channel state
+    std::vector<bool> outageSeen_;
+    std::vector<bool> collapseSeen_;
     MessageObserver observer_;
 };
 

@@ -60,9 +60,44 @@ double BandwidthTrace::minRate() const {
     return *std::min_element(samples_.begin(), samples_.end());
 }
 
+double BandwidthTrace::maxRate() const {
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double BandwidthTrace::integralBits(double t0, double t1) const {
+    t0 = std::max(t0, 0.0);
+    if (t1 <= t0) return 0.0;
+    double bits = 0.0;
+    double t = t0;
+    while (t < t1 - 1e-12) {
+        const double boundary =
+            (std::floor(t / interval_ + 1e-9) + 1.0) * interval_;
+        const double end = std::min(t1, boundary);
+        if (end <= t) break;  // FP guard
+        bits += rateAt(0.5 * (t + end)) * (end - t);
+        t = end;
+    }
+    return bits;
+}
+
 double BandwidthTrace::meanRate() const {
     return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
            static_cast<double>(samples_.size());
+}
+
+bool FaultSchedule::inOutage(double t) const {
+    for (const OutageWindow& o : outages)
+        if (t >= o.startS && t < o.startS + o.durationS) return true;
+    return false;
+}
+
+double FaultSchedule::rateMultiplier(double t) const {
+    if (inOutage(t)) return 0.0;
+    double m = 1.0;
+    for (const BandwidthCollapse& c : collapses)
+        if (t >= c.startS && t < c.startS + c.durationS)
+            m *= std::max(0.0, c.factor);
+    return m;
 }
 
 }  // namespace semholo::net

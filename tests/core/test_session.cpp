@@ -84,9 +84,11 @@ TEST(Session, NarrowLinkStallsTraditionalNotKeypoint) {
     const auto trad = runSession(*traditional, sharedModel(), cfg);
 
     EXPECT_LT(kp.meanTransferMs, 50.0);
-    // Raw mesh frames each need ~0.6 s of a 5 Mbps link: queues explode.
-    EXPECT_GT(trad.meanTransferMs, 500.0);
-    EXPECT_GT(trad.p95E2eMs, kp.p95E2eMs * 10.0);
+    EXPECT_EQ(kp.deliveredFrames, 15u);
+    // Raw mesh frames (~400 KB) overflow the 256 KB bottleneck queue
+    // within a single message: none of them survive the narrow link.
+    EXPECT_EQ(trad.deliveredFrames, 0u);
+    EXPECT_GT(trad.telemetry.counters.queueDrops, 0u);
 }
 
 TEST(Session, LossyLinkStillDeliversWithArq) {

@@ -1,0 +1,146 @@
+// Fault-injection layer: outage windows stall the bottleneck, bandwidth
+// collapses stretch it, Gilbert-Elliott burst loss clusters packet
+// losses — all deterministic under the link seed.
+#include "semholo/net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semholo::net {
+namespace {
+
+LinkConfig faultFreeLink(double bps, double propDelay = 0.01) {
+    LinkConfig cfg;
+    cfg.bandwidth = BandwidthTrace::constant(bps);
+    cfg.propagationDelayS = propDelay;
+    cfg.jitterStddevS = 0.0;
+    cfg.lossRate = 0.0;
+    cfg.queueCapacityBytes = 10 * 1024 * 1024;
+    return cfg;
+}
+
+TEST(FaultSchedule, RateMultiplierComposesWindows) {
+    FaultSchedule faults;
+    faults.outages.push_back({1.0, 0.5});
+    faults.collapses.push_back({2.0, 1.0, 0.25});
+    faults.collapses.push_back({2.5, 1.0, 0.5});
+    EXPECT_DOUBLE_EQ(faults.rateMultiplier(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(faults.rateMultiplier(1.2), 0.0);
+    EXPECT_TRUE(faults.inOutage(1.2));
+    EXPECT_DOUBLE_EQ(faults.rateMultiplier(2.1), 0.25);
+    EXPECT_DOUBLE_EQ(faults.rateMultiplier(2.7), 0.125);  // overlap composes
+    EXPECT_DOUBLE_EQ(faults.rateMultiplier(3.2), 0.5);
+}
+
+TEST(FaultSchedule, OutageStallsDeliveryUntilWindowEnds) {
+    LinkConfig cfg = faultFreeLink(10e6);
+    cfg.faults.outages.push_back({1.0, 0.5});
+    LinkSimulator sim(cfg);
+    // Sent mid-outage: the packets sit in the queue until the link
+    // returns, then drain normally.
+    const auto r = sim.sendMessage(10000, 1.1);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_GE(r.completionTime, 1.5);
+    EXPECT_LT(r.completionTime, 1.6);
+    EXPECT_EQ(r.faultEvents, 1u);
+}
+
+TEST(FaultSchedule, OutageOverflowsBoundedQueue) {
+    LinkConfig cfg = faultFreeLink(10e6);
+    cfg.queueCapacityBytes = 20 * 1024;
+    cfg.faults.outages.push_back({1.0, 1.0});
+    LinkSimulator sim(cfg);
+    TransferOptions opt;
+    opt.reliable = false;
+    std::size_t drops = 0;
+    // 30 fps of 10 KB frames into a dead link: the 20 KB queue fills
+    // after two frames and the rest tail-drop.
+    for (int f = 0; f < 15; ++f)
+        drops += sim.sendMessage(10000, 1.0 + f / 30.0, opt).droppedAtQueue;
+    EXPECT_GT(drops, 5u);
+}
+
+TEST(FaultSchedule, CollapseStretchesTransfers) {
+    LinkConfig cfg = faultFreeLink(10e6, 0.0);
+    cfg.faults.collapses.push_back({1.0, 2.0, 0.1});
+    LinkSimulator sim(cfg);
+    const auto before = sim.sendMessage(100000, 0.0);
+    const auto during = sim.sendMessage(100000, 1.0);
+    ASSERT_TRUE(before.delivered && during.delivered);
+    // 100 KB at 10 Mbps = 80 ms; at 1 Mbps = 800 ms.
+    EXPECT_NEAR(before.durationS(), 0.08, 0.002);
+    EXPECT_NEAR(during.durationS(), 0.8, 0.02);
+    EXPECT_EQ(during.faultEvents, 1u);
+}
+
+TEST(FaultSchedule, GilbertElliottClustersLosses) {
+    LinkConfig cfg = faultFreeLink(10e6);
+    cfg.faults.burstLoss.enabled = true;
+    cfg.faults.burstLoss.pGoodToBad = 0.05;
+    cfg.faults.burstLoss.pBadToGood = 0.2;
+    cfg.faults.burstLoss.lossBad = 0.6;
+    cfg.seed = 17;
+    LinkSimulator sim(cfg);
+    TransferOptions opt;
+    opt.reliable = false;
+    std::size_t lost = 0, packets = 0, bursts = 0;
+    for (int m = 0; m < 20; ++m) {
+        const auto r = sim.sendMessage(70000, m * 0.1, opt);
+        lost += r.lostPackets;
+        packets += r.packets;
+        bursts += r.faultEvents;
+    }
+    EXPECT_GT(lost, 0u);
+    EXPECT_GT(bursts, 0u);
+    // Loss fraction sits near the chain's stationary bad-state share
+    // times lossBad (~12%), far above an i.i.d.-free link.
+    EXPECT_GT(static_cast<double>(lost) / static_cast<double>(packets), 0.02);
+    EXPECT_LT(static_cast<double>(lost) / static_cast<double>(packets), 0.4);
+}
+
+TEST(FaultSchedule, FaultWindowsCountedOncePerSimulator) {
+    LinkConfig cfg = faultFreeLink(10e6);
+    cfg.faults.outages.push_back({0.5, 0.2});
+    LinkSimulator sim(cfg);
+    std::size_t events = 0;
+    // Both messages overlap the same outage window; it is reported once.
+    events += sim.sendMessage(50000, 0.45).faultEvents;
+    events += sim.sendMessage(50000, 0.55).faultEvents;
+    events += sim.sendMessage(50000, 1.5).faultEvents;
+    EXPECT_EQ(events, 1u);
+}
+
+TEST(FaultSchedule, DeterministicUnderSeed) {
+    LinkConfig cfg = faultFreeLink(10e6);
+    cfg.jitterStddevS = 0.003;
+    cfg.lossRate = 0.02;
+    cfg.faults.outages.push_back({0.4, 0.3});
+    cfg.faults.collapses.push_back({1.0, 0.5, 0.2});
+    cfg.faults.burstLoss.enabled = true;
+    cfg.faults.burstLoss.pGoodToBad = 0.03;
+    cfg.seed = 23;
+    LinkSimulator a(cfg), b(cfg);
+    for (int m = 0; m < 12; ++m) {
+        const double t = m * 0.15;
+        const auto ra = a.sendMessage(90000, t);
+        const auto rb = b.sendMessage(90000, t);
+        EXPECT_DOUBLE_EQ(ra.completionTime, rb.completionTime);
+        EXPECT_EQ(ra.deliveredPackets, rb.deliveredPackets);
+        EXPECT_EQ(ra.lostPackets, rb.lostPackets);
+        EXPECT_EQ(ra.retransmissions, rb.retransmissions);
+        EXPECT_EQ(ra.droppedAtQueue, rb.droppedAtQueue);
+        EXPECT_EQ(ra.faultEvents, rb.faultEvents);
+    }
+}
+
+TEST(FaultSchedule, EffectiveRateReflectsFaults) {
+    LinkConfig cfg = faultFreeLink(10e6);
+    cfg.faults.outages.push_back({1.0, 0.5});
+    cfg.faults.collapses.push_back({2.0, 1.0, 0.3});
+    const LinkSimulator sim(cfg);
+    EXPECT_DOUBLE_EQ(sim.effectiveRateAt(0.5), 10e6);
+    EXPECT_DOUBLE_EQ(sim.effectiveRateAt(1.2), 0.0);
+    EXPECT_DOUBLE_EQ(sim.effectiveRateAt(2.5), 3e6);
+}
+
+}  // namespace
+}  // namespace semholo::net

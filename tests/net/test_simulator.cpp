@@ -129,6 +129,160 @@ TEST(LinkSimulator, ThirtyFpsKeypointStreamFitsNarrowLink) {
     EXPECT_LT(maxLatency, 0.05);
 }
 
+// ---- Regression tests for the packet-event rebuild ----------------------
+
+TEST(LinkSimulator, IntraMessageTailDropFires) {
+    // A single message larger than the queue capacity must overflow the
+    // bottleneck mid-message: its own leading packets are the backlog.
+    // (The old model only refreshed occupancy at message end, so a
+    // 400 KB burst could never overflow a 256 KB queue by itself.)
+    LinkConfig cfg = cleanLink(8e6, 0.0);
+    cfg.queueCapacityBytes = 64 * 1024;
+    LinkSimulator sim(cfg);
+    TransferOptions opt;
+    opt.reliable = false;
+    const auto result = sim.sendMessage(400000, 0.0, opt);
+    EXPECT_GT(result.droppedAtQueue, 0u);
+    EXPECT_FALSE(result.delivered);
+    // The accepted prefix roughly fills the queue.
+    EXPECT_GT(result.deliveredPackets, 40u);
+    EXPECT_EQ(result.packets,
+              result.deliveredPackets + result.unrecoveredPackets);
+}
+
+TEST(LinkSimulator, ReliableQueueDropsIncurDelay) {
+    // A reliable sender whose packets are tail-dropped re-enqueues them
+    // after the detection RTT — the drop costs time instead of being
+    // transmitted anyway with zero penalty.
+    LinkConfig roomy = cleanLink(8e6, 0.02);
+    LinkConfig cramped = roomy;
+    cramped.queueCapacityBytes = 32 * 1024;
+    const std::size_t bytes = 200000;
+    const auto unconstrained = LinkSimulator(roomy).sendMessage(bytes, 0.0);
+    const auto constrained = LinkSimulator(cramped).sendMessage(bytes, 0.0);
+    ASSERT_TRUE(unconstrained.delivered);
+    ASSERT_TRUE(constrained.delivered);
+    EXPECT_GT(constrained.droppedAtQueue, 0u);
+    EXPECT_GT(constrained.retransmissions, 0u);
+    // At least one detection RTT slower than the uncongested transfer.
+    EXPECT_GT(constrained.completionTime,
+              unconstrained.completionTime + 2.0 * roomy.propagationDelayS - 1e-9);
+    EXPECT_EQ(constrained.deliveredPackets, constrained.packets);
+}
+
+TEST(LinkSimulator, JitterMeanPreservesPropagationDelay) {
+    // delay = max(0, propagation + N(0, sigma)) keeps the mean one-way
+    // delay at the propagation delay (the old max(0, jitter) truncation
+    // inflated it by sigma/sqrt(2*pi)).
+    LinkConfig cfg = cleanLink(10e6, 0.02);
+    cfg.jitterStddevS = 0.002;
+    LinkSimulator sim(cfg);
+    const double serialization = 1400.0 * 8.0 / 10e6;
+    double sumDelay = 0.0;
+    const int messages = 3000;
+    for (int i = 0; i < messages; ++i) {
+        const double t = i * 0.01;  // spaced out: no queueing
+        const auto r = sim.sendMessage(1400, t);
+        ASSERT_TRUE(r.delivered);
+        sumDelay += r.completionTime - t - serialization;
+    }
+    const double meanDelay = sumDelay / messages;
+    EXPECT_NEAR(meanDelay, cfg.propagationDelayS,
+                0.02 * cfg.propagationDelayS);
+}
+
+TEST(LinkSimulator, QueuedBytesIntegratesTraceAcrossRateSteps) {
+    // 8 Mbps for 1 s, then 0.8 Mbps: backlog must be the integral of the
+    // trace over [time, busyUntil), not busyUntil-minus-time at the
+    // instantaneous rate (10x off right after the step).
+    LinkConfig cfg;
+    cfg.bandwidth = BandwidthTrace::square(8e6, 0.8e6, 1.0);
+    cfg.propagationDelayS = 0.0;
+    cfg.jitterStddevS = 0.0;
+    cfg.queueCapacityBytes = 16 * 1024 * 1024;
+    LinkSimulator sim(cfg);
+    sim.sendMessage(1100000, 0.0);  // 1 MB in the high phase + 0.1 MB low
+    EXPECT_NEAR(sim.queueBusyUntil(), 2.0, 1e-6);
+    // At t=0.5: 0.5 s of high phase (500 KB) + 1 s of low (100 KB) left.
+    EXPECT_NEAR(static_cast<double>(sim.queuedBytesAt(0.5)), 600000.0, 1500.0);
+    // At t=1.5: half the low phase remains.
+    EXPECT_NEAR(static_cast<double>(sim.queuedBytesAt(1.5)), 50000.0, 1500.0);
+    EXPECT_EQ(sim.queuedBytesAt(2.5), 0u);
+}
+
+TEST(LinkSimulator, PacketConservationInvariant) {
+    // packets == deliveredPackets + unrecoveredPackets in every mode.
+    struct Case {
+        double lossRate;
+        bool reliable;
+        std::size_t capacity;
+    };
+    const Case cases[] = {{0.0, true, 10u << 20},
+                          {0.1, true, 10u << 20},
+                          {0.3, false, 10u << 20},
+                          {0.0, false, 32 * 1024},
+                          {0.15, true, 32 * 1024}};
+    int idx = 0;
+    for (const Case& c : cases) {
+        SCOPED_TRACE(idx++);
+        LinkConfig cfg = cleanLink(10e6);
+        cfg.lossRate = c.lossRate;
+        cfg.queueCapacityBytes = c.capacity;
+        cfg.seed = 11;
+        LinkSimulator sim(cfg);
+        TransferOptions opt;
+        opt.reliable = c.reliable;
+        for (int m = 0; m < 6; ++m) {
+            const auto r = sim.sendMessage(180000, m * 0.05, opt);
+            EXPECT_EQ(r.packets, r.deliveredPackets + r.unrecoveredPackets);
+            EXPECT_EQ(r.delivered, r.unrecoveredPackets == 0);
+            if (!c.reliable) {
+                EXPECT_EQ(r.retransmissions, 0u);
+            }
+        }
+    }
+}
+
+TEST(LinkSimulator, CompletionTimesMonotoneInSendTime) {
+    // Reliable ARQ is stop-and-wait: each retransmission blocks the FIFO
+    // for an RTT, so the offered load must leave slack for that dead air.
+    LinkConfig cfg = cleanLink(10e6);
+    cfg.lossRate = 0.08;
+    cfg.jitterStddevS = 0.0;
+    cfg.seed = 9;
+    LinkSimulator sim(cfg);
+    double previous = 0.0;
+    for (int m = 0; m < 50; ++m) {
+        const auto r = sim.sendMessage(30000, m * 0.1);
+        ASSERT_TRUE(r.delivered);
+        EXPECT_GE(r.completionTime, previous - 1e-12);
+        previous = r.completionTime;
+    }
+}
+
+TEST(LinkSimulator, GoodputNeverExceedsTraceCapacity) {
+    // Delivered bytes all crossed the bottleneck, so goodput over the
+    // transfer window is bounded by the trace's peak rate.
+    LinkConfig cfg;
+    cfg.bandwidth = BandwidthTrace::square(8e6, 2e6, 0.5);
+    cfg.propagationDelayS = 0.0;
+    cfg.jitterStddevS = 0.0;
+    cfg.lossRate = 0.1;
+    cfg.queueCapacityBytes = 64 * 1024;
+    cfg.seed = 21;
+    LinkSimulator sim(cfg);
+    TransferOptions opt;
+    opt.reliable = false;
+    for (int m = 0; m < 8; ++m) {
+        const auto r = sim.sendMessage(150000, m * 0.2, opt);
+        if (r.deliveredPackets == 0 || r.durationS() <= 0.0) continue;
+        const double goodputBps =
+            static_cast<double>(r.deliveredPackets * kMtuBytes) * 8.0 /
+            r.durationS();
+        EXPECT_LE(goodputBps, cfg.bandwidth.maxRate() * 1.01);
+    }
+}
+
 TEST(LinkSimulator, ThirtyFpsRawMeshOverwhelmsBroadband) {
     // Table 2: 95.4 Mbps of raw mesh over 25 Mbps broadband falls behind.
     LinkSimulator sim(cleanLink(25e6, 0.02));
