@@ -14,6 +14,10 @@
 //    reproducing the resolution/quality/FPS trade-offs of Figs. 2 and 4.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -39,6 +43,13 @@ struct BodyFieldOptions {
     // details of the clothes, such as folds").
     bool clothingDetail{false};
     float clothingAmplitude{0.008f};
+    // Per-query capsule pruning (makeBodyField only): skip capsules whose
+    // conservative lower-bound distance proves the smooth-min blend would
+    // leave the running value unchanged. The skip is mathematically exact
+    // but differs from the unpruned fold by at most one rounding step per
+    // skipped capsule; disable when bit-reproducible sampling against the
+    // legacy field is required.
+    bool bonePruning{true};
 };
 
 // Signed distance to the posed body surface: negative inside. Built from
@@ -47,6 +58,72 @@ struct BodyFieldOptions {
 ScalarField bodySignedDistance(const Pose& pose,
                                const Skeleton& skeleton = Skeleton::canonical(),
                                const BodyFieldOptions& options = {});
+
+// Live instrumentation counters for a body field evaluated concurrently
+// by sampler workers. Sharded per thread so the hot path stays
+// uncontended; totals are exact.
+class BodyFieldStats {
+public:
+    void add(std::uint32_t blended, std::uint32_t pruned) noexcept;
+    std::uint64_t bonesBlended() const noexcept;
+    std::uint64_t bonesPruned() const noexcept;
+    void reset() noexcept;
+
+private:
+    static constexpr std::size_t kShards = 16;
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> blended{0};
+        std::atomic<std::uint64_t> pruned{0};
+    };
+    std::array<Shard, kShards> shards_{};
+};
+
+// One posed capsule of the implicit body (bones, head sphere, torso
+// slabs), exposed so callers can reason about which regions of space a
+// skeleton change can affect (temporal block caching).
+struct PosedCapsule {
+    Vec3f a, b;
+    float ra, rb;
+};
+
+// A body field packaged with the analytic bounds sparse sampling needs:
+//  * lipschitz — conservative Lipschitz constant of the field (capsule
+//    round-cones contribute 1 + |ra-rb|/length through the smooth-min
+//    fold, the expression warp multiplies in its offset gradient, the
+//    clothing displacement adds its own gradient bound);
+//  * margin — bound on the field's bounded discontinuities (expression
+//    region gates / smile sign flip, clothing region gates), added to
+//    every block-skip certificate.
+// With these, |field(c)| > lipschitz * r + margin certifies the field
+// has no zero crossing within distance r of c.
+struct BodyField {
+    ScalarField field;  // thread-safe; shared by all sampler workers
+    float lipschitz{1.0f};
+    float margin{0.0f};
+    geom::AABB bounds;  // loose world bounds (same rule as bodyBounds)
+    // World-space box outside which the expression warp is provably
+    // zero — the only region an expression change can invalidate.
+    geom::AABB faceBounds;
+    std::vector<PosedCapsule> capsules;
+    std::shared_ptr<BodyFieldStats> stats;  // counters for this field
+    // Analytic block certificate: certificate(center, radius, slack) is
+    // true when |field| provably exceeds 'slack' everywhere within
+    // 'radius' of 'center'. Far tighter than the global lipschitz/margin
+    // pair because it bounds the field from the posed capsules directly
+    // (distance-to-AABB and distance-to-endpoint bounds are 1-Lipschitz
+    // regardless of capsule cone slope) and pays the expression-warp
+    // displacement only for regions the warp can actually reach. Feed it
+    // to mesh::FieldSampleOptions::certificate with slack = any drift
+    // tolerance a temporal cache allows before re-sampling.
+    std::function<bool(Vec3f center, float radius, float slack)> certificate;
+};
+
+// Build the implicit body field for sparse/parallel sampling. The field
+// evaluates identically to bodySignedDistance when options.bonePruning
+// is false, and within one rounding step per skipped capsule otherwise.
+BodyField makeBodyField(const Pose& pose,
+                        const Skeleton& skeleton = Skeleton::canonical(),
+                        const BodyFieldOptions& options = {});
 
 // Loose world-space bounds of the posed body (for grid placement).
 geom::AABB bodyBounds(const Pose& pose,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "semholo/core/thread_pool.hpp"
 #include "semholo/mesh/isosurface.hpp"
 
 namespace semholo::body {
@@ -135,6 +136,231 @@ ScalarField bodySignedDistance(const Pose& pose, const Skeleton& skeleton,
     };
 }
 
+// ---- BodyFieldStats ------------------------------------------------------
+
+namespace {
+
+std::atomic<unsigned> gStatsShardCounter{0};
+
+// Each thread claims its own shard once, so the per-evaluation counter
+// updates are uncontended relaxed adds.
+unsigned thisThreadShard() {
+    static thread_local const unsigned shard =
+        gStatsShardCounter.fetch_add(1, std::memory_order_relaxed);
+    return shard;
+}
+
+}  // namespace
+
+void BodyFieldStats::add(std::uint32_t blended, std::uint32_t pruned) noexcept {
+    Shard& s = shards_[thisThreadShard() % kShards];
+    s.blended.fetch_add(blended, std::memory_order_relaxed);
+    s.pruned.fetch_add(pruned, std::memory_order_relaxed);
+}
+
+std::uint64_t BodyFieldStats::bonesBlended() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.blended.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t BodyFieldStats::bonesPruned() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.pruned.load(std::memory_order_relaxed);
+    return total;
+}
+
+void BodyFieldStats::reset() noexcept {
+    for (Shard& s : shards_) {
+        s.blended.store(0, std::memory_order_relaxed);
+        s.pruned.store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---- makeBodyField -------------------------------------------------------
+
+namespace {
+
+// Conservative per-capsule data for the per-query skip test: the
+// segment's axis-aligned box plus the larger end radius. For any point,
+// capsuleDistance >= dist(point, segment box) - rmax, so
+//   dist2(q, box) > (d + kFieldBlend + rmax)^2
+// certifies the capsule's smooth-min contribution is the identity.
+struct BonePruneData {
+    Vec3f lo, hi;
+    float rmax;
+};
+
+float aabbDistance2(Vec3f p, Vec3f lo, Vec3f hi) {
+    const float dx = std::max({lo.x - p.x, 0.0f, p.x - hi.x});
+    const float dy = std::max({lo.y - p.y, 0.0f, p.y - hi.y});
+    const float dz = std::max({lo.z - p.z, 0.0f, p.z - hi.z});
+    return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace
+
+BodyField makeBodyField(const Pose& pose, const Skeleton& skeleton,
+                        const BodyFieldOptions& options) {
+    const SkeletonState state = forwardKinematics(pose, skeleton);
+    const std::vector<PosedBone> bones = posedBones(state, pose.shape, skeleton);
+    const ExpressionParams expr = pose.expression;
+    const RigidTransform headXf = state.worldFromJoint[index(JointId::Head)];
+    const RigidTransform headInv = headXf.inverse();
+    const Vec3f headRest = Skeleton::canonical().restPosition(JointId::Head);
+    const RigidTransform rootInv =
+        state.worldFromJoint[index(JointId::Pelvis)].inverse();
+
+    BodyField out;
+    out.stats = std::make_shared<BodyFieldStats>();
+    out.capsules.reserve(bones.size());
+    std::vector<BonePruneData> prune;
+    prune.reserve(bones.size());
+    // Round-cone Lipschitz constant: the radius lerp along the segment
+    // adds |ra - rb| / length to the unit distance gradient. The
+    // smooth-min fold is a convex combination of its inputs, so the
+    // folded field inherits the worst capsule constant.
+    float capsuleLip = 1.0f;
+    for (const PosedBone& b : bones) {
+        out.capsules.push_back({b.a, b.b, b.ra, b.rb});
+        BonePruneData bd;
+        bd.lo = {std::min(b.a.x, b.b.x), std::min(b.a.y, b.b.y),
+                 std::min(b.a.z, b.b.z)};
+        bd.hi = {std::max(b.a.x, b.b.x), std::max(b.a.y, b.b.y),
+                 std::max(b.a.z, b.b.z)};
+        bd.rmax = std::max(b.ra, b.rb);
+        prune.push_back(bd);
+        const float len = (b.b - b.a).norm();
+        if (len > 1e-6f)
+            capsuleLip = std::max(capsuleLip, 1.0f + std::fabs(b.ra - b.rb) / len);
+    }
+
+    // Expression warp: the query offset's gradient bound multiplies into
+    // the composed field's Lipschitz constant; its region gates (jaw
+    // y-gate, smile sign flip, brow gate) contribute bounded jumps that
+    // go into the margin instead. Constants follow expressionOffset:
+    // amplitude / falloff-radius per component.
+    const float a0 = std::fabs(static_cast<float>(expr.coeffs[0]));
+    const float a1 = std::fabs(static_cast<float>(expr.coeffs[1]));
+    const float a2 = std::fabs(static_cast<float>(expr.coeffs[2]));
+    const float a3 = std::fabs(static_cast<float>(expr.coeffs[3]));
+    const float offsetLip =
+        (0.02f / 0.06f) * a0 + (0.015f / 0.045f) * a1 + (0.012f / 0.07f) * a2 +
+        (0.008f / 0.05f) * a3;
+    const float offsetJump = 0.02f * a0 + 0.024f * a2 + 0.008f * a3;
+    float lipschitz = capsuleLip * (1.0f + offsetLip);
+    float margin = capsuleLip * offsetJump;
+    if (options.clothingDetail) {
+        // |grad| <= amplitude * max(55, hypot(35, 20)) = 55 * amplitude;
+        // the clothed-region y-gates jump by at most the amplitude.
+        lipschitz += 55.0f * options.clothingAmplitude;
+        margin += options.clothingAmplitude;
+    }
+    out.lipschitz = lipschitz * 1.02f;  // slack for rounding in the bound
+    out.margin = margin + 1e-4f;
+
+    geom::AABB bounds;
+    for (const auto& xf : state.worldFromJoint) bounds.expand(xf.translation);
+    bounds.inflate(0.18f);
+    out.bounds = bounds;
+
+    // Rest-space box covering every expressionOffset falloff region
+    // (mouth sphere radius 0.07 around y=0.66, brow sphere radius 0.05
+    // around y=0.75, both at z=0.10), inflated by the largest possible
+    // offset; posed into world space through the head transform.
+    {
+        const geom::AABB faceRest{{-0.07f, 0.59f, 0.03f}, {0.07f, 0.80f, 0.17f}};
+        geom::AABB face;
+        for (int corner = 0; corner < 8; ++corner) {
+            const Vec3f local{corner & 1 ? faceRest.hi.x : faceRest.lo.x,
+                              corner & 2 ? faceRest.hi.y : faceRest.lo.y,
+                              corner & 4 ? faceRest.hi.z : faceRest.lo.z};
+            face.expand(headXf.apply(local - headRest));
+        }
+        face.inflate(0.03f);
+        out.faceBounds = face;
+    }
+
+    const bool hasExpression = a0 > 0.0f || a1 > 0.0f || a2 > 0.0f || a3 > 0.0f;
+
+    out.field = [bones, prune = std::move(prune), expr, hasExpression, headXf,
+                 headInv, headRest, rootInv, options,
+                 stats = out.stats](Vec3f p) {
+        Vec3f q = p;
+        if (hasExpression) {
+            const Vec3f pHeadLocal = headInv.apply(p) + headRest;
+            const Vec3f offset = expressionOffset(pHeadLocal, expr);
+            if (offset.norm2() > 0.0f) q = p - headXf.applyVector(offset);
+        }
+        float d = std::numeric_limits<float>::max();
+        std::uint32_t blended = 0;
+        std::uint32_t pruned = 0;
+        for (std::size_t i = 0; i < bones.size(); ++i) {
+            if (options.bonePruning) {
+                const BonePruneData& bd = prune[i];
+                const float t = d + kFieldBlend + bd.rmax;
+                if (t < 0.0f || aabbDistance2(q, bd.lo, bd.hi) > t * t) {
+                    ++pruned;
+                    continue;
+                }
+            }
+            const PosedBone& b = bones[i];
+            d = smin(d, capsuleDistance(q, b.a, b.b, b.ra, b.rb), kFieldBlend);
+            ++blended;
+        }
+        if (options.clothingDetail)
+            d += clothingFoldDisplacement(rootInv.apply(p),
+                                          options.clothingAmplitude);
+        stats->add(blended, pruned);
+        return d;
+    };
+
+    // Analytic block certificate. For any query q within 'radius' of the
+    // center c, with crude (but 1-Lipschitz-in-q) per-capsule bounds:
+    //   capsuleDistance_i(q) >= dist(q, segBox_i) - rmax_i
+    //                        >= dist(c, segBox_i) - rmax_i - radius
+    //   capsuleDistance_i(q) <= min(|q-a_i| - ra_i, |q-b_i| - rb_i)
+    //                        <= min(|c-a_i| - ra_i, |c-b_i| - rb_i) + radius
+    // and the smooth-min fold satisfies min_i - kFieldBlend <= f <= min_i,
+    // so one pass over the capsules brackets f over the whole ball. The
+    // expression warp shifts the query by at most 'maxWarp' but only for
+    // points inside the face region, and the clothing displacement adds
+    // at most its amplitude: both widen the bracket only when they can
+    // apply. No global cone-slope constant ever enters, which is what
+    // keeps the shell of unskippable blocks thin for expressive poses.
+    const float maxWarp =
+        0.02f * a0 + 0.015f * a1 + 0.012f * a2 + 0.008f * a3;
+    const float clothingSlack =
+        options.clothingDetail ? options.clothingAmplitude : 0.0f;
+    out.certificate = [capsules = out.capsules, face = out.faceBounds, maxWarp,
+                       clothingSlack](Vec3f center, float radius,
+                                      float slack) -> bool {
+        float r = radius;
+        if (maxWarp > 0.0f &&
+            aabbDistance2(center, face.lo, face.hi) <= radius * radius)
+            r += maxWarp;
+        const float clear = r + slack + clothingSlack + 1e-4f;
+        float lb = std::numeric_limits<float>::max();  // min_i capsule lower bound
+        float ub = std::numeric_limits<float>::max();  // min_i capsule upper bound
+        for (const PosedCapsule& c : capsules) {
+            const Vec3f lo{std::min(c.a.x, c.b.x), std::min(c.a.y, c.b.y),
+                           std::min(c.a.z, c.b.z)};
+            const Vec3f hi{std::max(c.a.x, c.b.x), std::max(c.a.y, c.b.y),
+                           std::max(c.a.z, c.b.z)};
+            lb = std::min(
+                lb, std::sqrt(aabbDistance2(center, lo, hi)) - std::max(c.ra, c.rb));
+            ub = std::min(ub, std::min((center - c.a).norm() - c.ra,
+                                       (center - c.b).norm() - c.rb));
+        }
+        // Exterior: f >= lb - radius - kFieldBlend > slack over the ball.
+        if (lb - kFieldBlend > clear) return true;
+        // Interior: f <= ub + radius < -slack over the ball.
+        if (ub < -clear) return true;
+        return false;
+    };
+    return out;
+}
+
 geom::AABB bodyBounds(const Pose& pose, const Skeleton& skeleton) {
     const SkeletonState state = forwardKinematics(pose, skeleton);
     geom::AABB box;
@@ -151,9 +377,21 @@ BodyModel::BodyModel(const ShapeParams& shape, int templateResolution) : shape_(
     // keypoint-based reconstruction cannot represent (Figure 2 gap).
     BodyFieldOptions fieldOpt;
     fieldOpt.clothingDetail = true;
-    const ScalarField field =
-        bodySignedDistance(rest, Skeleton::canonical(), fieldOpt);
-    template_ = mesh::extractIsoSurface(field, bodyBounds(rest), templateResolution);
+    // Bone pruning off: the template feeds byte-exact payload-size
+    // expectations downstream, so sampling must reproduce the legacy
+    // field bit for bit. Block pruning + the worker pool are certified
+    // value-preserving, so they stay on.
+    fieldOpt.bonePruning = false;
+    const BodyField body = makeBodyField(rest, Skeleton::canonical(), fieldOpt);
+    mesh::FieldSampleOptions sampling;
+    sampling.pool = &core::sharedPool();
+    sampling.lipschitz = body.lipschitz;
+    sampling.margin = body.margin;
+    sampling.certificate = [&body](Vec3f center, float radius) {
+        return body.certificate(center, radius, 0.0f);
+    };
+    template_ = mesh::extractIsoSurface(body.field, bodyBounds(rest),
+                                        templateResolution, {}, sampling);
     computeSkinWeights();
     paintTexture();
 }

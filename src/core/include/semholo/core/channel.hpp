@@ -69,6 +69,13 @@ struct DecodedFrame {
     double measuredReconMs{0.0};
     double simulatedReconMs{0.0};
     double reconMs() const { return measuredReconMs + simulatedReconMs; }
+    // Sparse-reconstruction work accounting, copied from the
+    // reconstructor's stats by mesh-producing channels (all zero on dense
+    // or image-only decode paths). Aggregated into telemetry counters.
+    std::uint64_t reconBlocksSkipped{0};
+    std::uint64_t reconBlocksCached{0};
+    std::uint64_t reconBonesPruned{0};
+    std::uint64_t reconNodesEvaluated{0};
 };
 
 class SemanticChannel {

@@ -92,6 +92,13 @@ struct FrameStats {
     bool droppedAtReceiver{false};  // reconstructor still busy at arrival
     // Chamfer distance vs ground truth when evaluated, NaN otherwise.
     double chamfer{std::numeric_limits<double>::quiet_NaN()};
+    // Sparse-reconstruction work accounting for this frame's decode (all
+    // zero on dense or image-only channels); summed into the session
+    // telemetry counters.
+    std::uint64_t reconBlocksSkipped{};
+    std::uint64_t reconBlocksCached{};
+    std::uint64_t reconBonesPruned{};
+    std::uint64_t reconNodesEvaluated{};
 };
 
 struct SessionStats {

@@ -60,7 +60,12 @@ struct Counters {
     std::uint64_t faultEvents{};       // fault windows / burst onsets entered
     std::uint64_t degradations{};      // quality-ladder step-downs
     std::uint64_t upgrades{};          // quality-ladder step-ups
-
+    // Sparse-reconstruction work accounting (zero on dense decode paths):
+    // how much of the field pass the pruning/caching layers elided.
+    std::uint64_t reconBlocksSkipped{};   // blocks certified crossing-free
+    std::uint64_t reconBlocksCached{};    // blocks re-used from the cache
+    std::uint64_t reconBonesPruned{};     // capsule blends skipped per query
+    std::uint64_t reconNodesEvaluated{};  // field evaluations actually run
 
     void merge(const Counters& other);
 };

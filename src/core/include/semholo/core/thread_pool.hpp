@@ -96,4 +96,15 @@ private:
     bool stopping_{false};
 };
 
+// Process-wide pool for library-internal data parallelism (field
+// sampling, mesh metrics). Lazily created, lives for the process.
+// Callers must not submit work to this pool from inside one of its own
+// tasks (a blocked task waiting on a nested submission can deadlock the
+// pool); session engines keep their own pools, so engine workers may
+// safely block on sharedPool() futures.
+inline ThreadPool& sharedPool() {
+    static ThreadPool pool;
+    return pool;
+}
+
 }  // namespace semholo::core

@@ -19,6 +19,15 @@ double msSince(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
+// Surface the sparse-reconstruction work accounting through the decoded
+// frame so the session engines can aggregate it into telemetry.
+void copyReconStats(const recon::ReconstructionResult& result, DecodedFrame& out) {
+    out.reconBlocksSkipped = result.stats.blocksSkipped;
+    out.reconBlocksCached = result.stats.blocksCached;
+    out.reconBonesPruned = result.stats.bonesPruned;
+    out.reconNodesEvaluated = result.stats.nodesEvaluated;
+}
+
 void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
     for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
@@ -149,6 +158,7 @@ public:
         auto result = recon::reconstructFromPose(*pose, ro);
         out.valid = result.success;
         out.mesh = std::move(result.mesh);
+        copyReconStats(result, out);
         out.measuredReconMs = msSince(t0);
         return out;
     }
@@ -206,6 +216,7 @@ public:
                 auto result = recon::reconstructFromPose(*pose, ro);
                 out.valid = result.success;
                 out.mesh = std::move(result.mesh);
+                copyReconStats(result, out);
             } else {
                 out.valid = true;
             }
@@ -307,6 +318,7 @@ public:
         auto peripheral = recon::reconstructFromPose(*pose, ro);
         if (!peripheral.success) return out;
         out.mesh = std::move(peripheral.mesh);
+        copyReconStats(peripheral, out);
 
         // Graft the full-quality foveal mesh (seam blending is the open
         // challenge the paper notes; we overlay).

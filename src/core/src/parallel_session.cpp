@@ -134,6 +134,7 @@ SessionStats runSessionParallel(SemanticChannel& channel,
             DecodedFrame decoded = channel.decode(encoded);
             frame.decoded = decoded.valid;
             frame.reconMs = decoded.reconMs();
+            copyReconCounters(frame, decoded);
             const double renderTime = std::max(arrival, reconFreeAt) +
                                       clockReconMs(decoded, config.timing) / 1000.0;
             reconFreeAt = renderTime;
@@ -248,6 +249,7 @@ MultiSessionStats runMultiUserSessionParallel(
                     const DecodedFrame decoded = channels[u]->decode(p.encoded);
                     frame.decoded = decoded.valid;
                     frame.reconMs = decoded.reconMs();
+                    copyReconCounters(frame, decoded);
                     const double renderTime =
                         std::max(arrival, reconFreeAt) +
                         clockReconMs(decoded, base.timing) / 1000.0;

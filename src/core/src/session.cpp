@@ -69,6 +69,10 @@ void finalizeSessionStats(SessionStats& stats, const SessionConfig& config) {
             ++t.counters.framesDecoded;
             sumRecon += frame.reconMs;
             t.decodeMs.record(frame.reconMs);
+            t.counters.reconBlocksSkipped += frame.reconBlocksSkipped;
+            t.counters.reconBlocksCached += frame.reconBlocksCached;
+            t.counters.reconBonesPruned += frame.reconBonesPruned;
+            t.counters.reconNodesEvaluated += frame.reconNodesEvaluated;
             ++reconCount;
         }
         sumStage += std::max(frame.extractMs, frame.reconMs);
@@ -227,6 +231,7 @@ SessionStats runSessionSerial(SemanticChannel& channel,
             DecodedFrame decoded = channel.decode(encoded);
             frame.decoded = decoded.valid;
             frame.reconMs = decoded.reconMs();
+            internal::copyReconCounters(frame, decoded);
             const double reconStart = std::max(arrival, reconFreeAt);
             const double renderTime =
                 reconStart + internal::clockReconMs(decoded, config.timing) / 1000.0;
@@ -304,6 +309,7 @@ MultiSessionStats runMultiUserSessionSerial(
                     const DecodedFrame decoded = channels[u]->decode(encoded);
                     frame.decoded = decoded.valid;
                     frame.reconMs = decoded.reconMs();
+                    internal::copyReconCounters(frame, decoded);
                     const double renderTime =
                         std::max(arrival, reconFreeAt[u]) +
                         internal::clockReconMs(decoded, base.timing) / 1000.0;

@@ -23,6 +23,15 @@ inline double clockReconMs(const DecodedFrame& decoded, TimingModel timing) {
 // config.workers with 0 resolved to hardware concurrency.
 std::size_t effectiveWorkers(const SessionConfig& config);
 
+// Copy a decoded frame's reconstruction work accounting into the frame
+// stats (both engines call this so aggregation stays identical).
+inline void copyReconCounters(FrameStats& frame, const DecodedFrame& decoded) {
+    frame.reconBlocksSkipped = decoded.reconBlocksSkipped;
+    frame.reconBlocksCached = decoded.reconBlocksCached;
+    frame.reconBonesPruned = decoded.reconBonesPruned;
+    frame.reconNodesEvaluated = decoded.reconNodesEvaluated;
+}
+
 // Compute every frame-derived aggregate of 'stats' (means, percentiles,
 // drop counts, achievable FPS, Chamfer mean) and fill the per-stage
 // telemetry histograms/counters from stats.frames. Link-level counters

@@ -72,6 +72,10 @@ void Counters::merge(const Counters& other) {
     faultEvents += other.faultEvents;
     degradations += other.degradations;
     upgrades += other.upgrades;
+    reconBlocksSkipped += other.reconBlocksSkipped;
+    reconBlocksCached += other.reconBlocksCached;
+    reconBonesPruned += other.reconBonesPruned;
+    reconNodesEvaluated += other.reconNodesEvaluated;
 }
 
 void SessionTelemetry::merge(const SessionTelemetry& other) {
@@ -135,6 +139,10 @@ std::string toJsonValue(const SessionTelemetry& t) {
         .field("fault_events", t.counters.faultEvents)
         .field("degradations", t.counters.degradations)
         .field("upgrades", t.counters.upgrades)
+        .field("recon_blocks_skipped", t.counters.reconBlocksSkipped)
+        .field("recon_blocks_cached", t.counters.reconBlocksCached)
+        .field("recon_bones_pruned", t.counters.reconBonesPruned)
+        .field("recon_nodes_evaluated", t.counters.reconNodesEvaluated)
         .endObject();
     w.endObject();
     return w.str();

@@ -10,6 +10,10 @@
 #include "semholo/geometry/transform.hpp"
 #include "semholo/geometry/vec.hpp"
 
+namespace semholo::core {
+class ThreadPool;
+}  // namespace semholo::core
+
 namespace semholo::mesh {
 
 using geom::AABB;
@@ -17,8 +21,14 @@ using geom::Vec3f;
 using geom::Vec3i;
 
 // A scalar field sampled at arbitrary 3D points (signed distance,
-// occupancy, density...).
+// occupancy, density...). Field closures must be safe to call from
+// multiple threads concurrently (pure w.r.t. captured state, or using
+// atomics for instrumentation): the samplers below fan evaluations out
+// over a worker pool.
 using ScalarField = std::function<float(Vec3f)>;
+
+struct FieldSampleOptions;
+struct FieldSampleStats;
 
 class VoxelGrid {
 public:
@@ -26,8 +36,17 @@ public:
     VoxelGrid(const AABB& bounds, Vec3i resolution);
 
     // Sample 'field' at every grid node. This is the O(R^3) step that
-    // dominates reconstruction time in Figure 4.
-    void sample(const ScalarField& field);
+    // dominates reconstruction time in Figure 4. 'pool' fans node blocks
+    // out over workers (nullptr = serial); results are identical for any
+    // worker count.
+    void sample(const ScalarField& field, core::ThreadPool* pool = nullptr);
+
+    // Block-sparse sampling: evaluates block centers first and skips
+    // whole blocks certified surface-free by the field's Lipschitz bound
+    // (see blocksampler.hpp for the bound and the exactness argument).
+    // Returns per-pass stats (blocks skipped, nodes evaluated).
+    FieldSampleStats sampleSparse(const ScalarField& field,
+                                  const FieldSampleOptions& options);
 
     Vec3i resolution() const { return res_; }
     const AABB& bounds() const { return bounds_; }

@@ -1,0 +1,174 @@
+#include "semholo/mesh/blocksampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "semholo/core/thread_pool.hpp"
+
+namespace semholo::mesh {
+
+void FieldSampleStats::merge(const FieldSampleStats& other) {
+    blocksTotal += other.blocksTotal;
+    blocksSampled += other.blocksSampled;
+    blocksSkipped += other.blocksSkipped;
+    blocksCached += other.blocksCached;
+    nodesEvaluated += other.nodesEvaluated;
+    nodesTotal += other.nodesTotal;
+}
+
+BlockSampler::BlockSampler(VoxelGrid& grid, int blockSize)
+    : grid_(grid), blockSize_(std::max(1, blockSize)) {
+    const Vec3i res = grid.resolution();
+    auto div = [this](int nodes) { return (nodes + blockSize_ - 1) / blockSize_; };
+    blocks_ = {div(res.x + 1), div(res.y + 1), div(res.z + 1)};
+    // Guard region: blockSize-1 cells of owned node span plus one cell on
+    // each side. Half-diagonal of a (blockSize+1)-cell box.
+    const Vec3f cell = grid.cellSize();
+    const float half = 0.5f * static_cast<float>(blockSize_ + 1);
+    guardRadius_ = (cell * half).norm();
+    // Unknown until a block is processed: extraction must visit it.
+    surfaceFree_.assign(static_cast<std::size_t>(blockCount()), 0);
+}
+
+Vec3i BlockSampler::blockCoord(int block) const {
+    const int bx = block % blocks_.x;
+    const int by = (block / blocks_.x) % blocks_.y;
+    const int bz = block / (blocks_.x * blocks_.y);
+    return {bx, by, bz};
+}
+
+BlockSampler::BlockRange BlockSampler::blockRange(int block) const {
+    const Vec3i b = blockCoord(block);
+    const Vec3i res = grid_.resolution();
+    // Each block owns blockSize_ node planes starting at b*blockSize_;
+    // the arithmetic ceiling in the constructor guarantees the last block
+    // covers the final (res-th) node plane.
+    auto hi = [this](int begin, int nodes) {
+        return std::min(begin + blockSize_ - 1, nodes);
+    };
+    const Vec3i lo{b.x * blockSize_, b.y * blockSize_, b.z * blockSize_};
+    return {lo, {hi(lo.x, res.x), hi(lo.y, res.y), hi(lo.z, res.z)}};
+}
+
+geom::AABB BlockSampler::blockGuardBounds(int block) const {
+    const BlockRange r = blockRange(block);
+    const Vec3f cell = grid_.cellSize();
+    geom::AABB box;
+    box.expand(grid_.nodePosition(r.nodeLo.x, r.nodeLo.y, r.nodeLo.z) -
+               cell);
+    box.expand(grid_.nodePosition(r.nodeHi.x, r.nodeHi.y, r.nodeHi.z) +
+               cell);
+    return box;
+}
+
+Vec3f BlockSampler::blockCenter(int block) const {
+    const BlockRange r = blockRange(block);
+    const Vec3f lo = grid_.nodePosition(r.nodeLo.x, r.nodeLo.y, r.nodeLo.z);
+    const Vec3f hi = grid_.nodePosition(r.nodeHi.x, r.nodeHi.y, r.nodeHi.z);
+    return (lo + hi) * 0.5f;
+}
+
+void BlockSampler::processBlock(int block, const ScalarField& field,
+                                const FieldSampleOptions& options,
+                                FieldSampleStats& stats) {
+    const BlockRange r = blockRange(block);
+    const auto owned =
+        static_cast<std::uint64_t>(r.nodeHi.x - r.nodeLo.x + 1) *
+        static_cast<std::uint64_t>(r.nodeHi.y - r.nodeLo.y + 1) *
+        static_cast<std::uint64_t>(r.nodeHi.z - r.nodeLo.z + 1);
+    stats.nodesTotal += owned;
+
+    if (options.blockPruning) {
+        // The true center of the block's guard region can sit past the
+        // owned-node midpoint for edge blocks; using the owned-node
+        // midpoint with the full guard radius stays conservative because
+        // the guard region never extends more than guardRadius_ from it.
+        const Vec3f center = blockCenter(block);
+        float d = 0.0f;
+        bool certified;
+        if (options.certificate) {
+            // Analytic certificate: no field probe needed to decide.
+            certified = options.certificate(center, guardRadius_);
+            if (certified) {
+                d = field(center);
+                ++stats.nodesEvaluated;
+            }
+        } else {
+            d = field(center);
+            ++stats.nodesEvaluated;
+            certified =
+                std::fabs(d) > options.lipschitz * guardRadius_ + options.margin;
+        }
+        if (certified) {
+            // Fill with the (correctly signed) center value so extraction
+            // cells that straddle this block see a consistent field.
+            for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
+                for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
+                    for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x)
+                        grid_.at(x, y, z) = d;
+            ++stats.blocksSkipped;
+            surfaceFree_[static_cast<std::size_t>(block)] = 1;
+            return;
+        }
+    }
+
+    for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
+        for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
+            for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x)
+                grid_.at(x, y, z) = field(grid_.nodePosition(x, y, z));
+    stats.nodesEvaluated += owned;
+    ++stats.blocksSampled;
+    surfaceFree_[static_cast<std::size_t>(block)] = 0;
+}
+
+FieldSampleStats BlockSampler::sample(const ScalarField& field,
+                                      const FieldSampleOptions& options,
+                                      const std::vector<std::uint8_t>* dirty) {
+    FieldSampleStats total;
+    const int count = blockCount();
+    total.blocksTotal = static_cast<std::size_t>(count);
+
+    std::vector<int> work;
+    work.reserve(static_cast<std::size_t>(count));
+    for (int b = 0; b < count; ++b) {
+        if (dirty != nullptr && (*dirty)[static_cast<std::size_t>(b)] == 0) {
+            ++total.blocksCached;
+            const BlockRange r = blockRange(b);
+            total.nodesTotal +=
+                static_cast<std::uint64_t>(r.nodeHi.x - r.nodeLo.x + 1) *
+                static_cast<std::uint64_t>(r.nodeHi.y - r.nodeLo.y + 1) *
+                static_cast<std::uint64_t>(r.nodeHi.z - r.nodeLo.z + 1);
+            continue;
+        }
+        work.push_back(b);
+    }
+
+    if (options.pool == nullptr || options.pool->size() <= 1 || work.size() <= 1) {
+        for (const int b : work) processBlock(b, field, options, total);
+        return total;
+    }
+
+    // Chunk the block list so task overhead stays negligible. Chunk
+    // boundaries may vary with pool size, but every node value is a pure
+    // function of (field, block), so the sampled grid is identical for
+    // any worker count; the stats are sums and commute.
+    core::ThreadPool& pool = *options.pool;
+    const std::size_t chunks =
+        std::min(work.size(), std::max<std::size_t>(1, pool.size() * 8));
+    std::vector<FieldSampleStats> perChunk(chunks);
+    pool.parallelFor(chunks, [&](std::size_t c) {
+        const std::size_t begin = work.size() * c / chunks;
+        const std::size_t end = work.size() * (c + 1) / chunks;
+        for (std::size_t i = begin; i < end; ++i)
+            processBlock(work[i], field, options, perChunk[c]);
+    });
+    for (const FieldSampleStats& s : perChunk) {
+        total.blocksSampled += s.blocksSampled;
+        total.blocksSkipped += s.blocksSkipped;
+        total.nodesEvaluated += s.nodesEvaluated;
+        total.nodesTotal += s.nodesTotal;
+    }
+    return total;
+}
+
+}  // namespace semholo::mesh

@@ -33,9 +33,12 @@ struct EdgeKeyHash {
     }
 };
 
-}  // namespace
-
-TriMesh extractIsoSurface(const VoxelGrid& grid, const IsoSurfaceOptions& options) {
+// Shared marching-tetrahedra pass. When 'sampler' is non-null, cells in
+// blocks it certified surface-free are skipped outright — those cells
+// provably emit no triangles, so skipping them preserves both the
+// triangle set and the vertex insertion order (bit-identical output).
+TriMesh extractImpl(const VoxelGrid& grid, const IsoSurfaceOptions& options,
+                    const BlockSampler* sampler) {
     TriMesh out;
     const Vec3i res = grid.resolution();
     if (res.x < 1 || res.y < 1 || res.z < 1) return out;
@@ -95,9 +98,16 @@ TriMesh extractIsoSurface(const VoxelGrid& grid, const IsoSurfaceOptions& option
             out.triangles.push_back({a, b, c});
     };
 
+    const std::vector<std::uint8_t>* surfaceFree =
+        sampler != nullptr ? &sampler->surfaceFree() : nullptr;
+
     for (int z = 0; z < res.z; ++z) {
         for (int y = 0; y < res.y; ++y) {
             for (int x = 0; x < res.x; ++x) {
+                if (surfaceFree != nullptr &&
+                    (*surfaceFree)[static_cast<std::size_t>(
+                        sampler->cellBlock(x, y, z))] != 0)
+                    continue;
                 for (int i = 0; i < 8; ++i) {
                     const int cx = x + (i & 1);
                     const int cy = y + ((i >> 1) & 1);
@@ -234,11 +244,33 @@ TriMesh extractIsoSurface(const VoxelGrid& grid, const IsoSurfaceOptions& option
     return out;
 }
 
+}  // namespace
+
+TriMesh extractIsoSurface(const VoxelGrid& grid, const IsoSurfaceOptions& options) {
+    return extractImpl(grid, options, nullptr);
+}
+
+TriMesh extractIsoSurface(const VoxelGrid& grid, const BlockSampler& sampler,
+                          const IsoSurfaceOptions& options) {
+    return extractImpl(grid, options, &sampler);
+}
+
 TriMesh extractIsoSurface(const ScalarField& field, const geom::AABB& bounds,
                           int resolution, const IsoSurfaceOptions& options) {
     VoxelGrid grid(bounds, {resolution, resolution, resolution});
     grid.sample(field);
     return extractIsoSurface(grid, options);
+}
+
+TriMesh extractIsoSurface(const ScalarField& field, const geom::AABB& bounds,
+                          int resolution, const IsoSurfaceOptions& options,
+                          const FieldSampleOptions& sampling,
+                          FieldSampleStats* stats) {
+    VoxelGrid grid(bounds, {resolution, resolution, resolution});
+    BlockSampler sampler(grid, sampling.blockSize);
+    const FieldSampleStats s = sampler.sample(field, sampling);
+    if (stats != nullptr) *stats = s;
+    return extractIsoSurface(grid, sampler, options);
 }
 
 }  // namespace semholo::mesh

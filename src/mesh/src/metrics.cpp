@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "semholo/core/thread_pool.hpp"
 #include "semholo/mesh/kdtree.hpp"
 #include "semholo/mesh/sampling.hpp"
 
 namespace semholo::mesh {
 
 namespace {
+
+// Fixed chunk size (independent of worker count) so per-chunk partial
+// sums merge in a deterministic order: results are identical however
+// many workers the pool has, including one.
+constexpr std::size_t kMetricsChunk = 4096;
 
 struct DirectionalStats {
     double mean{};
@@ -20,19 +26,42 @@ struct DirectionalStats {
 
 DirectionalStats directed(const PointCloud& from, const PointCloud& to,
                           const KdTree& toTree) {
-    DirectionalStats s;
     const bool haveNormals = from.hasNormals() && to.hasNormals();
-    for (std::size_t i = 0; i < from.points.size(); ++i) {
-        const auto hit = toTree.nearest(from.points[i]);
-        if (!hit.valid()) continue;
-        const double d = std::sqrt(static_cast<double>(hit.distance2));
-        s.mean += d;
-        s.sumSq += static_cast<double>(hit.distance2);
-        s.max = std::max(s.max, d);
-        if (haveNormals)
-            s.normalDot += std::fabs(
-                static_cast<double>(from.normals[i].dot(to.normals[hit.index])));
-        ++s.count;
+    const std::size_t n = from.points.size();
+    auto scan = [&](std::size_t begin, std::size_t end) {
+        DirectionalStats s;
+        for (std::size_t i = begin; i < end; ++i) {
+            const auto hit = toTree.nearest(from.points[i]);
+            if (!hit.valid()) continue;
+            const double d = std::sqrt(static_cast<double>(hit.distance2));
+            s.mean += d;
+            s.sumSq += static_cast<double>(hit.distance2);
+            s.max = std::max(s.max, d);
+            if (haveNormals)
+                s.normalDot += std::fabs(static_cast<double>(
+                    from.normals[i].dot(to.normals[hit.index])));
+            ++s.count;
+        }
+        return s;
+    };
+
+    DirectionalStats s;
+    const std::size_t chunks = (n + kMetricsChunk - 1) / kMetricsChunk;
+    if (chunks <= 1) {
+        s = scan(0, n);
+    } else {
+        std::vector<DirectionalStats> partial(chunks);
+        core::sharedPool().parallelFor(chunks, [&](std::size_t c) {
+            partial[c] = scan(c * kMetricsChunk,
+                              std::min(n, (c + 1) * kMetricsChunk));
+        });
+        for (const DirectionalStats& p : partial) {
+            s.mean += p.mean;
+            s.sumSq += p.sumSq;
+            s.max = std::max(s.max, p.max);
+            s.normalDot += p.normalDot;
+            s.count += p.count;
+        }
     }
     if (s.count > 0) {
         s.mean /= static_cast<double>(s.count);
@@ -98,22 +127,41 @@ double pointToMeshError(const PointCloud& cloud, const TriMesh& reference) {
     }
     KdTree tree(centroids);
 
-    double total = 0.0;
-    for (const Vec3f& p : cloud.points) {
-        const auto near = tree.nearest(p);
-        if (!near.valid()) continue;
-        const float searchRadius = std::sqrt(near.distance2) + 2.0f * maxTriRadius;
-        const auto candidates = tree.radiusSearch(p, searchRadius);
-        float best = std::numeric_limits<float>::max();
-        for (const std::uint32_t ti : candidates) {
-            const Triangle& t = reference.triangles[ti];
-            const Vec3f cp = geom::closestPointOnTriangle(
-                p, reference.vertices[t.a], reference.vertices[t.b],
-                reference.vertices[t.c]);
-            best = std::min(best, (p - cp).norm2());
+    auto scan = [&](std::size_t begin, std::size_t end) {
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Vec3f& p = cloud.points[i];
+            const auto near = tree.nearest(p);
+            if (!near.valid()) continue;
+            const float searchRadius =
+                std::sqrt(near.distance2) + 2.0f * maxTriRadius;
+            const auto candidates = tree.radiusSearch(p, searchRadius);
+            float best = std::numeric_limits<float>::max();
+            for (const std::uint32_t ti : candidates) {
+                const Triangle& t = reference.triangles[ti];
+                const Vec3f cp = geom::closestPointOnTriangle(
+                    p, reference.vertices[t.a], reference.vertices[t.b],
+                    reference.vertices[t.c]);
+                best = std::min(best, (p - cp).norm2());
+            }
+            if (best < std::numeric_limits<float>::max())
+                sum += std::sqrt(static_cast<double>(best));
         }
-        if (best < std::numeric_limits<float>::max())
-            total += std::sqrt(static_cast<double>(best));
+        return sum;
+    };
+
+    const std::size_t n = cloud.points.size();
+    const std::size_t chunks = (n + kMetricsChunk - 1) / kMetricsChunk;
+    double total = 0.0;
+    if (chunks <= 1) {
+        total = scan(0, n);
+    } else {
+        std::vector<double> partial(chunks, 0.0);
+        core::sharedPool().parallelFor(chunks, [&](std::size_t c) {
+            partial[c] =
+                scan(c * kMetricsChunk, std::min(n, (c + 1) * kMetricsChunk));
+        });
+        for (const double p : partial) total += p;
     }
     return total / static_cast<double>(cloud.points.size());
 }

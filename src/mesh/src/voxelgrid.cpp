@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "semholo/mesh/blocksampler.hpp"
+
 namespace semholo::mesh {
 
 VoxelGrid::VoxelGrid(const AABB& bounds, Vec3i resolution)
@@ -17,11 +19,23 @@ VoxelGrid::VoxelGrid(const AABB& bounds, Vec3i resolution)
                    0.0f);
 }
 
-void VoxelGrid::sample(const ScalarField& field) {
+void VoxelGrid::sample(const ScalarField& field, core::ThreadPool* pool) {
+    if (pool != nullptr) {
+        FieldSampleOptions opt;
+        opt.pool = pool;
+        opt.blockPruning = false;  // dense: no bound needed, still parallel
+        BlockSampler(*this, opt.blockSize).sample(field, opt);
+        return;
+    }
     for (int z = 0; z <= res_.z; ++z)
         for (int y = 0; y <= res_.y; ++y)
             for (int x = 0; x <= res_.x; ++x)
                 values_[index(x, y, z)] = field(nodePosition(x, y, z));
+}
+
+FieldSampleStats VoxelGrid::sampleSparse(const ScalarField& field,
+                                         const FieldSampleOptions& options) {
+    return BlockSampler(*this, options.blockSize).sample(field, options);
 }
 
 Vec3f VoxelGrid::nodePosition(int x, int y, int z) const {

@@ -33,8 +33,26 @@ struct DeviceProfile {
     }
 };
 
+// How the implicit field is evaluated on the grid.
+enum class ReconMode {
+    // Legacy path: every node evaluated serially, per-node feature
+    // activations held for the whole grid.
+    Dense,
+    // Block-tiled path: Lipschitz-certified blocks are skipped, the rest
+    // fan out over a worker pool, and per-node intermediates are only
+    // materialised for the blocks that actually sample (~surface area).
+    Sparse,
+};
+
 // Total working-set estimate for an R^3 reconstruction: grid nodes plus
 // the intermediate structures of extraction (~4x the grid in practice).
 std::size_t reconstructionWorkingSetBytes(int resolution);
+
+// Mode-aware estimate. Dense matches the single-argument overload. In
+// sparse mode the value grid is still dense (4 bytes/node) but the
+// 15-floats-per-node intermediates exist only for surface blocks, whose
+// fraction of the grid shrinks like blockSize / resolution.
+std::size_t reconstructionWorkingSetBytes(int resolution, ReconMode mode,
+                                          int blockSize = 8);
 
 }  // namespace semholo::recon

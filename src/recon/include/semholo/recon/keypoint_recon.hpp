@@ -16,6 +16,10 @@
 #include "semholo/capture/keypoints.hpp"
 #include "semholo/recon/device_profile.hpp"
 
+namespace semholo::core {
+class ThreadPool;
+}
+
 namespace semholo::recon {
 
 using body::kJointCount;
@@ -28,6 +32,31 @@ struct ReconstructionOptions {
     body::ShapeParams shape{};
     // Device the reconstruction nominally runs on; bounds grid memory.
     DeviceProfile device = DeviceProfile::workstation();
+    // Field evaluation pipeline. Sparse tiles the grid into blocks,
+    // skips blocks certified surface-free by the field's Lipschitz
+    // bound, and fans the rest out over a worker pool; with bonePruning
+    // off the mesh is bit-identical to Dense, with it on the surface
+    // agrees to ~1e-4 (rounding only). Dense is the legacy serial path.
+    ReconMode mode{ReconMode::Sparse};
+    // Block edge length in nodes for sparse sampling.
+    int blockSize{8};
+    // Worker pool for sparse sampling; nullptr uses the process-wide
+    // shared pool. Results do not depend on the pool's worker count.
+    core::ThreadPool* pool{nullptr};
+    // Per-query capsule pruning inside the field (sparse mode only).
+    bool bonePruning{true};
+};
+
+// Counters from one sparse reconstruction (all zero in dense mode).
+struct ReconstructionStats {
+    std::size_t blocksTotal{0};
+    std::size_t blocksSampled{0};
+    std::size_t blocksSkipped{0};   // certified surface-free, filled cheaply
+    std::size_t blocksCached{0};    // reused from a previous frame
+    std::uint64_t nodesEvaluated{0};
+    std::uint64_t nodesTotal{0};
+    std::uint64_t bonesBlended{0};  // capsule blends actually executed
+    std::uint64_t bonesPruned{0};   // capsule blends skipped via bounds
 };
 
 struct ReconstructionResult {
@@ -42,6 +71,7 @@ struct ReconstructionResult {
     double totalMs() const { return ikMs + fieldSampleMs + extractMs; }
     double fps() const { return totalMs() > 0.0 ? 1000.0 / totalMs() : 0.0; }
     std::size_t gridBytes{0};
+    ReconstructionStats stats;
 };
 
 // Reconstruct from raw keypoint observations (includes the IK stage).

@@ -1,0 +1,88 @@
+// Temporal block cache over the sparse reconstruction pipeline.
+//
+// Animated sequences (body::MotionGenerator, session frames) change the
+// implicit field only where the skeleton actually moved. This class owns
+// a persistent voxel grid with fixed world bounds and, per frame,
+// re-samples only the blocks whose *supporting* capsules moved beyond a
+// tolerance since the block was last sampled:
+//
+//  * support — a capsule supports a block when its conservative
+//    lower-bound distance to the block's guard region cannot be proven
+//    greater than the region's smallest capsule upper bound plus the
+//    smooth-min blend radius. Capsules outside the support set are
+//    provably inert over the block: they cannot change a single node
+//    value, so their motion never dirties the block.
+//  * drift accounting — per block, the per-frame maxima of supporting
+//    capsule movement (plus the expression-coefficient delta for blocks
+//    inside the face region) accumulate since the last sample; the block
+//    is re-sampled once the accumulated bound exceeds cacheTolerance.
+//  * certificate safety — cacheTolerance is folded into the block-skip
+//    margin, so a block certified surface-free stays certified under any
+//    drift the cache can accrue before invalidation.
+//
+// Consequences: a static pose reconstructs bit-identically from cache
+// with zero field evaluations after the first frame; a moving pose
+// yields a mesh within ~cacheTolerance of a fresh sparse reconstruction;
+// results never depend on the worker count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "semholo/mesh/blocksampler.hpp"
+#include "semholo/recon/keypoint_recon.hpp"
+
+namespace semholo::recon {
+
+struct SparseReconstructorOptions {
+    // Base reconstruction parameters; 'mode' is ignored (always sparse).
+    ReconstructionOptions recon{};
+    // Maximum field drift (metres) a cached block may accumulate before
+    // it is re-sampled. 0 re-uses blocks only while their supporting
+    // capsules are exactly still.
+    float cacheTolerance{0.002f};
+    // Extra world margin around the first pose's body bounds so the
+    // persistent grid absorbs ordinary motion without a rebuild (which
+    // flushes the cache).
+    float motionMargin{0.35f};
+};
+
+class SparseReconstructor {
+public:
+    explicit SparseReconstructor(const SparseReconstructorOptions& options = {});
+
+    // Reconstruct one frame, re-sampling only invalidated blocks. The
+    // result's stats report cached/skipped/sampled block counts.
+    ReconstructionResult reconstruct(const body::Pose& pose);
+
+    // Drop every cached block (the next frame samples from scratch).
+    void invalidate();
+
+    const geom::AABB& gridBounds() const { return gridBounds_; }
+    std::size_t framesReconstructed() const { return frames_; }
+    // Times the persistent grid had to be rebuilt because a pose escaped
+    // its bounds (each rebuild flushes the cache).
+    std::size_t gridRebuilds() const { return rebuilds_; }
+
+private:
+    void rebuildGrid(const geom::AABB& bodyBounds);
+
+    SparseReconstructorOptions options_;
+    std::unique_ptr<mesh::VoxelGrid> grid_;
+    std::unique_ptr<mesh::BlockSampler> sampler_;
+    geom::AABB gridBounds_{};
+    // Previous frame's capsules + face box for movement bounds.
+    std::vector<body::PosedCapsule> prevCapsules_;
+    geom::AABB prevFaceBounds_{};
+    std::array<double, 4> prevExpression_{};  // the active coeffs (0..3)
+    // Per block: accumulated worst-case field drift since last sample,
+    // and last frame's support bitmask (bit i = capsule i supports).
+    std::vector<float> accumDrift_;
+    std::vector<std::uint64_t> prevSupport_;
+    bool haveFrame_{false};
+    std::size_t frames_{0};
+    std::size_t rebuilds_{0};
+};
+
+}  // namespace semholo::recon

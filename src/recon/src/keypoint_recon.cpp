@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "semholo/core/thread_pool.hpp"
 #include "semholo/mesh/isosurface.hpp"
 
 namespace semholo::recon {
@@ -19,26 +20,64 @@ double msSince(std::chrono::steady_clock::time_point start) {
 ReconstructionResult reconstructFromPose(const body::Pose& pose,
                                          const ReconstructionOptions& options) {
     ReconstructionResult result;
-    result.gridBytes = reconstructionWorkingSetBytes(options.resolution);
+    result.gridBytes = reconstructionWorkingSetBytes(options.resolution,
+                                                     options.mode, options.blockSize);
     if (!options.device.fitsInMemory(result.gridBytes)) {
         result.failureReason = "out of memory on " + options.device.name;
         return result;
     }
 
-    // Keypoints carry no garment information: the reconstruction field
-    // has no clothing detail (Figure 2's unrecoverable folds).
-    const auto field = body::bodySignedDistance(pose);
-    const auto bounds = body::bodyBounds(pose);
+    const mesh::Vec3i res{options.resolution, options.resolution,
+                          options.resolution};
 
-    auto t0 = std::chrono::steady_clock::now();
-    mesh::VoxelGrid grid(bounds,
-                         {options.resolution, options.resolution, options.resolution});
-    grid.sample(field);
-    result.fieldSampleMs = msSince(t0);
+    if (options.mode == ReconMode::Dense) {
+        // Keypoints carry no garment information: the reconstruction field
+        // has no clothing detail (Figure 2's unrecoverable folds).
+        const auto field = body::bodySignedDistance(pose);
+        const auto bounds = body::bodyBounds(pose);
 
-    t0 = std::chrono::steady_clock::now();
-    result.mesh = mesh::extractIsoSurface(grid);
-    result.extractMs = msSince(t0);
+        auto t0 = std::chrono::steady_clock::now();
+        mesh::VoxelGrid grid(bounds, res);
+        grid.sample(field);
+        result.fieldSampleMs = msSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        result.mesh = mesh::extractIsoSurface(grid);
+        result.extractMs = msSince(t0);
+    } else {
+        body::BodyFieldOptions fieldOpt;
+        fieldOpt.bonePruning = options.bonePruning;
+        const body::BodyField body =
+            body::makeBodyField(pose, body::Skeleton::canonical(), fieldOpt);
+
+        mesh::FieldSampleOptions sampling;
+        sampling.blockSize = options.blockSize;
+        sampling.pool = options.pool != nullptr ? options.pool : &core::sharedPool();
+        sampling.lipschitz = body.lipschitz;
+        sampling.margin = body.margin;
+        sampling.certificate = [&body](geom::Vec3f center, float radius) {
+            return body.certificate(center, radius, 0.0f);
+        };
+
+        auto t0 = std::chrono::steady_clock::now();
+        mesh::VoxelGrid grid(body.bounds, res);
+        mesh::BlockSampler sampler(grid, sampling.blockSize);
+        const mesh::FieldSampleStats fs = sampler.sample(body.field, sampling);
+        result.fieldSampleMs = msSince(t0);
+
+        result.stats.blocksTotal = fs.blocksTotal;
+        result.stats.blocksSampled = fs.blocksSampled;
+        result.stats.blocksSkipped = fs.blocksSkipped;
+        result.stats.blocksCached = fs.blocksCached;
+        result.stats.nodesEvaluated = fs.nodesEvaluated;
+        result.stats.nodesTotal = fs.nodesTotal;
+        result.stats.bonesBlended = body.stats->bonesBlended();
+        result.stats.bonesPruned = body.stats->bonesPruned();
+
+        t0 = std::chrono::steady_clock::now();
+        result.mesh = mesh::extractIsoSurface(grid, sampler);
+        result.extractMs = msSince(t0);
+    }
     result.success = !result.mesh.empty();
     if (!result.success) result.failureReason = "empty iso-surface";
     return result;

@@ -1,0 +1,177 @@
+#include "semholo/mesh/blocksampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "semholo/core/thread_pool.hpp"
+#include "semholo/mesh/isosurface.hpp"
+
+namespace semholo::mesh {
+namespace {
+
+// Exact metric SDF (Lipschitz constant 1) of a sphere.
+ScalarField sphereField(Vec3f center, float radius) {
+    return [center, radius](Vec3f p) { return (p - center).norm() - radius; };
+}
+
+geom::AABB unitBounds() {
+    return {{-1.0f, -1.0f, -1.0f}, {1.0f, 1.0f, 1.0f}};
+}
+
+// Meshes must agree vertex-for-vertex, triangle-for-triangle: the sparse
+// guarantee is bit-identity, not approximate equality.
+void expectIdenticalMeshes(const TriMesh& a, const TriMesh& b) {
+    ASSERT_EQ(a.vertexCount(), b.vertexCount());
+    ASSERT_EQ(a.triangleCount(), b.triangleCount());
+    for (std::size_t i = 0; i < a.vertexCount(); ++i) {
+        EXPECT_EQ(a.vertices[i].x, b.vertices[i].x);
+        EXPECT_EQ(a.vertices[i].y, b.vertices[i].y);
+        EXPECT_EQ(a.vertices[i].z, b.vertices[i].z);
+    }
+    for (std::size_t i = 0; i < a.triangleCount(); ++i) {
+        EXPECT_EQ(a.triangles[i].a, b.triangles[i].a);
+        EXPECT_EQ(a.triangles[i].b, b.triangles[i].b);
+        EXPECT_EQ(a.triangles[i].c, b.triangles[i].c);
+    }
+}
+
+TEST(BlockSampler, SparseGridMatchesDenseWhereSampled) {
+    const auto field = sphereField({0.1f, -0.05f, 0.0f}, 0.4f);
+    const int res = 33;
+    VoxelGrid dense(unitBounds(), {res, res, res});
+    dense.sample(field);
+
+    VoxelGrid sparse(unitBounds(), {res, res, res});
+    BlockSampler sampler(sparse, 8);
+    FieldSampleOptions opt;  // lipschitz 1.0 exact for the sphere SDF
+    const FieldSampleStats stats = sampler.sample(field, opt);
+
+    EXPECT_GT(stats.blocksSkipped, 0u);
+    EXPECT_GT(stats.blocksSampled, 0u);
+    EXPECT_EQ(stats.blocksSkipped + stats.blocksSampled, stats.blocksTotal);
+    EXPECT_LT(stats.nodesEvaluated, stats.nodesTotal);
+
+    // Where blocks were fully sampled the values are bit-identical; where
+    // skipped, the fill keeps the certified sign.
+    for (int z = 0; z <= res; ++z)
+        for (int y = 0; y <= res; ++y)
+            for (int x = 0; x <= res; ++x) {
+                const float dv = dense.at(x, y, z);
+                const float sv = sparse.at(x, y, z);
+                if (dv != sv) {
+                    EXPECT_GT(dv * sv, 0.0f)
+                        << "filled node changed sign at " << x << "," << y << "," << z;
+                }
+            }
+}
+
+TEST(BlockSampler, SparseExtractionBitIdenticalToDense) {
+    const auto field = sphereField({0.0f, 0.0f, 0.0f}, 0.55f);
+    for (const int res : {16, 33, 48}) {
+        const TriMesh dense = extractIsoSurface(field, unitBounds(), res);
+
+        FieldSampleOptions opt;
+        FieldSampleStats stats;
+        const TriMesh sparse =
+            extractIsoSurface(field, unitBounds(), res, {}, opt, &stats);
+        EXPECT_GT(stats.blocksSkipped, 0u) << "res " << res;
+        expectIdenticalMeshes(dense, sparse);
+    }
+}
+
+TEST(BlockSampler, DeterministicAcrossWorkerCounts) {
+    const auto field = sphereField({-0.2f, 0.15f, 0.1f}, 0.5f);
+    const int res = 40;
+
+    VoxelGrid serial(unitBounds(), {res, res, res});
+    BlockSampler serialSampler(serial, 8);
+    FieldSampleOptions serialOpt;
+    serialSampler.sample(field, serialOpt);
+
+    for (const std::size_t workers : {2u, 4u}) {
+        core::ThreadPool pool(workers);
+        VoxelGrid parallel(unitBounds(), {res, res, res});
+        BlockSampler parallelSampler(parallel, 8);
+        FieldSampleOptions opt;
+        opt.pool = &pool;
+        parallelSampler.sample(field, opt);
+        for (int z = 0; z <= res; ++z)
+            for (int y = 0; y <= res; ++y)
+                for (int x = 0; x <= res; ++x)
+                    ASSERT_EQ(serial.at(x, y, z), parallel.at(x, y, z))
+                        << "workers=" << workers;
+    }
+}
+
+TEST(BlockSampler, PruningOffMatchesDenseEverywhere) {
+    const auto field = sphereField({0.0f, 0.0f, 0.0f}, 0.45f);
+    const int res = 24;
+    VoxelGrid dense(unitBounds(), {res, res, res});
+    dense.sample(field);
+
+    VoxelGrid sparse(unitBounds(), {res, res, res});
+    BlockSampler sampler(sparse, 8);
+    FieldSampleOptions opt;
+    opt.blockPruning = false;
+    const FieldSampleStats stats = sampler.sample(field, opt);
+    EXPECT_EQ(stats.blocksSkipped, 0u);
+    EXPECT_EQ(stats.nodesEvaluated, stats.nodesTotal);
+    for (int z = 0; z <= res; ++z)
+        for (int y = 0; y <= res; ++y)
+            for (int x = 0; x <= res; ++x)
+                ASSERT_EQ(dense.at(x, y, z), sparse.at(x, y, z));
+}
+
+TEST(BlockSampler, AnalyticCertificateSkipsAndStaysExact) {
+    const Vec3f center{0.05f, 0.0f, -0.1f};
+    const float radius = 0.5f;
+    const auto field = sphereField(center, radius);
+    const int res = 33;
+
+    const TriMesh dense = extractIsoSurface(field, unitBounds(), res);
+
+    FieldSampleOptions opt;
+    // Analytic certificate for the sphere: the ball around the block
+    // center misses the iso-surface when |distance at center| > radius.
+    opt.certificate = [center, radius](Vec3f c, float r) {
+        return std::fabs((c - center).norm() - radius) > r;
+    };
+    FieldSampleStats stats;
+    const TriMesh sparse = extractIsoSurface(field, unitBounds(), res, {}, opt, &stats);
+    EXPECT_GT(stats.blocksSkipped, 0u);
+    expectIdenticalMeshes(dense, sparse);
+}
+
+TEST(BlockSampler, DirtyMaskSkipsCleanBlocks) {
+    const auto field = sphereField({0.0f, 0.0f, 0.0f}, 0.5f);
+    const int res = 24;
+    VoxelGrid grid(unitBounds(), {res, res, res});
+    BlockSampler sampler(grid, 8);
+    FieldSampleOptions opt;
+    const FieldSampleStats first = sampler.sample(field, opt);
+    EXPECT_EQ(first.blocksCached, 0u);
+
+    // All-clean mask: nothing is touched, everything counts as cached.
+    std::vector<std::uint8_t> clean(static_cast<std::size_t>(sampler.blockCount()), 0);
+    const FieldSampleStats second = sampler.sample(field, opt, &clean);
+    EXPECT_EQ(second.blocksCached, first.blocksTotal);
+    EXPECT_EQ(second.nodesEvaluated, 0u);
+    EXPECT_EQ(second.nodesTotal, first.nodesTotal);
+}
+
+TEST(BlockSampler, CellBlockCoversWholeGrid) {
+    VoxelGrid grid(unitBounds(), {20, 20, 20});
+    BlockSampler sampler(grid, 8);
+    // Every cell must map to a valid block whose guard region contains it.
+    for (int z = 0; z < 20; ++z)
+        for (int y = 0; y < 20; ++y)
+            for (int x = 0; x < 20; ++x) {
+                const int b = sampler.cellBlock(x, y, z);
+                ASSERT_GE(b, 0);
+                ASSERT_LT(b, sampler.blockCount());
+            }
+}
+
+}  // namespace
+}  // namespace semholo::mesh

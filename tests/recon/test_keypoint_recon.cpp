@@ -43,14 +43,31 @@ TEST(Reconstruction, FromPoseProducesClosedMesh) {
     EXPECT_GT(result.extractMs, 0.0);
 }
 
-TEST(Reconstruction, LaptopFailsAtHighResolution) {
+TEST(Reconstruction, LaptopFailsAtHighResolutionInDenseMode) {
     ReconstructionOptions opt;
     opt.resolution = 512;
     opt.device = DeviceProfile::laptop();
+    opt.mode = ReconMode::Dense;  // legacy path: full (R+1)^3 working set
     const auto result = reconstructFromPose(Pose{}, opt);
     EXPECT_FALSE(result.success);
     EXPECT_NE(result.failureReason.find("out of memory"), std::string::npos);
     EXPECT_TRUE(result.mesh.empty());
+}
+
+TEST(Reconstruction, SparseModeFitsLaptopAtHighResolution) {
+    // The sparse working set touches only ~surface-proportional blocks, so
+    // the resolutions Figure 4 marks laptop-infeasible become feasible.
+    const DeviceProfile laptop = DeviceProfile::laptop();
+    EXPECT_FALSE(laptop.fitsInMemory(
+        reconstructionWorkingSetBytes(512, ReconMode::Dense)));
+    EXPECT_TRUE(laptop.fitsInMemory(
+        reconstructionWorkingSetBytes(512, ReconMode::Sparse)));
+    EXPECT_TRUE(laptop.fitsInMemory(
+        reconstructionWorkingSetBytes(1024, ReconMode::Sparse)));
+    // Sparse still costs more than the bare grid: blocks near the surface
+    // are fully evaluated.
+    EXPECT_GT(reconstructionWorkingSetBytes(512, ReconMode::Sparse),
+              static_cast<std::uint64_t>(513) * 513 * 513 * 4);
 }
 
 TEST(Reconstruction, QualityImprovesWithResolution) {
@@ -92,8 +109,12 @@ TEST(Reconstruction, QualitySaturates) {
 }
 
 TEST(Reconstruction, CostScalesRoughlyCubically) {
-    // Figure 4: reconstruction time is dominated by the O(R^3) field pass.
+    // Figure 4: dense reconstruction time is dominated by the O(R^3) field
+    // pass. Pinned to Dense — the sparse path's whole point is to break
+    // this scaling.
     ReconstructionOptions a, b;
+    a.mode = ReconMode::Dense;
+    b.mode = ReconMode::Dense;
     a.resolution = 32;
     b.resolution = 64;
     const auto ra = reconstructFromPose(Pose{}, a);

@@ -1,0 +1,214 @@
+#include "semholo/recon/sparse_recon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/core/thread_pool.hpp"
+#include "semholo/mesh/metrics.hpp"
+#include "semholo/mesh/sampling.hpp"
+
+namespace semholo::recon {
+namespace {
+
+using body::MotionGenerator;
+using body::MotionKind;
+using body::Pose;
+
+void expectIdenticalMeshes(const mesh::TriMesh& a, const mesh::TriMesh& b) {
+    ASSERT_EQ(a.vertexCount(), b.vertexCount());
+    ASSERT_EQ(a.triangleCount(), b.triangleCount());
+    for (std::size_t i = 0; i < a.vertexCount(); ++i) {
+        EXPECT_EQ(a.vertices[i].x, b.vertices[i].x);
+        EXPECT_EQ(a.vertices[i].y, b.vertices[i].y);
+        EXPECT_EQ(a.vertices[i].z, b.vertices[i].z);
+    }
+    for (std::size_t i = 0; i < a.triangleCount(); ++i) {
+        EXPECT_EQ(a.triangles[i].a, b.triangles[i].a);
+        EXPECT_EQ(a.triangles[i].b, b.triangles[i].b);
+        EXPECT_EQ(a.triangles[i].c, b.triangles[i].c);
+    }
+}
+
+// With bone pruning disabled the sparse pipeline's field evaluates
+// bit-identically to the dense path's, and the block-skip certificate is
+// exact — so the reconstructions must agree bit for bit, including for
+// poses with active expression coefficients (the face-warp region is the
+// trickiest part of the certificate).
+TEST(SparseRecon, BitIdenticalToDenseAcrossPosesAndResolutions) {
+    const Pose poses[] = {Pose{}, MotionGenerator(MotionKind::Wave).poseAt(0.7),
+                          MotionGenerator(MotionKind::Talk).poseAt(0.5)};
+    for (const Pose& pose : poses) {
+        for (const int res : {32, 48}) {
+            ReconstructionOptions dense;
+            dense.resolution = res;
+            dense.mode = ReconMode::Dense;
+            ReconstructionOptions sparse;
+            sparse.resolution = res;
+            sparse.mode = ReconMode::Sparse;
+            sparse.bonePruning = false;  // bit-reproducible field required
+            const auto rd = reconstructFromPose(pose, dense);
+            const auto rs = reconstructFromPose(pose, sparse);
+            ASSERT_TRUE(rd.success && rs.success);
+            EXPECT_GT(rs.stats.blocksSkipped, 0u);
+            expectIdenticalMeshes(rd.mesh, rs.mesh);
+        }
+    }
+}
+
+// Bone pruning changes each skipped smooth-min step by at most one
+// rounding step, so the surface moves by (at most) float rounding.
+// compareMeshes' point-to-point sampling has a resolution floor, so we
+// measure exact point-to-surface distance instead.
+TEST(SparseRecon, BonePruningStaysWithinTolerance) {
+    const Pose pose = MotionGenerator(MotionKind::Wave).poseAt(0.3);
+    ReconstructionOptions exact;
+    exact.resolution = 48;
+    exact.mode = ReconMode::Sparse;
+    exact.bonePruning = false;
+    ReconstructionOptions pruned = exact;
+    pruned.bonePruning = true;
+    const auto re = reconstructFromPose(pose, exact);
+    const auto rp = reconstructFromPose(pose, pruned);
+    ASSERT_TRUE(re.success && rp.success);
+    EXPECT_GT(rp.stats.bonesPruned, 0u);
+    const double err =
+        mesh::pointToMeshError(mesh::sampleSurface(rp.mesh, 5000), re.mesh);
+    EXPECT_LT(err, 5e-4);
+}
+
+TEST(SparseRecon, DeterministicAcrossWorkerCounts) {
+    const Pose pose = MotionGenerator(MotionKind::Collaborate).poseAt(1.2);
+    ReconstructionOptions opt;
+    opt.resolution = 40;
+    opt.mode = ReconMode::Sparse;
+
+    core::ThreadPool one(1), two(2), four(4);
+    opt.pool = &one;
+    const auto r1 = reconstructFromPose(pose, opt);
+    opt.pool = &two;
+    const auto r2 = reconstructFromPose(pose, opt);
+    opt.pool = &four;
+    const auto r4 = reconstructFromPose(pose, opt);
+    ASSERT_TRUE(r1.success && r2.success && r4.success);
+    expectIdenticalMeshes(r1.mesh, r2.mesh);
+    expectIdenticalMeshes(r1.mesh, r4.mesh);
+}
+
+TEST(SparseRecon, StaticPoseReconstructsFromCache) {
+    const Pose pose = MotionGenerator(MotionKind::Talk).poseAt(0.4);
+    SparseReconstructorOptions opt;
+    opt.recon.resolution = 40;
+    SparseReconstructor recon(opt);
+
+    const auto first = recon.reconstruct(pose);
+    ASSERT_TRUE(first.success);
+    EXPECT_EQ(first.stats.blocksCached, 0u);
+
+    const auto second = recon.reconstruct(pose);
+    ASSERT_TRUE(second.success);
+    // Nothing moved: every block re-used, zero field evaluations.
+    EXPECT_EQ(second.stats.blocksCached, second.stats.blocksTotal);
+    EXPECT_EQ(second.stats.nodesEvaluated, 0u);
+    expectIdenticalMeshes(first.mesh, second.mesh);
+}
+
+TEST(SparseRecon, MotionInvalidatesOnlyMovedBlocks) {
+    // Hand-built poses (no MotionGenerator): breathing sway moves every
+    // joint a little, but here only the right forearm moves, so blocks
+    // away from the arm have zero supporting-capsule drift and must stay
+    // cached — and because their supporting capsules are exactly still,
+    // the cached reconstruction is bit-identical to an uncached one.
+    Pose rest;
+    Pose bent = rest;
+    bent.rotation(body::JointId::RightElbow).z = -0.9f;
+    bent.rotation(body::JointId::RightWrist).z = 0.3f;
+
+    SparseReconstructorOptions opt;
+    opt.recon.resolution = 64;
+    opt.recon.blockSize = 4;  // tighter guard radius -> tighter support
+    SparseReconstructor recon(opt);
+    ASSERT_TRUE(recon.reconstruct(rest).success);
+    const auto cached = recon.reconstruct(bent);
+    ASSERT_TRUE(cached.success);
+    EXPECT_GT(cached.stats.blocksCached, 0u);
+    EXPECT_LT(cached.stats.blocksCached, cached.stats.blocksTotal);
+
+    // Same persistent grid, cache flushed: the uncached reference.
+    SparseReconstructor reference(opt);
+    ASSERT_TRUE(reference.reconstruct(rest).success);
+    reference.invalidate();
+    const auto fresh = reference.reconstruct(bent);
+    ASSERT_TRUE(fresh.success);
+    EXPECT_EQ(fresh.stats.blocksCached, 0u);
+    expectIdenticalMeshes(fresh.mesh, cached.mesh);
+}
+
+TEST(SparseRecon, ExpressionChangeInvalidatesFaceBlocks) {
+    Pose neutral;
+    Pose smiling;
+    smiling.expression.coeffs[0] = 1.0;  // jaw open
+    smiling.expression.coeffs[2] = 1.0;  // smile
+
+    SparseReconstructorOptions opt;
+    opt.recon.resolution = 40;
+    SparseReconstructor recon(opt);
+    ASSERT_TRUE(recon.reconstruct(neutral).success);
+    const auto changed = recon.reconstruct(smiling);
+    ASSERT_TRUE(changed.success);
+    // The skeleton did not move, but face-region blocks must re-sample.
+    EXPECT_GT(changed.stats.blocksCached, 0u);
+    EXPECT_LT(changed.stats.blocksCached, changed.stats.blocksTotal);
+
+    // The expression warp is gated to the face region, so blocks kept
+    // from cache are unaffected by it and the result matches an uncached
+    // reconstruction on the same grid bit for bit.
+    SparseReconstructor reference(opt);
+    ASSERT_TRUE(reference.reconstruct(neutral).success);
+    reference.invalidate();
+    const auto fresh = reference.reconstruct(smiling);
+    ASSERT_TRUE(fresh.success);
+    expectIdenticalMeshes(fresh.mesh, changed.mesh);
+}
+
+TEST(SparseRecon, InvalidateDropsCache) {
+    const Pose pose = MotionGenerator(MotionKind::Talk).poseAt(0.2);
+    SparseReconstructorOptions opt;
+    opt.recon.resolution = 32;
+    SparseReconstructor recon(opt);
+    ASSERT_TRUE(recon.reconstruct(pose).success);
+    recon.invalidate();
+    const auto after = recon.reconstruct(pose);
+    ASSERT_TRUE(after.success);
+    EXPECT_EQ(after.stats.blocksCached, 0u);
+}
+
+TEST(SparseRecon, GridRebuildsWhenPoseEscapesBounds) {
+    SparseReconstructorOptions opt;
+    opt.recon.resolution = 32;
+    opt.motionMargin = 0.05f;  // tight bounds so a big move forces rebuild
+    SparseReconstructor recon(opt);
+
+    Pose atOrigin;
+    ASSERT_TRUE(recon.reconstruct(atOrigin).success);
+    EXPECT_EQ(recon.gridRebuilds(), 0u);
+
+    Pose farAway;
+    farAway.rootTranslation = {2.0f, 0.0f, 0.0f};
+    const auto moved = recon.reconstruct(farAway);
+    ASSERT_TRUE(moved.success);
+    EXPECT_EQ(recon.gridRebuilds(), 1u);
+    EXPECT_EQ(moved.stats.blocksCached, 0u);  // rebuild flushes the cache
+}
+
+TEST(SparseRecon, RespectsDeviceMemoryGate) {
+    SparseReconstructorOptions opt;
+    opt.recon.resolution = 4096;  // absurd: even sparse cannot fit
+    opt.recon.device = DeviceProfile::laptop();
+    SparseReconstructor recon(opt);
+    const auto result = recon.reconstruct(Pose{});
+    EXPECT_FALSE(result.success);
+    EXPECT_NE(result.failureReason.find("out of memory"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semholo::recon
