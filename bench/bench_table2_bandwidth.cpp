@@ -9,12 +9,14 @@
 // wire bytes come from the same channel implementations the session
 // engines run, so this table can never drift from the real pipeline.
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "semholo/body/animation.hpp"
 #include "semholo/body/body_model.hpp"
 #include "semholo/compress/pointcloudcodec.hpp"
 #include "semholo/core/channel.hpp"
+#include "semholo/core/session.hpp"
 #include "semholo/mesh/sampling.hpp"
 
 using namespace semholo;
@@ -99,5 +101,59 @@ int main() {
             mbps(static_cast<double>(cloud.rawBytes())),
             mbps(static_cast<double>(encoded.size())));
     }
+
+    // Conference aggregate: the same Table 2 formats as a 4-party
+    // conference over one 25 Mbps uplink, measured through the
+    // multi-user session engine (per-tick scheduler). Reports each
+    // user's bandwidth share so the table reflects wire bytes that
+    // actually survived the shared bottleneck, not just encode sizes.
+    bench::banner("Conference aggregate: 4 users, one 25 Mbps uplink");
+    // Coarser template than the single-stream table: session rows decode
+    // every frame, and the aggregate/share split is resolution-agnostic.
+    const body::BodyModel confModel(body::ShapeParams{}, 48);
+    const std::vector<Row> confRows{
+        {"semantic w/ compression (LZC~LZMA)",
+         {"keypoint", {{"compressPayload", 1}, {"reconResolution", 24}}},
+         "0.30",
+         "%.2f"},
+        {"traditional w/ compression (~Draco)",
+         {"traditional", {{"compress", 1}}},
+         "10.1",
+         "%.1f"},
+    };
+    bench::Table confTable({"approach", "aggregate Mbps", "per-user share",
+                            "delivery %", "fairness (Jain)"});
+    for (const Row& row : confRows) {
+        constexpr std::size_t kUsers = 4;
+        std::vector<std::unique_ptr<core::SemanticChannel>> owned;
+        std::vector<core::SemanticChannel*> channels;
+        for (std::size_t u = 0; u < kUsers; ++u) {
+            owned.push_back(core::makeChannel(row.spec, &confModel));
+            channels.push_back(owned.back().get());
+        }
+        core::SessionConfig cfg;
+        cfg.frames = 30;
+        cfg.timing = core::TimingModel::Simulated;
+        cfg.link.bandwidth = net::BandwidthTrace::constant(25e6);
+        cfg.link.queueCapacityBytes = 2 * 1024 * 1024;
+        const auto stats = core::runMultiUserSession(channels, confModel, cfg);
+
+        std::string shares;
+        std::size_t delivered = 0;
+        for (const core::UserFairnessStats& f : stats.fairness) {
+            if (!shares.empty()) shares += "/";
+            shares += bench::fmt("%.2f", f.bandwidthShare);
+            delivered += f.deliveredFrames;
+        }
+        confTable.addRow(
+            {row.label, bench::fmt("%.2f", stats.aggregateMbps), shares,
+             bench::fmt("%.1f", 100.0 * static_cast<double>(delivered) /
+                                    static_cast<double>(kUsers * cfg.frames)),
+             bench::fmt("%.3f", stats.fairnessIndex)});
+    }
+    confTable.print();
+    std::printf(
+        "\nShape check: four semantic users fit in ~2%% of the uplink with\n"
+        "equal shares; four compressed-mesh users contend for all of it.\n");
     return 0;
 }

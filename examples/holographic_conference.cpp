@@ -1,7 +1,11 @@
 // Holographic conference: six participants share one uplink. Compares
-// three strategies for the same meeting — raw meshes, LOD-ABR meshes,
-// and keypoint semantics — and prints who actually fits. This is the 6G
-// telepresence vision of the paper's introduction, run end to end.
+// four strategies for the same meeting — raw meshes, LOD-ABR meshes,
+// LOD-ABR with the closed-loop degradation policy, and keypoint
+// semantics — and prints who actually fits, plus how fairly the link
+// was shared. This is the 6G telepresence vision of the paper's
+// introduction, run end to end through the per-tick conference
+// scheduler (every user's policy observes its own link outcomes each
+// capture tick).
 #include <cstdio>
 #include <memory>
 
@@ -15,7 +19,14 @@ namespace {
 struct Strategy {
     const char* label;
     std::function<std::unique_ptr<core::SemanticChannel>()> make;
+    bool degradation{false};
 };
+
+std::unique_ptr<core::SemanticChannel> makeAbrChannel() {
+    core::AdaptiveMeshOptions opt;
+    opt.ladderTriangles = {800, 3000, 10000, 25000};
+    return core::makeAdaptiveMeshChannel(opt);
+}
 
 }  // namespace
 
@@ -27,12 +38,8 @@ int main() {
 
     const std::vector<Strategy> strategies{
         {"raw mesh", [] { return core::makeTraditionalChannel({false, false}); }},
-        {"LOD-ABR mesh",
-         [] {
-             core::AdaptiveMeshOptions opt;
-             opt.ladderTriangles = {800, 3000, 10000, 25000};
-             return core::makeAdaptiveMeshChannel(opt);
-         }},
+        {"LOD-ABR mesh", makeAbrChannel},
+        {"LOD-ABR + degradation", makeAbrChannel, true},
         {"keypoint semantics",
          [] {
              core::KeypointChannelOptions opt;
@@ -41,8 +48,9 @@ int main() {
          }},
     };
 
-    std::printf("%-20s %16s %12s %14s %16s\n", "strategy", "aggregate Mbps",
-                "mean e2e ms", "within 150 ms", "frames rendered");
+    core::MultiSessionStats degradedStats;
+    std::printf("%-22s %14s %12s %14s %14s %10s\n", "strategy", "aggregate Mbps",
+                "mean e2e ms", "within 150 ms", "frames rendered", "fairness");
     for (const Strategy& strategy : strategies) {
         std::vector<std::unique_ptr<core::SemanticChannel>> owned;
         std::vector<core::SemanticChannel*> channels;
@@ -56,21 +64,44 @@ int main() {
         cfg.link.bandwidth = net::BandwidthTrace::constant(25e6);
         cfg.link.propagationDelayS = 0.03;
         cfg.link.queueCapacityBytes = 4 * 1024 * 1024;
+        if (strategy.degradation) {
+            cfg.degradation.enabled = true;
+            cfg.degradation.maxLevel = 3;
+            cfg.degradation.downgradeAfter = 1;
+            cfg.degradation.upgradeAfter = 10;
+        }
 
         const auto stats = core::runMultiUserSession(channels, model, cfg);
+        if (strategy.degradation) degradedStats = stats;
         std::size_t rendered = 0;
         for (const auto& user : stats.perUser) rendered += user.decodedFrames;
-        std::printf("%-20s %16.2f %12.0f %11zu/%zu %13zu/%zu\n", strategy.label,
-                    stats.aggregateMbps, stats.meanE2eMs,
+        std::printf("%-22s %14.2f %12.0f %11zu/%zu %13zu/%zu %10.3f\n",
+                    strategy.label, stats.aggregateMbps, stats.meanE2eMs,
                     stats.usersWithinLatency(150.0), kUsers, rendered,
-                    kUsers * cfg.frames);
+                    kUsers * cfg.frames, stats.fairnessIndex);
+    }
+
+    // Per-user fairness for the closed-loop strategy: who backed off,
+    // how far, and what slice of the uplink each participant ended with.
+    std::printf("\nLOD-ABR + degradation, per participant:\n");
+    std::printf("%-6s %12s %12s %8s %12s %10s\n", "user", "delivered",
+                "share", "e2e ms", "downs/ups", "final lvl");
+    for (const core::UserFairnessStats& f : degradedStats.fairness) {
+        std::printf("%-6zu %9zu/%zu %12.2f %8.0f %9llu/%llu %10zu\n", f.user,
+                    f.deliveredFrames, f.capturedFrames, f.bandwidthShare,
+                    f.meanE2eMs,
+                    static_cast<unsigned long long>(f.degradations),
+                    static_cast<unsigned long long>(f.upgrades),
+                    f.finalDegradationLevel);
     }
 
     std::printf(
         "\nRaw meshes want %.0fx the uplink and stall for everyone; the LOD-ABR\n"
-        "baseline survives by degrading geometry; keypoint semantics carries\n"
-        "all six participants in under a tenth of the link — the paper's\n"
-        "argument for semantic holographic communication, at conference scale.\n",
+        "baseline survives by degrading geometry — and with the closed loop on,\n"
+        "each participant's own policy sheds quality against its observed link\n"
+        "outcomes; keypoint semantics carries all six participants in under a\n"
+        "tenth of the link — the paper's argument for semantic holographic\n"
+        "communication, at conference scale.\n",
         6.0 * 95.0 / 25.0);
     return 0;
 }

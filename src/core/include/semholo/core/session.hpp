@@ -6,13 +6,19 @@
 // Two engines share the same semantics:
 //
 //  - the serial engine (workers == 1) runs everything on the calling
-//    thread — the exact legacy path;
-//  - the parallel engine (workers != 1) runs each user's sender pipeline
-//    (encode) and receiver pipeline (decode + Chamfer sampling) as
-//    independent worker-pool tasks, while the shared-bottleneck
-//    LinkSimulator remains a single sequenced stage so capture-order
-//    interleaving and congestion semantics match the serial engine. In
-//    single-user runs the pool absorbs the per-frame quality evaluation.
+//    thread;
+//  - the parallel engine (workers != 1) fans per-user work (encode,
+//    decode + Chamfer sampling) across a worker pool, while the
+//    shared-bottleneck LinkSimulator remains a single sequenced stage so
+//    capture-order interleaving and congestion semantics match the
+//    serial engine. In single-user runs the pool absorbs the per-frame
+//    quality evaluation.
+//
+// Multi-user runs are scheduled per capture tick (encode tick ->
+// sequenced link -> per-user feedback -> decode tick), so every
+// participant's throughput estimator and DegradationPolicy observe their
+// own link outcomes before the next tick encodes — the closed loop of
+// the paper's semantic coordinator, at conference scale.
 //
 // With TimingModel::Simulated the pipeline clock is fully deterministic,
 // so `workers=1` and `workers=N` produce byte-identical per-frame
@@ -66,15 +72,19 @@ struct SessionConfig {
     // 1 = exact legacy serial path.
     std::size_t workers{0};
     TimingModel timing{TimingModel::Measured};
-    // Closed-loop graceful degradation: when enabled, both single-user
-    // engines (serial and parallel) run a DegradationPolicy over each
-    // frame's link outcome and scale the bandwidth estimate fed to
-    // rate-adaptive channels, stepping quality down under sustained
-    // congestion or injected faults and back up on recovery. Transitions
-    // land in telemetry (counters.degradations / upgrades). Multi-user
-    // sessions ignore this (their parallel engine encodes all frames
-    // before the shared link runs, so no per-frame feedback exists, and
-    // the serial engine must stay bit-identical to it).
+    // Closed-loop graceful degradation: when enabled, every engine
+    // (single- and multi-user, serial and parallel) runs a
+    // DegradationPolicy over each frame's link outcome and scales the
+    // bandwidth estimate fed to rate-adaptive channels, stepping quality
+    // down under sustained congestion or injected faults and back up on
+    // recovery. Transitions land in telemetry (counters.degradations /
+    // upgrades). Multi-user sessions run one independent policy (and one
+    // throughput estimator) per participant: the tick scheduler carries
+    // each capture tick's messages over the shared link before any user
+    // encodes the next tick, so each user observes their own link
+    // outcomes — per-user closed-loop adaptation over a shared
+    // bottleneck. Per-user transitions land in that user's telemetry and
+    // in MultiSessionStats::fairness.
     DegradationConfig degradation{};
 };
 
@@ -139,17 +149,59 @@ SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
 // motion seed; their frames interleave on the shared link in capture
 // order, so heavy channels congest each other. Each channel is reset()
 // before its first frame.
+//
+// Both engines are the same frame-tick scheduler: at each capture tick
+// every user encodes that tick's frame (fanned across the worker pool by
+// the parallel engine), the sequenced link stage carries the tick's
+// messages in user order, each user's throughput estimator and
+// DegradationPolicy observe their own link outcomes, and only then does
+// the next tick encode — so conference participants get the same
+// closed-loop feedback as single-user sessions. Under
+// TimingModel::Simulated the serial and parallel engines are
+// byte-identical at any worker count.
+
+// Per-participant fairness accounting for one multi-user session: how
+// delivery, bandwidth and the degradation ladder were shared.
+struct UserFairnessStats {
+    std::size_t user{};
+    std::size_t capturedFrames{};
+    std::size_t deliveredFrames{};
+    // deliveredFrames / capturedFrames (0 when no frames captured).
+    double deliveryRatio{};
+    double bandwidthMbps{};
+    // This user's fraction of all wire bytes across the conference
+    // (0 when nothing was sent).
+    double bandwidthShare{};
+    double meanE2eMs{};
+    std::uint64_t degradations{};
+    std::uint64_t upgrades{};
+    // Ladder level in effect when the session ended (0 = full quality).
+    std::size_t finalDegradationLevel{};
+};
 
 struct MultiSessionStats {
     std::vector<SessionStats> perUser;
     double aggregateMbps{};
     double meanE2eMs{};
+    // Per-user fairness accounting (delivery ratio, bandwidth share,
+    // degradation transitions), one entry per participant.
+    std::vector<UserFairnessStats> fairness;
+    // Jain's fairness index over per-user delivery ratios: 1 when every
+    // participant gets the same delivery ratio, -> 1/N under starvation.
+    double fairnessIndex{1.0};
     // Merged per-user telemetry plus the shared link's packet/queue
-    // counters and queue-depth histogram.
+    // counters and queue-depth histogram. Link counters are attributed
+    // per user (perUser[u].telemetry) by the link's senderTag and merged
+    // here, so the totals equal the shared link's totals.
     telemetry::SessionTelemetry telemetry;
     // Users whose mean end-to-end latency meets 'budgetMs'.
     std::size_t usersWithinLatency(double budgetMs) const;
 };
+
+// Render a MultiSessionStats as a JSON value: aggregate figures, the
+// per-user fairness array, and the merged telemetry (same schema as
+// telemetry::toJsonValue). Used by the bench exporters.
+std::string toJsonValue(const MultiSessionStats& stats);
 
 MultiSessionStats runMultiUserSession(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,

@@ -4,27 +4,37 @@
 // harnesses write next to their tables (BENCH_*.json) so successive
 // perf PRs have a measured trajectory to compare against.
 //
-// Thread model: a Histogram/Counters instance is NOT internally
-// synchronised. The parallel engine gives each worker task its own
-// instance and merge()s them on the coordinating thread; the sequenced
-// link stage owns the link/queue metrics outright.
+// Thread model: a Histogram is internally synchronised — every accessor
+// (including the lazily sorted percentile cache) takes the instance
+// mutex, so concurrent record/merge/percentile calls from worker threads
+// are safe. A Counters instance is NOT synchronised: the parallel engine
+// gives each worker task its own instance and merge()s them on the
+// coordinating thread; the sequenced link stage owns the link/queue
+// counters outright.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace semholo::core::telemetry {
 
 // Sample-retaining histogram: exact percentiles at bench scale (10^2..
-// 10^5 samples per session), merge by concatenation.
+// 10^5 samples per session), merge by concatenation. All members are
+// thread-safe (guarded by an internal mutex) so telemetry may be queried
+// while worker threads are still recording.
 class Histogram {
 public:
+    Histogram() = default;
+    Histogram(const Histogram& other);
+    Histogram& operator=(const Histogram& other);
+
     void record(double value);
     void merge(const Histogram& other);
 
-    std::size_t count() const { return samples_.size(); }
-    bool empty() const { return samples_.empty(); }
+    std::size_t count() const;
+    bool empty() const;
     double sum() const;
     double mean() const;
     double min() const;
@@ -37,8 +47,10 @@ public:
     double p99() const { return percentile(99.0); }
 
 private:
-    const std::vector<double>& sorted() const;
+    // Caller must hold mutex_.
+    const std::vector<double>& sortedLocked() const;
 
+    mutable std::mutex mutex_;
     std::vector<double> samples_;
     // Sorted lazily on first percentile query after a mutation.
     mutable std::vector<double> sorted_;
@@ -53,6 +65,7 @@ struct Counters {
     std::uint64_t dropsAtReceiver{};   // reconstructor busy at arrival
     std::uint64_t packets{};
     std::uint64_t packetsLost{};       // first-transmission losses
+    std::uint64_t packetsDelivered{};  // reached the receiver
     std::uint64_t packetsUnrecovered{}; // never reached the receiver
     std::uint64_t retransmissions{};
     std::uint64_t queueDrops{};        // bottleneck tail drops (overflow)

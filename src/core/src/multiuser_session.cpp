@@ -1,0 +1,311 @@
+// Multi-user session engine: a frame-tick feedback scheduler. The old
+// engines ran three whole-session phases (encode every frame of every
+// user, then carry everything over the link, then decode), which made
+// per-frame feedback impossible — SessionConfig::degradation was
+// silently ignored for conferences and rate-adaptive channels never saw
+// a throughput sample. This engine restores the single-user feedback
+// contract at conference scale by scheduling per capture tick:
+//
+//   tick f:  encode phase    every user encodes frame f (worker-pool
+//                            fan-out when a pool is supplied; each
+//                            user's extractor clock and channel state
+//                            are theirs alone)
+//            link phase      the shared LinkSimulator carries the
+//                            tick's messages in user order on the
+//                            coordinating thread — identical FIFO
+//                            interleaving, loss RNG draws and
+//                            congestion for serial and parallel runs —
+//                            and, per message, each user's throughput
+//                            estimator + DegradationPolicy observe that
+//                            user's own outcome
+//            decode phase    every user decodes their delivered frame,
+//                            advances their recon clock and runs the
+//                            (expensive) Chamfer quality eval
+//
+// Feedback observed at tick f scales the bandwidth estimate the user's
+// channel sees at tick f+1, exactly like the single-user engines. Serial
+// (pool == nullptr) and parallel runs execute the same per-user call
+// sequence in the same order, so under TimingModel::Simulated they are
+// byte-identical at any worker count (tests/core/
+// test_multiuser_degradation.cpp stresses this with faults + degradation
+// at workers 1/2/8).
+//
+// The shared link attributes every message to its sender via
+// LinkSimulator's senderTag, so packet/queue counters land in that
+// user's telemetry; MultiSessionStats::fairness summarises per-user
+// delivery ratio, bandwidth share and degradation transitions.
+#include <utility>
+#include <vector>
+
+#include "semholo/core/session.hpp"
+#include "semholo/core/thread_pool.hpp"
+#include "semholo/net/abr.hpp"
+#include "session_internal.hpp"
+
+namespace semholo::core::internal {
+
+namespace {
+
+// One user's frame in flight during a tick.
+struct TickFrame {
+    FrameStats frame;
+    EncodedFrame encoded;
+    body::Pose pose;  // retained for receiver-side quality evaluation
+    double captureTime{};
+    double sendTime{};  // valid when sent
+    bool sent{false};
+    net::TransferResult transfer;
+};
+
+// Per-user state that persists across ticks: the pipeline availability
+// clocks and the closed-loop feedback (throughput estimator +
+// degradation policy) every single-user session also carries.
+struct UserState {
+    double extractorFreeAt{0.0};
+    double reconFreeAt{0.0};
+    net::HarmonicEstimator throughput{5};
+    DegradationPolicy degrade;
+
+    UserState(const DegradationConfig& config, double fps,
+              std::size_t queueCapacityBytes)
+        : degrade(config, fps, queueCapacityBytes) {}
+};
+
+void fillFairness(MultiSessionStats& out, const std::vector<UserState>& state) {
+    const std::size_t users = out.perUser.size();
+    double totalBytes = 0.0;
+    std::vector<double> userBytes(users, 0.0);
+    for (std::size_t u = 0; u < users; ++u) {
+        for (const FrameStats& frame : out.perUser[u].frames) {
+            if (frame.droppedAtSender) continue;
+            userBytes[u] += static_cast<double>(frame.bytes);
+        }
+        totalBytes += userBytes[u];
+    }
+    out.fairness.resize(users);
+    double ratioSum = 0.0, ratioSqSum = 0.0;
+    for (std::size_t u = 0; u < users; ++u) {
+        const SessionStats& s = out.perUser[u];
+        UserFairnessStats& f = out.fairness[u];
+        f.user = u;
+        f.capturedFrames = s.frames.size();
+        f.deliveredFrames = s.deliveredFrames;
+        f.deliveryRatio = f.capturedFrames > 0
+                              ? static_cast<double>(f.deliveredFrames) /
+                                    static_cast<double>(f.capturedFrames)
+                              : 0.0;
+        f.bandwidthMbps = s.bandwidthMbps;
+        f.bandwidthShare = totalBytes > 0.0 ? userBytes[u] / totalBytes : 0.0;
+        f.meanE2eMs = s.meanE2eMs;
+        f.degradations = s.telemetry.counters.degradations;
+        f.upgrades = s.telemetry.counters.upgrades;
+        f.finalDegradationLevel = state[u].degrade.level();
+        ratioSum += f.deliveryRatio;
+        ratioSqSum += f.deliveryRatio * f.deliveryRatio;
+    }
+    // Jain's index over delivery ratios; all-equal (including all-zero)
+    // counts as perfectly fair.
+    const double denom = static_cast<double>(users) * ratioSqSum;
+    out.fairnessIndex = denom > 0.0 ? ratioSum * ratioSum / denom : 1.0;
+}
+
+}  // namespace
+
+MultiSessionStats runMultiUserSessionTicked(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base, ThreadPool* pool) {
+    MultiSessionStats out;
+    const std::size_t users = channels.size();
+    out.perUser.resize(users);
+    if (users == 0) return out;
+
+    net::LinkSimulator shared(base.link);
+    // Attribute every message's packet/queue counters to its sender;
+    // finalizeMultiSessionStats merges per-user telemetry back into
+    // out.telemetry, so the aggregate still equals the link's totals.
+    shared.setObserver([&out](const net::TransferResult& r,
+                              std::size_t queuedBytes) {
+        telemetry::SessionTelemetry& t =
+            out.perUser[static_cast<std::size_t>(r.senderTag)].telemetry;
+        t.counters.packets += r.packets;
+        t.counters.packetsLost += r.lostPackets;
+        t.counters.packetsDelivered += r.deliveredPackets;
+        t.counters.packetsUnrecovered += r.unrecoveredPackets;
+        t.counters.retransmissions += r.retransmissions;
+        t.counters.queueDrops += r.droppedAtQueue;
+        t.counters.bytesSent += r.bytes;
+        t.counters.faultEvents += r.faultEvents;
+        t.queueDepthBytes.record(static_cast<double>(queuedBytes));
+    });
+
+    std::vector<body::MotionGenerator> motions;
+    std::vector<UserState> state;
+    motions.reserve(users);
+    state.reserve(users);
+    for (std::size_t u = 0; u < users; ++u) {
+        channels[u]->reset();
+        motions.emplace_back(base.motion, model.shape(),
+                             base.motionSeed + static_cast<std::uint32_t>(u));
+        state.emplace_back(base.degradation, base.fps,
+                           base.link.queueCapacityBytes);
+        out.perUser[u].frames.reserve(base.frames);
+    }
+
+    std::vector<TickFrame> tick(users);
+    const auto forEachUser = [&](auto&& fn) {
+        if (pool != nullptr)
+            pool->parallelFor(users, fn);
+        else
+            for (std::size_t u = 0; u < users; ++u) fn(u);
+    };
+
+    for (std::size_t f = 0; f < base.frames; ++f) {
+        const double captureTime = static_cast<double>(f) / base.fps;
+
+        // Encode phase: each user's encode touches only their own
+        // channel, motion generator, clocks and feedback state.
+        forEachUser([&](std::size_t u) {
+            TickFrame& p = tick[u];
+            p = TickFrame{};
+            p.captureTime = captureTime;
+            p.frame.frameId = static_cast<std::uint32_t>(f);
+            UserState& us = state[u];
+            if (base.dropWhenBusy && us.extractorFreeAt > captureTime) {
+                p.frame.droppedAtSender = true;
+                return;
+            }
+            FrameContext ctx;
+            ctx.pose = motions[u].poseAt(captureTime);
+            ctx.pose.frameId = p.frame.frameId;
+            ctx.model = &model;
+            ctx.timestamp = captureTime;
+            ctx.viewerHead = base.viewerHead;
+            if (us.throughput.hasEstimate())
+                ctx.estimatedBandwidthBps =
+                    us.throughput.estimate() * us.degrade.bandwidthScale();
+            p.encoded = channels[u]->encode(ctx);
+            p.pose = std::move(ctx.pose);
+            p.frame.bytes = p.encoded.bytes();
+            p.frame.extractMs = p.encoded.extractMs();
+            p.sendTime = std::max(captureTime, us.extractorFreeAt) +
+                         clockExtractMs(p.encoded, base.timing) / 1000.0;
+            us.extractorFreeAt = p.sendTime;
+            p.sent = true;
+        });
+
+        // Link + feedback phase: sequenced on the coordinating thread in
+        // user order — the same (frame, user) interleaving the serial
+        // engine always had, so FIFO queueing, loss RNG draws and
+        // congestion are engine-independent. Each message's outcome
+        // feeds that user's estimator and degradation policy before the
+        // next tick encodes.
+        for (std::size_t u = 0; u < users; ++u) {
+            TickFrame& p = tick[u];
+            if (!p.sent) continue;
+            UserState& us = state[u];
+            const std::size_t queuedAtSend =
+                base.degradation.enabled ? shared.queuedBytesAt(p.sendTime) : 0;
+            p.transfer = shared.sendMessage(p.frame.bytes, p.sendTime,
+                                            base.transfer, u);
+            p.frame.delivered = p.transfer.delivered;
+            p.frame.transferMs = p.transfer.durationS() * 1000.0;
+            if (p.transfer.delivered && p.frame.bytes > 0) {
+                // Serialization-dominated throughput sample (propagation
+                // subtracted), as in the single-user engines.
+                const double serialS = std::max(
+                    1e-5, p.transfer.durationS() - base.link.propagationDelayS);
+                us.throughput.addSample(static_cast<double>(p.frame.bytes) *
+                                        8.0 / serialS);
+            }
+            if (base.degradation.enabled) {
+                const DegradationAction action = us.degrade.observe(
+                    p.frame.frameId,
+                    {p.transfer.delivered, p.transfer.durationS(),
+                     p.transfer.unrecoveredPackets, p.transfer.droppedAtQueue,
+                     p.transfer.faultEvents, queuedAtSend});
+                if (action == DegradationAction::StepDown)
+                    ++out.perUser[u].telemetry.counters.degradations;
+                else if (action == DegradationAction::StepUp)
+                    ++out.perUser[u].telemetry.counters.upgrades;
+            }
+        }
+
+        // Decode phase: each user decodes their own arrival, advances
+        // their recon clock and (when sampled) runs the Chamfer eval.
+        forEachUser([&](std::size_t u) {
+            TickFrame& p = tick[u];
+            SessionStats& s = out.perUser[u];
+            FrameStats frame = std::move(p.frame);
+            if (frame.droppedAtSender) {
+                s.frames.push_back(std::move(frame));
+                return;
+            }
+            UserState& us = state[u];
+            if (p.transfer.delivered) {
+                const double arrival = p.transfer.completionTime;
+                if (base.dropWhenBusy && us.reconFreeAt > arrival) {
+                    frame.droppedAtReceiver = true;
+                } else {
+                    const DecodedFrame decoded = channels[u]->decode(p.encoded);
+                    frame.decoded = decoded.valid;
+                    frame.reconMs = decoded.reconMs();
+                    copyReconCounters(frame, decoded);
+                    const double renderTime =
+                        std::max(arrival, us.reconFreeAt) +
+                        clockReconMs(decoded, base.timing) / 1000.0;
+                    us.reconFreeAt = renderTime;
+                    frame.e2eMs = (renderTime - p.captureTime) * 1000.0;
+                    if (decoded.valid && base.qualityEvalInterval > 0 &&
+                        f % base.qualityEvalInterval == 0 &&
+                        !decoded.mesh.empty()) {
+                        evaluateQuality(frame, model, p.pose, decoded.mesh,
+                                        base.qualitySamples);
+                    }
+                }
+            } else {
+                frame.e2eMs = (p.transfer.completionTime - p.captureTime) * 1000.0;
+            }
+            s.frames.push_back(std::move(frame));
+        });
+    }
+
+    finalizeMultiSessionStats(out, base);
+    fillFairness(out, state);
+    return out;
+}
+
+}  // namespace semholo::core::internal
+
+namespace semholo::core {
+
+std::string toJsonValue(const MultiSessionStats& stats) {
+    telemetry::JsonWriter w;
+    w.beginObject();
+    w.field("users", static_cast<std::uint64_t>(stats.perUser.size()));
+    w.field("aggregate_mbps", stats.aggregateMbps);
+    w.field("mean_e2e_ms", stats.meanE2eMs);
+    w.field("fairness_index", stats.fairnessIndex);
+    w.beginArray("fairness");
+    for (const UserFairnessStats& f : stats.fairness) {
+        w.beginObject()
+            .field("user", static_cast<std::uint64_t>(f.user))
+            .field("captured_frames", static_cast<std::uint64_t>(f.capturedFrames))
+            .field("delivered_frames",
+                   static_cast<std::uint64_t>(f.deliveredFrames))
+            .field("delivery_ratio", f.deliveryRatio)
+            .field("bandwidth_mbps", f.bandwidthMbps)
+            .field("bandwidth_share", f.bandwidthShare)
+            .field("mean_e2e_ms", f.meanE2eMs)
+            .field("degradations", f.degradations)
+            .field("upgrades", f.upgrades)
+            .field("final_degradation_level",
+                   static_cast<std::uint64_t>(f.finalDegradationLevel))
+            .endObject();
+    }
+    w.endArray();
+    w.raw("telemetry", telemetry::toJsonValue(stats.telemetry));
+    w.endObject();
+    return w.str();
+}
+
+}  // namespace semholo::core

@@ -1,22 +1,11 @@
-// Parallel session engine: per-user sender/receiver pipelines run as
-// worker-pool tasks; the shared-bottleneck LinkSimulator stays a single
-// sequenced stage fed in exactly the serial engine's (frame, user)
-// order, so congestion semantics are identical. Under
-// TimingModel::Simulated the whole schedule is deterministic and the
-// engine is bit-for-bit equivalent to the serial one (asserted by
-// tests/core/test_parallel_session.cpp).
-//
-// Structure per multi-user run:
-//
-//   phase A (parallel, one task per user)   encode every frame, advance
-//                                           the per-user extractor clock,
-//                                           mark sender drops
-//   phase B (sequenced, coordinator thread) shared link transfer in
-//                                           capture order, telemetry
-//                                           queue-depth sampling
-//   phase C (parallel, one task per user)   decode delivered frames,
-//                                           advance the recon clock,
-//                                           Chamfer quality sampling
+// Parallel session engine. Multi-user runs delegate to the frame-tick
+// scheduler (multiuser_session.cpp) with the per-tick encode and decode
+// phases fanned across the worker pool; the shared-bottleneck
+// LinkSimulator stays a single sequenced stage fed in exactly the serial
+// engine's (frame, user) order, so congestion semantics are identical
+// and under TimingModel::Simulated the engine is bit-for-bit equivalent
+// to the serial one (asserted by tests/core/test_parallel_session.cpp
+// and tests/core/test_multiuser_degradation.cpp).
 //
 // Single-user runs keep the sender/link/receiver loop on the calling
 // thread (one channel's encode/decode state is inherently sequential)
@@ -38,15 +27,6 @@ namespace {
 struct QualityResult {
     double chamfer{};
     double wallMs{};
-};
-
-struct PipelinedFrame {
-    FrameStats frame;
-    EncodedFrame encoded;
-    body::Pose pose;   // retained for receiver-side quality evaluation
-    double captureTime{};
-    double sendTime{};   // valid when not dropped at sender
-    net::TransferResult transfer;
 };
 
 }  // namespace
@@ -170,105 +150,15 @@ SessionStats runSessionParallel(SemanticChannel& channel,
 MultiSessionStats runMultiUserSessionParallel(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
     const SessionConfig& base, std::size_t workers) {
-    MultiSessionStats out;
-    const std::size_t users = channels.size();
-    out.perUser.resize(users);
-    if (users == 0) return out;
-
+    // The parallel engine is the tick scheduler with the per-tick encode
+    // and decode phases fanned across the pool (multiuser_session.cpp).
+    // The per-tick barrier is what lets every user's DegradationPolicy
+    // observe tick f's link outcomes before any user encodes tick f+1 —
+    // the old whole-session phases (encode all frames, then link, then
+    // decode) made that feedback impossible and silently disabled
+    // SessionConfig::degradation for conferences.
     ThreadPool pool(workers);
-    std::vector<std::vector<PipelinedFrame>> perUser(users);
-
-    // Phase A: independent sender pipelines. Each user's extractor clock
-    // only depends on their own encode history, so users fan out freely.
-    pool.parallelFor(users, [&](std::size_t u) {
-        channels[u]->reset();
-        const body::MotionGenerator motion(
-            base.motion, model.shape(),
-            base.motionSeed + static_cast<std::uint32_t>(u));
-        auto& mine = perUser[u];
-        mine.resize(base.frames);
-        double extractorFreeAt = 0.0;
-        for (std::size_t f = 0; f < base.frames; ++f) {
-            PipelinedFrame& p = mine[f];
-            p.captureTime = static_cast<double>(f) / base.fps;
-            p.frame.frameId = static_cast<std::uint32_t>(f);
-            if (base.dropWhenBusy && extractorFreeAt > p.captureTime) {
-                p.frame.droppedAtSender = true;
-                continue;
-            }
-            FrameContext ctx;
-            ctx.pose = motion.poseAt(p.captureTime);
-            ctx.pose.frameId = p.frame.frameId;
-            ctx.model = &model;
-            ctx.timestamp = p.captureTime;
-            ctx.viewerHead = base.viewerHead;
-            p.encoded = channels[u]->encode(ctx);
-            p.pose = std::move(ctx.pose);
-            p.frame.bytes = p.encoded.bytes();
-            p.frame.extractMs = p.encoded.extractMs();
-            p.sendTime = std::max(p.captureTime, extractorFreeAt) +
-                         clockExtractMs(p.encoded, base.timing) / 1000.0;
-            extractorFreeAt = p.sendTime;
-        }
-    });
-
-    // Phase B: the shared bottleneck is a sequenced stage — messages
-    // enter in the serial engine's (frame, user) order so queueing,
-    // loss RNG draws and congestion interleave identically.
-    net::LinkSimulator shared(base.link);
-    observeLink(shared, out.telemetry);
-    for (std::size_t f = 0; f < base.frames; ++f) {
-        for (std::size_t u = 0; u < users; ++u) {
-            PipelinedFrame& p = perUser[u][f];
-            if (p.frame.droppedAtSender) continue;
-            p.transfer =
-                shared.sendMessage(p.frame.bytes, p.sendTime, base.transfer);
-        }
-    }
-
-    // Phase C: independent receiver pipelines (decode + quality eval);
-    // the recon clock only depends on the user's own arrivals.
-    pool.parallelFor(users, [&](std::size_t u) {
-        double reconFreeAt = 0.0;
-        SessionStats& s = out.perUser[u];
-        s.frames.reserve(base.frames);
-        for (std::size_t f = 0; f < base.frames; ++f) {
-            PipelinedFrame& p = perUser[u][f];
-            FrameStats frame = std::move(p.frame);
-            if (frame.droppedAtSender) {
-                s.frames.push_back(std::move(frame));
-                continue;
-            }
-            frame.delivered = p.transfer.delivered;
-            frame.transferMs = p.transfer.durationS() * 1000.0;
-            if (p.transfer.delivered) {
-                const double arrival = p.transfer.completionTime;
-                if (base.dropWhenBusy && reconFreeAt > arrival) {
-                    frame.droppedAtReceiver = true;
-                } else {
-                    const DecodedFrame decoded = channels[u]->decode(p.encoded);
-                    frame.decoded = decoded.valid;
-                    frame.reconMs = decoded.reconMs();
-                    copyReconCounters(frame, decoded);
-                    const double renderTime =
-                        std::max(arrival, reconFreeAt) +
-                        clockReconMs(decoded, base.timing) / 1000.0;
-                    reconFreeAt = renderTime;
-                    frame.e2eMs = (renderTime - p.captureTime) * 1000.0;
-                    if (decoded.valid && base.qualityEvalInterval > 0 &&
-                        f % base.qualityEvalInterval == 0 &&
-                        !decoded.mesh.empty()) {
-                        evaluateQuality(frame, model, p.pose, decoded.mesh,
-                                        base.qualitySamples);
-                    }
-                }
-            }
-            s.frames.push_back(std::move(frame));
-        }
-    });
-
-    finalizeMultiSessionStats(out, base);
-    return out;
+    return runMultiUserSessionTicked(channels, model, base, &pool);
 }
 
 }  // namespace semholo::core::internal

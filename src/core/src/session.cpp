@@ -21,6 +21,7 @@ void observeLink(net::LinkSimulator& link, telemetry::SessionTelemetry& t) {
     link.setObserver([&t](const net::TransferResult& r, std::size_t queuedBytes) {
         t.counters.packets += r.packets;
         t.counters.packetsLost += r.lostPackets;
+        t.counters.packetsDelivered += r.deliveredPackets;
         t.counters.packetsUnrecovered += r.unrecoveredPackets;
         t.counters.retransmissions += r.retransmissions;
         t.counters.queueDrops += r.droppedAtQueue;
@@ -87,8 +88,12 @@ void finalizeSessionStats(SessionStats& stats, const SessionConfig& config) {
         stats.meanExtractMs = sumExtract / static_cast<double>(sent);
         stats.meanTransferMs = sumTransfer / static_cast<double>(sent);
         // Effective bandwidth: bytes actually sent over the session span.
-        const double spanS = static_cast<double>(config.frames) / config.fps;
-        stats.bandwidthMbps = sumBytes * 8.0 / spanS / 1e6;
+        // Guard the degenerate zero-span session (frames == 0 or fps
+        // <= 0) so the contract stays "0, never a division by zero".
+        const double spanS = config.fps > 0.0
+                                 ? static_cast<double>(config.frames) / config.fps
+                                 : 0.0;
+        stats.bandwidthMbps = spanS > 0.0 ? sumBytes * 8.0 / spanS / 1e6 : 0.0;
     }
     if (reconCount > 0) {
         stats.meanReconMs = sumRecon / static_cast<double>(reconCount);
@@ -107,7 +112,9 @@ void finalizeSessionStats(SessionStats& stats, const SessionConfig& config) {
 void finalizeMultiSessionStats(MultiSessionStats& out, const SessionConfig& config) {
     double totalBytes = 0.0, totalE2e = 0.0;
     std::size_t e2eCount = 0;
-    const double spanS = static_cast<double>(config.frames) / config.fps;
+    const double spanS = config.fps > 0.0
+                             ? static_cast<double>(config.frames) / config.fps
+                             : 0.0;
     for (SessionStats& s : out.perUser) {
         finalizeSessionStats(s, config);
         for (const FrameStats& frame : s.frames) {
@@ -120,7 +127,7 @@ void finalizeMultiSessionStats(MultiSessionStats& out, const SessionConfig& conf
         }
         out.telemetry.merge(s.telemetry);
     }
-    out.aggregateMbps = totalBytes * 8.0 / spanS / 1e6;
+    out.aggregateMbps = spanS > 0.0 ? totalBytes * 8.0 / spanS / 1e6 : 0.0;
     if (e2eCount > 0) out.meanE2eMs = totalE2e / static_cast<double>(e2eCount);
 }
 
@@ -255,79 +262,13 @@ SessionStats runSessionSerial(SemanticChannel& channel,
 MultiSessionStats runMultiUserSessionSerial(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
     const SessionConfig& base) {
-    MultiSessionStats out;
-    const std::size_t users = channels.size();
-    out.perUser.resize(users);
-    if (users == 0) return out;
-
-    net::LinkSimulator shared(base.link);
-    observeLink(shared, out.telemetry);
-    std::vector<body::MotionGenerator> motions;
-    std::vector<double> extractorFreeAt(users, 0.0);
-    std::vector<double> reconFreeAt(users, 0.0);
-    for (std::size_t u = 0; u < users; ++u) {
-        channels[u]->reset();
-        motions.emplace_back(base.motion, model.shape(),
-                             base.motionSeed + static_cast<std::uint32_t>(u));
-    }
-
-    for (std::size_t f = 0; f < base.frames; ++f) {
-        const double captureTime = static_cast<double>(f) / base.fps;
-        for (std::size_t u = 0; u < users; ++u) {
-            FrameContext ctx;
-            ctx.pose = motions[u].poseAt(captureTime);
-            ctx.pose.frameId = static_cast<std::uint32_t>(f);
-            ctx.model = &model;
-            ctx.timestamp = captureTime;
-            ctx.viewerHead = base.viewerHead;
-
-            FrameStats frame;
-            frame.frameId = ctx.pose.frameId;
-            if (base.dropWhenBusy && extractorFreeAt[u] > captureTime) {
-                frame.droppedAtSender = true;
-                out.perUser[u].frames.push_back(frame);
-                continue;
-            }
-            const EncodedFrame encoded = channels[u]->encode(ctx);
-            frame.bytes = encoded.bytes();
-            frame.extractMs = encoded.extractMs();
-            const double sendTime =
-                std::max(captureTime, extractorFreeAt[u]) +
-                internal::clockExtractMs(encoded, base.timing) / 1000.0;
-            extractorFreeAt[u] = sendTime;
-
-            // All users share the same bottleneck.
-            const auto transfer =
-                shared.sendMessage(encoded.bytes(), sendTime, base.transfer);
-            frame.delivered = transfer.delivered;
-            frame.transferMs = transfer.durationS() * 1000.0;
-            if (transfer.delivered) {
-                const double arrival = transfer.completionTime;
-                if (base.dropWhenBusy && reconFreeAt[u] > arrival) {
-                    frame.droppedAtReceiver = true;
-                } else {
-                    const DecodedFrame decoded = channels[u]->decode(encoded);
-                    frame.decoded = decoded.valid;
-                    frame.reconMs = decoded.reconMs();
-                    internal::copyReconCounters(frame, decoded);
-                    const double renderTime =
-                        std::max(arrival, reconFreeAt[u]) +
-                        internal::clockReconMs(decoded, base.timing) / 1000.0;
-                    reconFreeAt[u] = renderTime;
-                    frame.e2eMs = (renderTime - captureTime) * 1000.0;
-                    if (decoded.valid && base.qualityEvalInterval > 0 &&
-                        f % base.qualityEvalInterval == 0 && !decoded.mesh.empty()) {
-                        evaluateQuality(frame, model, ctx.pose, decoded.mesh,
-                                        base.qualitySamples);
-                    }
-                }
-            }
-            out.perUser[u].frames.push_back(frame);
-        }
-    }
-
-    finalizeMultiSessionStats(out, base);
-    return out;
+    // The serial engine is the tick scheduler run inline on the calling
+    // thread (multiuser_session.cpp): per capture tick, encode every
+    // user, carry the tick over the shared link in user order, feed each
+    // user's feedback loop, decode. Identical call sequence to the
+    // parallel engine, so the byte-identity contract holds by
+    // construction.
+    return runMultiUserSessionTicked(channels, model, base, nullptr);
 }
 
 }  // namespace internal

@@ -6,6 +6,10 @@
 
 #include "semholo/core/session.hpp"
 
+namespace semholo::core {
+class ThreadPool;
+}
+
 namespace semholo::core::internal {
 
 // Stage cost that advances the availability clocks (extractor/recon
@@ -70,5 +74,17 @@ SessionStats runSessionParallel(SemanticChannel& channel,
 MultiSessionStats runMultiUserSessionParallel(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
     const SessionConfig& base, std::size_t workers);
+
+// The one multi-user implementation both wrappers above delegate to
+// (multiuser_session.cpp): a frame-tick scheduler — per tick, encode all
+// users (inline when pool == nullptr, fanned across the pool otherwise),
+// carry the tick's messages over the shared link in user order, feed
+// each user's throughput estimator and DegradationPolicy their own link
+// outcomes, then decode — so serial and parallel runs execute the exact
+// same per-user call sequence and are byte-identical under
+// TimingModel::Simulated.
+MultiSessionStats runMultiUserSessionTicked(
+    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
+    const SessionConfig& base, ThreadPool* pool);
 
 }  // namespace semholo::core::internal

@@ -8,37 +8,79 @@
 
 namespace semholo::core::telemetry {
 
+Histogram::Histogram(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    samples_ = other.samples_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+    if (this == &other) return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    samples_ = other.samples_;
+    sorted_.clear();
+    sortedValid_ = false;
+    return *this;
+}
+
 void Histogram::record(double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
     samples_.push_back(value);
     sortedValid_ = false;
 }
 
 void Histogram::merge(const Histogram& other) {
+    if (this == &other) {
+        // Self-merge duplicates the sample set; copy first so the insert
+        // does not read the vector it is growing.
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::vector<double> copy = samples_;
+        samples_.insert(samples_.end(), copy.begin(), copy.end());
+        sortedValid_ = false;
+        return;
+    }
+    std::scoped_lock lock(mutex_, other.mutex_);
     samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
     sortedValid_ = false;
 }
 
+std::size_t Histogram::count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+}
+
+bool Histogram::empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.empty();
+}
+
 double Histogram::sum() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     double s = 0.0;
     for (const double v : samples_) s += v;
     return s;
 }
 
 double Histogram::mean() const {
-    return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (const double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
 }
 
 double Histogram::min() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return samples_.empty() ? 0.0
                             : *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::max() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return samples_.empty() ? 0.0
                             : *std::max_element(samples_.begin(), samples_.end());
 }
 
-const std::vector<double>& Histogram::sorted() const {
+const std::vector<double>& Histogram::sortedLocked() const {
     if (!sortedValid_) {
         sorted_ = samples_;
         std::sort(sorted_.begin(), sorted_.end());
@@ -48,8 +90,9 @@ const std::vector<double>& Histogram::sorted() const {
 }
 
 double Histogram::percentile(double p) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (samples_.empty()) return 0.0;
-    const auto& s = sorted();
+    const auto& s = sortedLocked();
     const double clamped = std::clamp(p, 0.0, 100.0);
     // Nearest-rank: ceil(p/100 * N), 1-indexed.
     const std::size_t rank = static_cast<std::size_t>(
@@ -65,6 +108,7 @@ void Counters::merge(const Counters& other) {
     dropsAtReceiver += other.dropsAtReceiver;
     packets += other.packets;
     packetsLost += other.packetsLost;
+    packetsDelivered += other.packetsDelivered;
     packetsUnrecovered += other.packetsUnrecovered;
     retransmissions += other.retransmissions;
     queueDrops += other.queueDrops;
@@ -132,6 +176,7 @@ std::string toJsonValue(const SessionTelemetry& t) {
         .field("drops_at_receiver", t.counters.dropsAtReceiver)
         .field("packets", t.counters.packets)
         .field("packets_lost", t.counters.packetsLost)
+        .field("packets_delivered", t.counters.packetsDelivered)
         .field("packets_unrecovered", t.counters.packetsUnrecovered)
         .field("retransmissions", t.counters.retransmissions)
         .field("queue_drops", t.counters.queueDrops)

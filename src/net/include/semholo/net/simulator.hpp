@@ -47,6 +47,11 @@ struct TransferResult {
     // collapses, Gilbert-Elliott good->bad transitions). Each scheduled
     // window is counted once per simulator lifetime.
     std::size_t faultEvents{0};
+    // Caller-supplied message tag, echoed back verbatim (0 when unused).
+    // Multi-user session engines tag each message with the sending
+    // user's index so the telemetry observer can attribute shared-link
+    // packet/queue counters per user.
+    std::uint64_t senderTag{0};
     double throughputBps() const {
         const double d = durationS();
         return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
@@ -64,9 +69,12 @@ public:
     explicit LinkSimulator(const LinkConfig& config = {});
 
     // Send 'bytes' at 'sendTime' (>= the clock of previous sends).
-    // Returns the per-message delivery result.
+    // Returns the per-message delivery result. 'senderTag' is carried
+    // through to TransferResult::senderTag (and thus the observer) for
+    // per-sender attribution on shared links.
     TransferResult sendMessage(std::size_t bytes, double sendTime,
-                               const TransferOptions& options = {});
+                               const TransferOptions& options = {},
+                               std::uint64_t senderTag = 0);
 
     // Time the bottleneck queue drains at (for pacing decisions).
     double queueBusyUntil() const { return busyUntil_; }

@@ -100,9 +100,11 @@ void LinkSimulator::noteFaultWindows(double start, double end,
 }
 
 TransferResult LinkSimulator::sendMessage(std::size_t bytes, double sendTime,
-                                          const TransferOptions& options) {
+                                          const TransferOptions& options,
+                                          std::uint64_t senderTag) {
     const std::size_t queuedAtSend = queuedBytesAt(sendTime);
-    const TransferResult result = sendMessageImpl(bytes, sendTime, options);
+    TransferResult result = sendMessageImpl(bytes, sendTime, options);
+    result.senderTag = senderTag;
     if (observer_) observer_(result, queuedAtSend);
     return result;
 }

@@ -130,6 +130,50 @@ TEST(Session, QueueingModeProcessesEveryFrame) {
     EXPECT_EQ(stats.deliveredFrames, 8u);
 }
 
+TEST(Session, FullRunOutageYieldsFiniteZeroAggregates) {
+    // A link that is down for the whole session (full-run outage): every
+    // frame is captured, encoded and sent, none is delivered or decoded.
+    // The finalize contract is 0 (or NaN where documented), never a
+    // division by zero or an infinity.
+    SessionConfig cfg = fastConfig(12);
+    cfg.transfer.reliable = false;  // no ARQ riding out the outage
+    cfg.link.lossRate = 1.0;        // link down for the whole run
+    auto channel = makeKeypointChannel({.reconResolution = 16});
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+
+    EXPECT_EQ(stats.frames.size(), 12u);
+    EXPECT_EQ(stats.deliveredFrames, 0u);
+    EXPECT_EQ(stats.decodedFrames, 0u);
+    // Sender-side aggregates still exist (frames were encoded and sent)…
+    EXPECT_GT(stats.meanBytesPerFrame, 0.0);
+    EXPECT_GT(stats.bandwidthMbps, 0.0);
+    // …receiver-side aggregates are zero by contract, not NaN/inf.
+    EXPECT_EQ(stats.meanE2eMs, 0.0);
+    EXPECT_EQ(stats.p95E2eMs, 0.0);
+    EXPECT_EQ(stats.meanReconMs, 0.0);
+    EXPECT_EQ(stats.achievableFps, 0.0);
+    // Quality was never evaluated: NaN by contract.
+    EXPECT_TRUE(std::isnan(stats.meanChamfer));
+    EXPECT_FALSE(std::isinf(stats.meanTransferMs));
+    EXPECT_EQ(stats.telemetry.counters.framesDelivered, 0u);
+    EXPECT_EQ(stats.telemetry.counters.packetsDelivered, 0u);
+    EXPECT_EQ(stats.telemetry.counters.packets,
+              stats.telemetry.counters.packetsUnrecovered);
+}
+
+TEST(Session, ZeroFrameSessionIsAllZeroAggregates) {
+    // frames == 0 exercises the sent == 0 and zero-span branches.
+    SessionConfig cfg = fastConfig(0);
+    auto channel = makeKeypointChannel({.reconResolution = 16});
+    const auto stats = runSession(*channel, sharedModel(), cfg);
+    EXPECT_TRUE(stats.frames.empty());
+    EXPECT_EQ(stats.meanBytesPerFrame, 0.0);
+    EXPECT_EQ(stats.bandwidthMbps, 0.0);
+    EXPECT_EQ(stats.meanE2eMs, 0.0);
+    EXPECT_EQ(stats.achievableFps, 0.0);
+    EXPECT_TRUE(std::isnan(stats.meanChamfer));
+}
+
 TEST(QoE, PerfectSessionScoresHigh) {
     SessionStats stats;
     stats.frames.resize(30);

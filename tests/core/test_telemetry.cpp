@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "semholo/core/telemetry.hpp"
 
@@ -44,16 +46,78 @@ TEST(Histogram, MergeConcatenatesSamples) {
     EXPECT_DOUBLE_EQ(a.percentile(0), 0.5);
 }
 
+// Regression test for the lazy-sort data race: percentile() on a const
+// Histogram used to rebuild the sorted cache without synchronisation, so
+// concurrent readers (the parallel engine's telemetry aggregation) raced
+// on sorted_/sortedValid_. All accessors are now internally locked; this
+// test drives concurrent record + percentile + merge + copy and is run
+// under TSan in CI (ctest -R Histogram).
+TEST(Histogram, ConcurrentRecordPercentileAndMergeAreSafe) {
+    Histogram shared;
+    for (int v = 1; v <= 64; ++v) shared.record(v);
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 400;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&shared, t] {
+            Histogram local;
+            for (int i = 0; i < kIters; ++i) {
+                switch (t % 4) {
+                    case 0:  // writer
+                        shared.record(static_cast<double>(i % 100));
+                        break;
+                    case 1: {  // percentile reader (lazy-sort path)
+                        const double p = shared.percentile(95);
+                        EXPECT_GE(p, 0.0);
+                        break;
+                    }
+                    case 2:  // merger
+                        local.record(static_cast<double>(i));
+                        shared.merge(local);
+                        break;
+                    default: {  // copier + cheap readers
+                        const Histogram snapshot = shared;
+                        EXPECT_LE(snapshot.min(), snapshot.max());
+                        EXPECT_GE(shared.count(), 64u);
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads) th.join();
+
+    EXPECT_GE(shared.count(), 64u);
+    EXPECT_DOUBLE_EQ(shared.min(), 0.0);
+    // The cache still converges to correct order once quiescent.
+    EXPECT_GE(shared.percentile(100), shared.percentile(50));
+}
+
+TEST(Histogram, SelfMergeDoublesSamples) {
+    Histogram h;
+    h.record(1.0);
+    h.record(3.0);
+    h.merge(h);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 3.0);
+}
+
 TEST(Counters, MergeSumsEveryField) {
     Counters a, b;
     a.framesCaptured = 3;
     a.retransmissions = 2;
+    a.packetsDelivered = 9;
     b.framesCaptured = 4;
     b.queueDrops = 5;
+    b.packetsDelivered = 11;
     a.merge(b);
     EXPECT_EQ(a.framesCaptured, 7u);
     EXPECT_EQ(a.retransmissions, 2u);
     EXPECT_EQ(a.queueDrops, 5u);
+    EXPECT_EQ(a.packetsDelivered, 20u);
 }
 
 TEST(SessionTelemetryJson, ContainsStagesAndCounters) {
