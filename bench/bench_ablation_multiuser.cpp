@@ -4,23 +4,24 @@
 // [106]) motivates exactly this: traditional mesh streams collide at 2-3
 // users on broadband, keypoint streams scale to rooms full of people.
 //
-// This bench drives the parallel session engine: channels are built
-// from data (ChannelSpec sweeps), every row runs under the deterministic
-// timing model so the serial (workers=1) and parallel (workers=N)
-// engines are byte-identical, and the 8-user row is re-run at both
-// worker counts to report the engine's wall-clock speedup. A congested
-// conference section then runs adaptive-mesh participants through a
-// faulty 8 Mbps bottleneck with closed-loop degradation off and on,
-// reporting per-user fairness (delivery ratio, bandwidth share, ladder
-// transitions) from the per-tick feedback scheduler. Per-stage
-// telemetry (p50/p95/p99 plus drop/retransmission/queue counters) is
-// exported to BENCH_multiuser.json.
+// This bench drives the conference engine through the ConferenceConfig
+// API: participants are data (one ChannelSpec per row), every row runs
+// under the deterministic timing model so the serial (workers=1) and
+// parallel (workers=N) engines are byte-identical, and the 8-user row is
+// re-run at both worker counts to report the engine's wall-clock
+// speedup. A congested conference section then runs adaptive-mesh
+// participants through a faulty 8 Mbps bottleneck with closed-loop
+// degradation off and on, reporting per-user fairness (delivery ratio,
+// bandwidth share, ladder transitions) from the per-tick feedback
+// scheduler. Per-stage telemetry (p50/p95/p99 plus
+// drop/retransmission/queue counters) is exported to
+// BENCH_multiuser.json.
 #include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "bench_util.hpp"
-#include "semholo/core/session.hpp"
+#include "semholo/core/conference.hpp"
 #include "semholo/core/thread_pool.hpp"
 
 using namespace semholo;
@@ -32,20 +33,16 @@ struct Workload {
     core::ChannelSpec spec;
 };
 
-std::vector<std::unique_ptr<core::SemanticChannel>> buildFleet(
-    const core::ChannelSpec& spec, std::size_t users,
-    const body::BodyModel& model) {
-    std::vector<std::unique_ptr<core::SemanticChannel>> fleet;
-    for (std::size_t u = 0; u < users; ++u)
-        fleet.push_back(core::makeChannel(spec, &model));
-    return fleet;
-}
-
-std::vector<core::SemanticChannel*> raw(
-    const std::vector<std::unique_ptr<core::SemanticChannel>>& owned) {
-    std::vector<core::SemanticChannel*> out;
-    for (const auto& c : owned) out.push_back(c.get());
-    return out;
+// A conference of 'users' identical participants publishing 'spec'.
+core::ConferenceConfig makeConference(const core::ChannelSpec& spec,
+                                      std::size_t users,
+                                      const core::SessionConfig& session) {
+    core::ConferenceConfig conf;
+    conf.session = session;
+    conf.enableDownlinks = false;  // uplink-scaling ablation
+    conf.participants.resize(users);
+    for (auto& p : conf.participants) p.channel = spec;
+    return conf;
 }
 
 double nowMs() {
@@ -78,6 +75,7 @@ int main() {
 
     core::telemetry::JsonWriter json;
     json.beginObject();
+    json.field("schema_version", core::telemetry::kBenchSchemaVersion);
     json.field("bench", std::string("ablation_multiuser"));
     json.field("hardware_workers",
                static_cast<std::uint64_t>(core::ThreadPool::defaultWorkers()));
@@ -87,9 +85,9 @@ int main() {
                         "users <= 150 ms"});
     for (const Workload& workload : workloads) {
         for (const std::size_t users : {1u, 2u, 4u, 8u}) {
-            auto owned = buildFleet(workload.spec, users, model);
-            auto channels = raw(owned);
-            const auto stats = core::runMultiUserSession(channels, model, cfg);
+            const auto stats =
+                core::runConference(makeConference(workload.spec, users, cfg),
+                                    model);
             table.addRow({workload.label, std::to_string(users),
                           bench::fmt("%.2f", stats.aggregateMbps),
                           bench::fmt("%.0f", stats.meanE2eMs),
@@ -116,19 +114,17 @@ int main() {
     core::MultiSessionStats serialStats, parallelStats;
     double serialMs = 0.0, parallelMs = 0.0;
     {
-        auto owned = buildFleet(workloads[0].spec, speedupUsers, model);
-        auto channels = raw(owned);
         cfg.workers = 1;
         const double t0 = nowMs();
-        serialStats = core::runMultiUserSession(channels, model, cfg);
+        serialStats = core::runConference(
+            makeConference(workloads[0].spec, speedupUsers, cfg), model);
         serialMs = nowMs() - t0;
     }
     {
-        auto owned = buildFleet(workloads[0].spec, speedupUsers, model);
-        auto channels = raw(owned);
         cfg.workers = parallelWorkers;
         const double t0 = nowMs();
-        parallelStats = core::runMultiUserSession(channels, model, cfg);
+        parallelStats = core::runConference(
+            makeConference(workloads[0].spec, speedupUsers, cfg), model);
         parallelMs = nowMs() - t0;
     }
     bool identical = true;
@@ -172,28 +168,29 @@ int main() {
     const std::size_t confUsers = 3;
     core::AdaptiveMeshOptions meshOpt;
     meshOpt.ladderTriangles = {400, 1500, 6000};
-    const auto adaptiveFleet = [&] {
-        std::vector<std::unique_ptr<core::SemanticChannel>> fleet;
-        for (std::size_t u = 0; u < confUsers; ++u)
-            fleet.push_back(core::makeAdaptiveMeshChannel(meshOpt));
-        return fleet;
+    // ladderTriangles is vector-valued, which a ChannelSpec cannot carry
+    // — this is what Participant::channelFactory is for.
+    const auto adaptiveConference = [&](const core::SessionConfig& session) {
+        core::ConferenceConfig conf;
+        conf.session = session;
+        conf.enableDownlinks = false;
+        conf.participants.resize(confUsers);
+        for (auto& p : conf.participants)
+            p.channelFactory = [meshOpt](const body::BodyModel&) {
+                return core::makeAdaptiveMeshChannel(meshOpt);
+            };
+        return conf;
     };
 
     core::MultiSessionStats confOff, confOn;
+    confOff = core::runConference(adaptiveConference(congested), model);
     {
-        auto owned = adaptiveFleet();
-        auto channels = raw(owned);
-        confOff = core::runMultiUserSession(channels, model, congested);
-    }
-    {
-        auto owned = adaptiveFleet();
-        auto channels = raw(owned);
         core::SessionConfig withPolicy = congested;
         withPolicy.degradation.enabled = true;
         withPolicy.degradation.maxLevel = 3;
         withPolicy.degradation.downgradeAfter = 2;
         withPolicy.degradation.upgradeAfter = 8;
-        confOn = core::runMultiUserSession(channels, model, withPolicy);
+        confOn = core::runConference(adaptiveConference(withPolicy), model);
     }
 
     const auto deliveryRatio = [&](const core::MultiSessionStats& s) {

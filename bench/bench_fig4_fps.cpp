@@ -122,6 +122,7 @@ int main() {
                         "sparse FPS", "laptop dense/sparse", "paper FPS (A100)"});
     core::telemetry::JsonWriter json;
     json.beginObject();
+    json.field("schema_version", core::telemetry::kBenchSchemaVersion);
     json.field("bench", std::string("fig4_fps"));
     json.beginArray("rows");
     for (const Row& row : rows) {

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "semholo/core/session.hpp"
+#include "semholo/core/conference.hpp"
 
 using namespace semholo;
 
@@ -80,6 +80,7 @@ int main() {
 
     core::telemetry::JsonWriter json;
     json.beginObject();
+    json.field("schema_version", core::telemetry::kBenchSchemaVersion);
     json.field("bench", std::string("robustness"));
     json.field("frames", std::uint64_t{240});
     json.beginArray("rows");
@@ -123,21 +124,19 @@ int main() {
     // stalling together.
     bench::banner("Conference robustness: 3 users through the fault script");
     const std::size_t confUsers = 3;
-    const auto runConference = [&](bool withDegradation) {
-        std::vector<std::unique_ptr<core::SemanticChannel>> owned;
-        std::vector<core::SemanticChannel*> channels;
-        for (std::size_t u = 0; u < confUsers; ++u) {
-            owned.push_back(core::makeAdaptiveMeshChannel({}));
-            channels.push_back(owned.back().get());
-        }
-        core::SessionConfig cfg = faultySession();
+    const auto runFaultyConference = [&](bool withDegradation) {
+        core::ConferenceConfig conf;
+        conf.session = faultySession();
         // Three ladders share what one stream had to itself.
-        cfg.link.queueCapacityBytes = 64 * 1024;
-        if (withDegradation) cfg.degradation = benchPolicy();
-        return core::runMultiUserSession(channels, model, cfg);
+        conf.session.link.queueCapacityBytes = 64 * 1024;
+        if (withDegradation) conf.session.degradation = benchPolicy();
+        conf.enableDownlinks = false;  // uplink robustness comparison
+        conf.participants.resize(confUsers);
+        for (auto& p : conf.participants) p.channel = {"adaptive-mesh", {}};
+        return core::runConference(conf, model);
     };
-    const auto confOff = runConference(false);
-    const auto confOn = runConference(true);
+    const auto confOff = runFaultyConference(false);
+    const auto confOn = runFaultyConference(true);
 
     const auto confDelivery = [&](const core::MultiSessionStats& s) {
         std::size_t delivered = 0;

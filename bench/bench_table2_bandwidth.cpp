@@ -16,7 +16,7 @@
 #include "semholo/body/body_model.hpp"
 #include "semholo/compress/pointcloudcodec.hpp"
 #include "semholo/core/channel.hpp"
-#include "semholo/core/session.hpp"
+#include "semholo/core/conference.hpp"
 #include "semholo/mesh/sampling.hpp"
 
 using namespace semholo;
@@ -125,18 +125,15 @@ int main() {
                             "delivery %", "fairness (Jain)"});
     for (const Row& row : confRows) {
         constexpr std::size_t kUsers = 4;
-        std::vector<std::unique_ptr<core::SemanticChannel>> owned;
-        std::vector<core::SemanticChannel*> channels;
-        for (std::size_t u = 0; u < kUsers; ++u) {
-            owned.push_back(core::makeChannel(row.spec, &confModel));
-            channels.push_back(owned.back().get());
-        }
-        core::SessionConfig cfg;
-        cfg.frames = 30;
-        cfg.timing = core::TimingModel::Simulated;
-        cfg.link.bandwidth = net::BandwidthTrace::constant(25e6);
-        cfg.link.queueCapacityBytes = 2 * 1024 * 1024;
-        const auto stats = core::runMultiUserSession(channels, confModel, cfg);
+        core::ConferenceConfig conf;
+        conf.session.frames = 30;
+        conf.session.timing = core::TimingModel::Simulated;
+        conf.session.link.bandwidth = net::BandwidthTrace::constant(25e6);
+        conf.session.link.queueCapacityBytes = 2 * 1024 * 1024;
+        conf.enableDownlinks = false;  // uplink-share table
+        conf.participants.resize(kUsers);
+        for (auto& p : conf.participants) p.channel = row.spec;
+        const auto stats = core::runConference(conf, confModel);
 
         std::string shares;
         std::size_t delivered = 0;
@@ -147,8 +144,9 @@ int main() {
         }
         confTable.addRow(
             {row.label, bench::fmt("%.2f", stats.aggregateMbps), shares,
-             bench::fmt("%.1f", 100.0 * static_cast<double>(delivered) /
-                                    static_cast<double>(kUsers * cfg.frames)),
+             bench::fmt("%.1f",
+                        100.0 * static_cast<double>(delivered) /
+                            static_cast<double>(kUsers * conf.session.frames)),
              bench::fmt("%.3f", stats.fairnessIndex)});
     }
     confTable.print();

@@ -35,6 +35,12 @@ struct DegradationConfig {
     double queuePressure{0.5};
     int downgradeAfter{2};  // consecutive congested frames to step down
     int upgradeAfter{12};   // consecutive clean frames to step back up
+    // When a conference BandwidthArbiter feeds the policy a target rate
+    // (setTargetRateBps), a frame whose wire size exceeds
+    // target * targetOvershoot per frame interval counts as congested —
+    // the ladder enforces the arbiter's allocation even while the link
+    // still delivers. Ignored when no target is set.
+    double targetOvershoot{1.25};
 };
 
 // One frame's network outcome as seen by the session engine.
@@ -45,6 +51,9 @@ struct LinkObservation {
     std::size_t queueDrops{0};
     std::size_t faultEvents{0};
     std::size_t queuedBytesAtSend{0};
+    // Wire bytes of the frame (0 when unknown); only consulted by the
+    // target-rate check above.
+    std::size_t bytes{0};
 };
 
 enum class DegradationAction { Hold, StepDown, StepUp };
@@ -67,6 +76,11 @@ public:
     std::size_t level() const { return level_; }
     // Multiplier for the bandwidth estimate fed to channels.
     double bandwidthScale() const;
+    // Per-tick arbiter target rate (bps); 0 disables the target-aware
+    // congestion check. Set by the conference engine each tick when a
+    // BandwidthArbiter is active.
+    void setTargetRateBps(double bps) { targetRateBps_ = bps; }
+    double targetRateBps() const { return targetRateBps_; }
     std::size_t downgrades() const { return downgrades_; }
     std::size_t upgrades() const { return upgrades_; }
     const std::vector<DegradationDecision>& decisions() const {
@@ -80,6 +94,7 @@ private:
     DegradationConfig config_;
     double frameIntervalS_{1.0 / 30.0};
     std::size_t queueCapacityBytes_{0};
+    double targetRateBps_{0.0};
     std::size_t level_{0};
     int badStreak_{0};
     int goodStreak_{0};

@@ -177,6 +177,44 @@ struct UserFairnessStats {
     std::uint64_t upgrades{};
     // Ladder level in effect when the session ended (0 = full quality).
     std::size_t finalDegradationLevel{};
+    // Mean BandwidthArbiter target over the session (0 when no arbiter
+    // ran): the uplink rate the conference server asked this user to
+    // hold.
+    double targetRateMbps{};
+};
+
+// ---- SFU downlink accounting ---------------------------------------------
+//
+// When a conference runs with downlinks enabled (runConference,
+// semholo/core/conference.hpp), the server fans each delivered uplink
+// frame back out to every subscribed viewer. One DownlinkStats per
+// viewer, one DownlinkStreamStats per (viewer, source) subscription.
+
+struct DownlinkStreamStats {
+    std::size_t source{};              // publishing participant
+    std::size_t framesForwarded{};     // frames the server put on this downlink
+    std::size_t framesDelivered{};     // forwarded frames that arrived
+    std::uint64_t bytesForwarded{};    // wire bytes the server forwarded
+    std::uint64_t bytesDelivered{};    // wire bytes that arrived
+    std::uint64_t packets{};
+    std::uint64_t packetsDelivered{};
+    std::uint64_t packetsUnrecovered{};
+};
+
+struct DownlinkStats {
+    std::size_t viewer{};
+    // Totals across this viewer's subscribed streams (sums of 'streams').
+    std::size_t framesForwarded{};
+    std::size_t framesDelivered{};
+    std::uint64_t bytesForwarded{};
+    std::uint64_t bytesDelivered{};
+    std::uint64_t packets{};
+    std::uint64_t packetsDelivered{};
+    std::uint64_t packetsUnrecovered{};
+    // This viewer's fraction of all bytes the server fanned out.
+    double fanoutShare{};
+    double meanTransferMs{};
+    std::vector<DownlinkStreamStats> streams;
 };
 
 struct MultiSessionStats {
@@ -189,6 +227,12 @@ struct MultiSessionStats {
     // Jain's fairness index over per-user delivery ratios: 1 when every
     // participant gets the same delivery ratio, -> 1/N under starvation.
     double fairnessIndex{1.0};
+    // Per-viewer downlink fan-out accounting; empty when the conference
+    // ran without downlinks (including every legacy runMultiUserSession
+    // call). sum(downlinks[v].bytesForwarded) == serverFanoutBytes.
+    std::vector<DownlinkStats> downlinks;
+    std::uint64_t serverFanoutFrames{};
+    std::uint64_t serverFanoutBytes{};
     // Merged per-user telemetry plus the shared link's packet/queue
     // counters and queue-depth histogram. Link counters are attributed
     // per user (perUser[u].telemetry) by the link's senderTag and merged
@@ -198,11 +242,30 @@ struct MultiSessionStats {
     std::size_t usersWithinLatency(double budgetMs) const;
 };
 
-// Render a MultiSessionStats as a JSON value: aggregate figures, the
-// per-user fairness array, and the merged telemetry (same schema as
-// telemetry::toJsonValue). Used by the bench exporters.
+// ---- JSON export ---------------------------------------------------------
+//
+// Every stats exporter follows one convention: a free toJsonValue(T)
+// returning one JSON value as std::string, composable into larger bench
+// documents via telemetry::JsonWriter::raw (the member
+// SessionTelemetry::toJson survives only as a legacy alias of
+// telemetry::toJsonValue).
+
+// Aggregate figures plus the embedded telemetry for one session / one
+// conference participant.
+std::string toJsonValue(const SessionStats& stats);
+
+// Aggregate figures, the per-user fairness array, the per-viewer
+// downlink fan-out (when present), and the merged telemetry.
 std::string toJsonValue(const MultiSessionStats& stats);
 
+// Legacy multi-user entrypoint: runs the conference engine with the
+// shared-uplink topology, downlink fan-out disabled and no arbiter —
+// exactly the pre-SFU semantics. New code should build a
+// ConferenceConfig of Participant descriptors instead
+// (semholo/core/conference.hpp).
+[[deprecated(
+    "use runConference(const ConferenceConfig&, const body::BodyModel&) from "
+    "semholo/core/conference.hpp")]]
 MultiSessionStats runMultiUserSession(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
     const SessionConfig& base);

@@ -101,6 +101,15 @@ struct SessionTelemetry {
     bool writeJson(const std::string& path) const;
 };
 
+// Schema version stamped into every BENCH_*.json document (a top-level
+// "schema_version" field), so downstream consumers of the CI artifacts
+// can detect layout changes. Bump when a bench document's structure
+// changes incompatibly.
+//   1: implicit pre-versioned layouts.
+//   2: unified toJsonValue(T) convention; conference documents carry
+//      fairness[].target_rate_mbps and downlinks[] fan-out accounting.
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+
 // Minimal JSON document builder shared by the bench exporters, so ad-hoc
 // bench output (speedups, per-row results) lands in the same files as
 // the engine telemetry without a JSON dependency.

@@ -20,6 +20,13 @@ bool DegradationPolicy::congested(const LinkObservation& obs) const {
     if (obs.queueDrops > 0 || obs.unrecoveredPackets > 0 || obs.faultEvents > 0)
         return true;
     if (obs.transferS > config_.latencyBudgetFrames * frameIntervalS_) return true;
+    // Arbiter target: sending above the allocated share is congestion
+    // even when the link still delivered (the overshoot lands in the
+    // shared queue and starves other participants).
+    if (targetRateBps_ > 0.0 && obs.bytes > 0 &&
+        static_cast<double>(obs.bytes) * 8.0 >
+            targetRateBps_ * config_.targetOvershoot * frameIntervalS_)
+        return true;
     if (queueCapacityBytes_ > 0 &&
         static_cast<double>(obs.queuedBytesAtSend) >
             config_.queuePressure * static_cast<double>(queueCapacityBytes_))
@@ -55,6 +62,7 @@ DegradationAction DegradationPolicy::observe(std::uint32_t frameId,
 }
 
 void DegradationPolicy::reset() {
+    targetRateBps_ = 0.0;
     level_ = 0;
     badStreak_ = 0;
     goodStreak_ = 0;

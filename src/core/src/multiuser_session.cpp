@@ -1,42 +1,53 @@
-// Multi-user session engine: a frame-tick feedback scheduler. The old
-// engines ran three whole-session phases (encode every frame of every
-// user, then carry everything over the link, then decode), which made
-// per-frame feedback impossible — SessionConfig::degradation was
-// silently ignored for conferences and rate-adaptive channels never saw
-// a throughput sample. This engine restores the single-user feedback
-// contract at conference scale by scheduling per capture tick:
+// SFU conference engine: a frame-tick feedback scheduler with downlink
+// fan-out and cross-user bandwidth arbitration. Each capture tick runs
+// five phases:
 //
-//   tick f:  encode phase    every user encodes frame f (worker-pool
-//                            fan-out when a pool is supplied; each
-//                            user's extractor clock and channel state
-//                            are theirs alone)
-//            link phase      the shared LinkSimulator carries the
-//                            tick's messages in user order on the
-//                            coordinating thread — identical FIFO
-//                            interleaving, loss RNG draws and
-//                            congestion for serial and parallel runs —
-//                            and, per message, each user's throughput
-//                            estimator + DegradationPolicy observe that
-//                            user's own outcome
-//            decode phase    every user decodes their delivered frame,
-//                            advances their recon clock and runs the
-//                            (expensive) Chamfer quality eval
+//   arbiter phase   (sequenced) when a BandwidthArbiter strategy is
+//                   configured, compute per-user uplink target rates
+//                   from the bottleneck's instantaneous capacity, each
+//                   user's offered demand (last wire frame x fps) and
+//                   historical delivered throughput; feed the targets
+//                   into every participant's DegradationPolicy and cap
+//                   the bandwidth estimate their channel sees.
+//   encode phase    every user encodes frame f (worker-pool fan-out when
+//                   a pool is supplied; each user's extractor clock and
+//                   channel state are theirs alone).
+//   uplink phase    (sequenced, user order) the tick's messages traverse
+//                   the shared server-ingest bottleneck — or each user's
+//                   own uplink when ConferenceConfig::sharedUplink is
+//                   false — with identical FIFO interleaving, loss RNG
+//                   draws and congestion for serial and parallel runs;
+//                   per message, the sender's throughput estimator and
+//                   DegradationPolicy observe that user's own outcome.
+//   downlink phase  the server forwards every delivered frame to each
+//                   subscribed viewer over that viewer's own downlink
+//                   LinkSimulator, thinned by the viewer's subscription
+//                   ladder (byteScale per rung). Fanned per viewer: all
+//                   downlink state is viewer-local, so worker count
+//                   cannot change the outcome.
+//   decode phase    every user decodes their delivered frame, advances
+//                   their recon clock and runs the (expensive) Chamfer
+//                   quality eval. (The decode is the per-source
+//                   reference decode — channels are stateful per stream,
+//                   so viewers share the source's reconstruction; the
+//                   downlink path accounts transport, not re-decode.)
 //
 // Feedback observed at tick f scales the bandwidth estimate the user's
 // channel sees at tick f+1, exactly like the single-user engines. Serial
 // (pool == nullptr) and parallel runs execute the same per-user call
 // sequence in the same order, so under TimingModel::Simulated they are
-// byte-identical at any worker count (tests/core/
-// test_multiuser_degradation.cpp stresses this with faults + degradation
-// at workers 1/2/8).
+// byte-identical at any worker count (tests/core/test_conference.cpp
+// stresses this with downlinks + arbiter at workers 1/2/8).
 //
-// The shared link attributes every message to its sender via
-// LinkSimulator's senderTag, so packet/queue counters land in that
-// user's telemetry; MultiSessionStats::fairness summarises per-user
-// delivery ratio, bandwidth share and degradation transitions.
+// Uplink messages are attributed to their sender via LinkSimulator's
+// senderTag; downlink messages carry (senderTag = source, receiverTag =
+// viewer) so per-(viewer, source) stream accounting lands in
+// MultiSessionStats::downlinks.
+#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "semholo/core/conference.hpp"
 #include "semholo/core/session.hpp"
 #include "semholo/core/thread_pool.hpp"
 #include "semholo/net/abr.hpp"
@@ -59,16 +70,35 @@ struct TickFrame {
 
 // Per-user state that persists across ticks: the pipeline availability
 // clocks and the closed-loop feedback (throughput estimator +
-// degradation policy) every single-user session also carries.
+// degradation policy) every single-user session also carries, plus the
+// arbiter's demand estimate and target-rate accounting.
 struct UserState {
     double extractorFreeAt{0.0};
     double reconFreeAt{0.0};
     net::HarmonicEstimator throughput{5};
     DegradationPolicy degrade;
+    std::size_t lastSentBytes{0};  // arbiter demand: offered wire bytes
+    double targetRateBps{0.0};     // arbiter target this tick (0 = none)
+    double targetSumBps{0.0};
+    std::size_t targetTicks{0};
 
     UserState(const DegradationConfig& config, double fps,
               std::size_t queueCapacityBytes)
         : degrade(config, fps, queueCapacityBytes) {}
+};
+
+// Per-viewer downlink state: the viewer's own LinkSimulator, a monotonic
+// send clock (uplink completions are unordered across per-user uplinks),
+// the resolved subscription list and the per-stream accounting.
+struct DownlinkState {
+    std::vector<net::LinkSimulator> link;  // 0 or 1 element (stable address)
+    double clock{0.0};
+    // (source, byteScale) in ascending source order.
+    std::vector<std::pair<std::size_t, double>> subs;
+    // source -> index into stats.streams (SIZE_MAX when unsubscribed).
+    std::vector<std::size_t> streamIndex;
+    DownlinkStats stats;
+    double transferMsSum{0.0};
 };
 
 void fillFairness(MultiSessionStats& out, const std::vector<UserState>& state) {
@@ -100,6 +130,11 @@ void fillFairness(MultiSessionStats& out, const std::vector<UserState>& state) {
         f.degradations = s.telemetry.counters.degradations;
         f.upgrades = s.telemetry.counters.upgrades;
         f.finalDegradationLevel = state[u].degrade.level();
+        f.targetRateMbps = state[u].targetTicks > 0
+                               ? state[u].targetSumBps /
+                                     static_cast<double>(state[u].targetTicks) /
+                                     1e6
+                               : 0.0;
         ratioSum += f.deliveryRatio;
         ratioSqSum += f.deliveryRatio * f.deliveryRatio;
     }
@@ -111,45 +146,116 @@ void fillFairness(MultiSessionStats& out, const std::vector<UserState>& state) {
 
 }  // namespace
 
-MultiSessionStats runMultiUserSessionTicked(
-    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
-    const SessionConfig& base, ThreadPool* pool) {
+MultiSessionStats runConferenceTicked(
+    const ConferenceConfig& conf, const std::vector<SemanticChannel*>& channels,
+    const body::BodyModel& model, ThreadPool* pool) {
+    const SessionConfig& base = conf.session;
     MultiSessionStats out;
     const std::size_t users = channels.size();
     out.perUser.resize(users);
     if (users == 0) return out;
 
-    net::LinkSimulator shared(base.link);
-    // Attribute every message's packet/queue counters to its sender;
-    // finalizeMultiSessionStats merges per-user telemetry back into
-    // out.telemetry, so the aggregate still equals the link's totals.
-    shared.setObserver([&out](const net::TransferResult& r,
-                              std::size_t queuedBytes) {
-        telemetry::SessionTelemetry& t =
-            out.perUser[static_cast<std::size_t>(r.senderTag)].telemetry;
-        t.counters.packets += r.packets;
-        t.counters.packetsLost += r.lostPackets;
-        t.counters.packetsDelivered += r.deliveredPackets;
-        t.counters.packetsUnrecovered += r.unrecoveredPackets;
-        t.counters.retransmissions += r.retransmissions;
-        t.counters.queueDrops += r.droppedAtQueue;
-        t.counters.bytesSent += r.bytes;
-        t.counters.faultEvents += r.faultEvents;
-        t.queueDepthBytes.record(static_cast<double>(queuedBytes));
-    });
+    // ---- Uplink topology -------------------------------------------------
+    // Shared mode: one server-ingest bottleneck every participant's
+    // messages traverse (attributed per user by senderTag). Per-user
+    // mode: each participant's own access link.
+    std::vector<net::LinkSimulator> uplinks;
+    if (conf.sharedUplink) {
+        uplinks.emplace_back(base.link);
+        uplinks[0].setObserver([&out](const net::TransferResult& r,
+                                      std::size_t queuedBytes) {
+            telemetry::SessionTelemetry& t =
+                out.perUser[static_cast<std::size_t>(r.senderTag)].telemetry;
+            t.counters.packets += r.packets;
+            t.counters.packetsLost += r.lostPackets;
+            t.counters.packetsDelivered += r.deliveredPackets;
+            t.counters.packetsUnrecovered += r.unrecoveredPackets;
+            t.counters.retransmissions += r.retransmissions;
+            t.counters.queueDrops += r.droppedAtQueue;
+            t.counters.bytesSent += r.bytes;
+            t.counters.faultEvents += r.faultEvents;
+            t.queueDepthBytes.record(static_cast<double>(queuedBytes));
+        });
+    } else {
+        uplinks.reserve(users);
+        for (std::size_t u = 0; u < users; ++u) {
+            const Participant& p = conf.participants[u];
+            uplinks.emplace_back(p.uplink.value_or(base.link));
+        }
+        for (std::size_t u = 0; u < users; ++u) {
+            telemetry::SessionTelemetry& t = out.perUser[u].telemetry;
+            uplinks[u].setObserver([&t](const net::TransferResult& r,
+                                        std::size_t queuedBytes) {
+                t.counters.packets += r.packets;
+                t.counters.packetsLost += r.lostPackets;
+                t.counters.packetsDelivered += r.deliveredPackets;
+                t.counters.packetsUnrecovered += r.unrecoveredPackets;
+                t.counters.retransmissions += r.retransmissions;
+                t.counters.queueDrops += r.droppedAtQueue;
+                t.counters.bytesSent += r.bytes;
+                t.counters.faultEvents += r.faultEvents;
+                t.queueDepthBytes.record(static_cast<double>(queuedBytes));
+            });
+        }
+    }
+    const auto uplinkFor = [&](std::size_t u) -> net::LinkSimulator& {
+        return conf.sharedUplink ? uplinks[0] : uplinks[u];
+    };
 
+    // ---- Per-user session state -------------------------------------------
     std::vector<body::MotionGenerator> motions;
     std::vector<UserState> state;
+    std::vector<geom::RigidTransform> heads;
     motions.reserve(users);
     state.reserve(users);
+    heads.reserve(users);
     for (std::size_t u = 0; u < users; ++u) {
+        const Participant& p = conf.participants[u];
         channels[u]->reset();
-        motions.emplace_back(base.motion, model.shape(),
-                             base.motionSeed + static_cast<std::uint32_t>(u));
-        state.emplace_back(base.degradation, base.fps,
-                           base.link.queueCapacityBytes);
+        motions.emplace_back(
+            base.motion, model.shape(),
+            p.motionSeed.value_or(base.motionSeed +
+                                  static_cast<std::uint32_t>(u)));
+        state.emplace_back(p.degradation.value_or(base.degradation), base.fps,
+                           p.uplink && !conf.sharedUplink
+                               ? p.uplink->queueCapacityBytes
+                               : base.link.queueCapacityBytes);
+        heads.push_back(p.viewerHead.value_or(base.viewerHead));
         out.perUser[u].frames.reserve(base.frames);
     }
+    const auto degradationFor = [&](std::size_t u) -> const DegradationConfig& {
+        return conf.participants[u].degradation ? *conf.participants[u].degradation
+                                                : base.degradation;
+    };
+
+    // ---- Downlink fan-out state -------------------------------------------
+    std::vector<DownlinkState> downs;
+    if (conf.enableDownlinks) {
+        downs.resize(users);
+        for (std::size_t v = 0; v < users; ++v) {
+            const Participant& p = conf.participants[v];
+            DownlinkState& d = downs[v];
+            d.link.emplace_back(p.downlink.value_or(conf.downlink));
+            d.stats.viewer = v;
+            d.streamIndex.assign(users, std::numeric_limits<std::size_t>::max());
+            std::size_t position = 0;
+            for (std::size_t u = 0; u < users; ++u) {
+                if (u == v) continue;
+                const auto scale = p.subscription.scaleForPosition(position++);
+                if (!scale) continue;
+                d.streamIndex[u] = d.subs.size();
+                d.subs.emplace_back(u, *scale);
+                DownlinkStreamStats ss;
+                ss.source = u;
+                d.stats.streams.push_back(ss);
+            }
+        }
+    }
+
+    // ---- Arbiter ----------------------------------------------------------
+    const bool arbiterOn = conf.arbiter.strategy != ArbiterStrategy::None;
+    const BandwidthArbiter arbiter(conf.arbiter);
+    std::vector<double> demands(users, 0.0), meanTp(users, 0.0);
 
     std::vector<TickFrame> tick(users);
     const auto forEachUser = [&](auto&& fn) {
@@ -161,6 +267,47 @@ MultiSessionStats runMultiUserSessionTicked(
 
     for (std::size_t f = 0; f < base.frames; ++f) {
         const double captureTime = static_cast<double>(f) / base.fps;
+
+        // Arbiter phase (sequenced): per-user targets from the current
+        // bottleneck capacity — effectiveRateAt folds the bandwidth
+        // trace and fault schedule in, so an outage collapses everyone's
+        // target and the ladders step down before the queue overflows.
+        if (arbiterOn) {
+            if (conf.sharedUplink) {
+                const double capacity = uplinks[0].effectiveRateAt(captureTime);
+                for (std::size_t u = 0; u < users; ++u) {
+                    demands[u] = state[u].lastSentBytes > 0
+                                     ? static_cast<double>(
+                                           state[u].lastSentBytes) *
+                                           8.0 * base.fps
+                                     : 0.0;
+                    meanTp[u] = state[u].throughput.hasEstimate()
+                                    ? state[u].throughput.estimate()
+                                    : 0.0;
+                }
+                const std::vector<double> targets =
+                    arbiter.allocate(capacity, demands, meanTp);
+                for (std::size_t u = 0; u < users; ++u) {
+                    state[u].targetRateBps = targets[u];
+                    state[u].degrade.setTargetRateBps(targets[u]);
+                    state[u].targetSumBps += targets[u];
+                    ++state[u].targetTicks;
+                }
+            } else {
+                // Independent uplinks: each user's target is their own
+                // link's instantaneous capacity with the safety margin.
+                for (std::size_t u = 0; u < users; ++u) {
+                    const double target = std::max(
+                        conf.arbiter.minRateBps,
+                        uplinkFor(u).effectiveRateAt(captureTime) *
+                            conf.arbiter.safety);
+                    state[u].targetRateBps = target;
+                    state[u].degrade.setTargetRateBps(target);
+                    state[u].targetSumBps += target;
+                    ++state[u].targetTicks;
+                }
+            }
+        }
 
         // Encode phase: each user's encode touches only their own
         // channel, motion generator, clocks and feedback state.
@@ -179,10 +326,18 @@ MultiSessionStats runMultiUserSessionTicked(
             ctx.pose.frameId = p.frame.frameId;
             ctx.model = &model;
             ctx.timestamp = captureTime;
-            ctx.viewerHead = base.viewerHead;
-            if (us.throughput.hasEstimate())
-                ctx.estimatedBandwidthBps =
-                    us.throughput.estimate() * us.degrade.bandwidthScale();
+            ctx.viewerHead = heads[u];
+            // Bandwidth feedback: the throughput estimate, capped at the
+            // arbiter's target when one is set (the target alone seeds
+            // the loop before the first sample — rate-adaptive channels
+            // start at their share instead of blasting the top rung).
+            double est = us.throughput.hasEstimate() ? us.throughput.estimate()
+                                                     : 0.0;
+            if (us.targetRateBps > 0.0)
+                est = est > 0.0 ? std::min(est, us.targetRateBps)
+                                : us.targetRateBps;
+            if (est > 0.0)
+                ctx.estimatedBandwidthBps = est * us.degrade.bandwidthScale();
             p.encoded = channels[u]->encode(ctx);
             p.pose = std::move(ctx.pose);
             p.frame.bytes = p.encoded.bytes();
@@ -193,8 +348,8 @@ MultiSessionStats runMultiUserSessionTicked(
             p.sent = true;
         });
 
-        // Link + feedback phase: sequenced on the coordinating thread in
-        // user order — the same (frame, user) interleaving the serial
+        // Uplink + feedback phase: sequenced on the coordinating thread
+        // in user order — the same (frame, user) interleaving the serial
         // engine always had, so FIFO queueing, loss RNG draws and
         // congestion are engine-independent. Each message's outcome
         // feeds that user's estimator and degradation policy before the
@@ -203,31 +358,74 @@ MultiSessionStats runMultiUserSessionTicked(
             TickFrame& p = tick[u];
             if (!p.sent) continue;
             UserState& us = state[u];
+            net::LinkSimulator& link = uplinkFor(u);
             const std::size_t queuedAtSend =
-                base.degradation.enabled ? shared.queuedBytesAt(p.sendTime) : 0;
-            p.transfer = shared.sendMessage(p.frame.bytes, p.sendTime,
-                                            base.transfer, u);
+                degradationFor(u).enabled || arbiterOn
+                    ? link.queuedBytesAt(p.sendTime)
+                    : 0;
+            p.transfer =
+                link.sendMessage(p.frame.bytes, p.sendTime, base.transfer, u);
             p.frame.delivered = p.transfer.delivered;
             p.frame.transferMs = p.transfer.durationS() * 1000.0;
+            us.lastSentBytes = p.frame.bytes;
             if (p.transfer.delivered && p.frame.bytes > 0) {
                 // Serialization-dominated throughput sample (propagation
                 // subtracted), as in the single-user engines.
                 const double serialS = std::max(
-                    1e-5, p.transfer.durationS() - base.link.propagationDelayS);
+                    1e-5, p.transfer.durationS() -
+                              link.config().propagationDelayS);
                 us.throughput.addSample(static_cast<double>(p.frame.bytes) *
                                         8.0 / serialS);
             }
-            if (base.degradation.enabled) {
+            if (degradationFor(u).enabled) {
                 const DegradationAction action = us.degrade.observe(
                     p.frame.frameId,
                     {p.transfer.delivered, p.transfer.durationS(),
                      p.transfer.unrecoveredPackets, p.transfer.droppedAtQueue,
-                     p.transfer.faultEvents, queuedAtSend});
+                     p.transfer.faultEvents, queuedAtSend, p.frame.bytes});
                 if (action == DegradationAction::StepDown)
                     ++out.perUser[u].telemetry.counters.degradations;
                 else if (action == DegradationAction::StepUp)
                     ++out.perUser[u].telemetry.counters.upgrades;
             }
+        }
+
+        // Downlink phase: the server fans every delivered frame out to
+        // its subscribed viewers. Fanned per viewer — each viewer's
+        // downlink simulator, clock and stream counters are theirs
+        // alone, and the tick's uplink results are read-only here — so
+        // serial and parallel runs stay byte-identical.
+        if (conf.enableDownlinks) {
+            forEachUser([&](std::size_t v) {
+                DownlinkState& d = downs[v];
+                for (const auto& [u, scale] : d.subs) {
+                    const TickFrame& p = tick[u];
+                    if (!p.sent || !p.transfer.delivered) continue;
+                    const auto bytes = std::max<std::size_t>(
+                        1, static_cast<std::size_t>(
+                               static_cast<double>(p.frame.bytes) * scale));
+                    // Forward when the server received the frame; the
+                    // clock keeps per-viewer send times monotonic (per-
+                    // user uplinks complete out of user order).
+                    const double at = std::max(p.transfer.completionTime,
+                                               d.clock);
+                    const net::TransferResult r = d.link[0].sendMessage(
+                        bytes, at, base.transfer, u, v);
+                    d.clock = at;
+                    DownlinkStreamStats& ss =
+                        d.stats.streams[d.streamIndex[u]];
+                    ++ss.framesForwarded;
+                    ss.bytesForwarded += bytes;
+                    ss.packets += r.packets;
+                    ss.packetsDelivered += r.deliveredPackets;
+                    ss.packetsUnrecovered += r.unrecoveredPackets;
+                    if (r.delivered) {
+                        ++ss.framesDelivered;
+                        ss.bytesDelivered += bytes;
+                    }
+                    d.transferMsSum += r.durationS() * 1000.0;
+                }
+            });
         }
 
         // Decode phase: each user decodes their own arrival, advances
@@ -269,43 +467,39 @@ MultiSessionStats runMultiUserSessionTicked(
         });
     }
 
+    // Downlink rollup: per-viewer totals, the conference-wide fan-out
+    // totals, and each viewer's share of the fanned-out bytes.
+    if (conf.enableDownlinks) {
+        out.downlinks.reserve(users);
+        for (DownlinkState& d : downs) {
+            for (const DownlinkStreamStats& ss : d.stats.streams) {
+                d.stats.framesForwarded += ss.framesForwarded;
+                d.stats.framesDelivered += ss.framesDelivered;
+                d.stats.bytesForwarded += ss.bytesForwarded;
+                d.stats.bytesDelivered += ss.bytesDelivered;
+                d.stats.packets += ss.packets;
+                d.stats.packetsDelivered += ss.packetsDelivered;
+                d.stats.packetsUnrecovered += ss.packetsUnrecovered;
+            }
+            d.stats.meanTransferMs =
+                d.stats.framesForwarded > 0
+                    ? d.transferMsSum /
+                          static_cast<double>(d.stats.framesForwarded)
+                    : 0.0;
+            out.serverFanoutFrames += d.stats.framesForwarded;
+            out.serverFanoutBytes += d.stats.bytesForwarded;
+            out.downlinks.push_back(std::move(d.stats));
+        }
+        for (DownlinkStats& d : out.downlinks)
+            d.fanoutShare = out.serverFanoutBytes > 0
+                                ? static_cast<double>(d.bytesForwarded) /
+                                      static_cast<double>(out.serverFanoutBytes)
+                                : 0.0;
+    }
+
     finalizeMultiSessionStats(out, base);
     fillFairness(out, state);
     return out;
 }
 
 }  // namespace semholo::core::internal
-
-namespace semholo::core {
-
-std::string toJsonValue(const MultiSessionStats& stats) {
-    telemetry::JsonWriter w;
-    w.beginObject();
-    w.field("users", static_cast<std::uint64_t>(stats.perUser.size()));
-    w.field("aggregate_mbps", stats.aggregateMbps);
-    w.field("mean_e2e_ms", stats.meanE2eMs);
-    w.field("fairness_index", stats.fairnessIndex);
-    w.beginArray("fairness");
-    for (const UserFairnessStats& f : stats.fairness) {
-        w.beginObject()
-            .field("user", static_cast<std::uint64_t>(f.user))
-            .field("captured_frames", static_cast<std::uint64_t>(f.capturedFrames))
-            .field("delivered_frames",
-                   static_cast<std::uint64_t>(f.deliveredFrames))
-            .field("delivery_ratio", f.deliveryRatio)
-            .field("bandwidth_mbps", f.bandwidthMbps)
-            .field("bandwidth_share", f.bandwidthShare)
-            .field("mean_e2e_ms", f.meanE2eMs)
-            .field("degradations", f.degradations)
-            .field("upgrades", f.upgrades)
-            .field("final_degradation_level",
-                   static_cast<std::uint64_t>(f.finalDegradationLevel))
-            .endObject();
-    }
-    w.endArray();
-    w.raw("telemetry", telemetry::toJsonValue(stats.telemetry));
-    w.endObject();
-    return w.str();
-}
-
-}  // namespace semholo::core

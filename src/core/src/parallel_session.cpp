@@ -147,18 +147,4 @@ SessionStats runSessionParallel(SemanticChannel& channel,
     return stats;
 }
 
-MultiSessionStats runMultiUserSessionParallel(
-    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
-    const SessionConfig& base, std::size_t workers) {
-    // The parallel engine is the tick scheduler with the per-tick encode
-    // and decode phases fanned across the pool (multiuser_session.cpp).
-    // The per-tick barrier is what lets every user's DegradationPolicy
-    // observe tick f's link outcomes before any user encodes tick f+1 —
-    // the old whole-session phases (encode all frames, then link, then
-    // decode) made that feedback impossible and silently disabled
-    // SessionConfig::degradation for conferences.
-    ThreadPool pool(workers);
-    return runMultiUserSessionTicked(channels, model, base, &pool);
-}
-
 }  // namespace semholo::core::internal

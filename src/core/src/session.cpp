@@ -259,18 +259,6 @@ SessionStats runSessionSerial(SemanticChannel& channel,
     return stats;
 }
 
-MultiSessionStats runMultiUserSessionSerial(
-    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
-    const SessionConfig& base) {
-    // The serial engine is the tick scheduler run inline on the calling
-    // thread (multiuser_session.cpp): per capture tick, encode every
-    // user, carry the tick over the shared link in user order, feed each
-    // user's feedback loop, decode. Identical call sequence to the
-    // parallel engine, so the byte-identity contract holds by
-    // construction.
-    return runMultiUserSessionTicked(channels, model, base, nullptr);
-}
-
 }  // namespace internal
 
 std::size_t MultiSessionStats::usersWithinLatency(double budgetMs) const {
@@ -290,10 +278,15 @@ SessionStats runSession(SemanticChannel& channel, const body::BodyModel& model,
 MultiSessionStats runMultiUserSession(
     const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
     const SessionConfig& base) {
-    const std::size_t workers = internal::effectiveWorkers(base);
-    if (workers <= 1)
-        return internal::runMultiUserSessionSerial(channels, model, base);
-    return internal::runMultiUserSessionParallel(channels, model, base, workers);
+    // Legacy shim: the conference engine with the pre-SFU topology —
+    // shared uplink, no downlink fan-out, no arbiter — which is
+    // byte-identical to the old multi-user scheduler.
+    ConferenceConfig conf;
+    conf.session = base;
+    conf.participants.resize(channels.size());
+    conf.sharedUplink = true;
+    conf.enableDownlinks = false;
+    return internal::runConferenceWithChannels(conf, channels, model);
 }
 
 }  // namespace semholo::core

@@ -4,6 +4,7 @@
 // engine can be validated bit-for-bit against the serial one.
 #pragma once
 
+#include "semholo/core/conference.hpp"
 #include "semholo/core/session.hpp"
 
 namespace semholo::core {
@@ -59,32 +60,35 @@ void evaluateQuality(FrameStats& frame, const body::BodyModel& model,
                      const body::Pose& pose, const mesh::TriMesh& decodedMesh,
                      std::size_t samples);
 
-// Serial engines (the workers == 1 path), defined in session.cpp.
+// Serial engine (the workers == 1 path), defined in session.cpp.
 SessionStats runSessionSerial(SemanticChannel& channel,
                               const body::BodyModel& model,
                               const SessionConfig& config);
-MultiSessionStats runMultiUserSessionSerial(
-    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
-    const SessionConfig& base);
 
-// Parallel engines, defined in parallel_session.cpp.
+// Parallel engine, defined in parallel_session.cpp.
 SessionStats runSessionParallel(SemanticChannel& channel,
                                 const body::BodyModel& model,
                                 const SessionConfig& config, std::size_t workers);
-MultiSessionStats runMultiUserSessionParallel(
-    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
-    const SessionConfig& base, std::size_t workers);
 
-// The one multi-user implementation both wrappers above delegate to
-// (multiuser_session.cpp): a frame-tick scheduler — per tick, encode all
+// The one conference implementation (multiuser_session.cpp): a frame-
+// tick SFU scheduler — per tick, compute arbiter targets, encode all
 // users (inline when pool == nullptr, fanned across the pool otherwise),
-// carry the tick's messages over the shared link in user order, feed
-// each user's throughput estimator and DegradationPolicy their own link
-// outcomes, then decode — so serial and parallel runs execute the exact
-// same per-user call sequence and are byte-identical under
-// TimingModel::Simulated.
-MultiSessionStats runMultiUserSessionTicked(
-    const std::vector<SemanticChannel*>& channels, const body::BodyModel& model,
-    const SessionConfig& base, ThreadPool* pool);
+// carry the tick's messages over the uplink(s) in user order feeding
+// each user's throughput estimator and DegradationPolicy their own
+// outcomes, fan delivered frames out over the per-viewer downlinks, then
+// decode — so serial and parallel runs execute the exact same per-user
+// call sequence and are byte-identical under TimingModel::Simulated.
+// 'channels' are externally owned, one per conf.participants entry
+// (built by runConference from the descriptors, or supplied verbatim by
+// the deprecated runMultiUserSession shim).
+MultiSessionStats runConferenceTicked(
+    const ConferenceConfig& conf, const std::vector<SemanticChannel*>& channels,
+    const body::BodyModel& model, ThreadPool* pool);
+
+// Dispatch wrapper: resolves conf.session.workers and runs
+// runConferenceTicked inline or over a ThreadPool (conference.cpp).
+MultiSessionStats runConferenceWithChannels(
+    const ConferenceConfig& conf, const std::vector<SemanticChannel*>& channels,
+    const body::BodyModel& model);
 
 }  // namespace semholo::core::internal

@@ -47,11 +47,14 @@ struct TransferResult {
     // collapses, Gilbert-Elliott good->bad transitions). Each scheduled
     // window is counted once per simulator lifetime.
     std::size_t faultEvents{0};
-    // Caller-supplied message tag, echoed back verbatim (0 when unused).
+    // Caller-supplied message tags, echoed back verbatim (0 when unused).
     // Multi-user session engines tag each message with the sending
     // user's index so the telemetry observer can attribute shared-link
-    // packet/queue counters per user.
+    // packet/queue counters per user; the SFU downlink fan-out
+    // additionally tags the receiving viewer, so per-(source, viewer)
+    // stream accounting needs no side tables.
     std::uint64_t senderTag{0};
+    std::uint64_t receiverTag{0};
     double throughputBps() const {
         const double d = durationS();
         return d > 0.0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
@@ -69,12 +72,14 @@ public:
     explicit LinkSimulator(const LinkConfig& config = {});
 
     // Send 'bytes' at 'sendTime' (>= the clock of previous sends).
-    // Returns the per-message delivery result. 'senderTag' is carried
-    // through to TransferResult::senderTag (and thus the observer) for
-    // per-sender attribution on shared links.
+    // Returns the per-message delivery result. 'senderTag' and
+    // 'receiverTag' are carried through to the TransferResult (and thus
+    // the observer) for per-sender / per-viewer attribution on shared
+    // uplinks and fanned-out downlinks.
     TransferResult sendMessage(std::size_t bytes, double sendTime,
                                const TransferOptions& options = {},
-                               std::uint64_t senderTag = 0);
+                               std::uint64_t senderTag = 0,
+                               std::uint64_t receiverTag = 0);
 
     // Time the bottleneck queue drains at (for pacing decisions).
     double queueBusyUntil() const { return busyUntil_; }

@@ -101,10 +101,12 @@ void LinkSimulator::noteFaultWindows(double start, double end,
 
 TransferResult LinkSimulator::sendMessage(std::size_t bytes, double sendTime,
                                           const TransferOptions& options,
-                                          std::uint64_t senderTag) {
+                                          std::uint64_t senderTag,
+                                          std::uint64_t receiverTag) {
     const std::size_t queuedAtSend = queuedBytesAt(sendTime);
     TransferResult result = sendMessageImpl(bytes, sendTime, options);
     result.senderTag = senderTag;
+    result.receiverTag = receiverTag;
     if (observer_) observer_(result, queuedAtSend);
     return result;
 }

@@ -1,3 +1,7 @@
+// These tests intentionally exercise the deprecated
+// runMultiUserSession shim: it must stay byte-identical to the
+// conference engine it forwards to.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include <memory>

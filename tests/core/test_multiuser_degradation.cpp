@@ -5,6 +5,10 @@
 // parallel engines stay byte-identical under TimingModel::Simulated at
 // any worker count, with per-user link attribution that conserves
 // packets across users.
+// These tests intentionally exercise the deprecated
+// runMultiUserSession shim: it must stay byte-identical to the
+// conference engine it forwards to.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include <memory>

@@ -2,6 +2,10 @@
 // workers=1 (exact legacy serial path) and workers=N produce identical
 // per-frame byte/delivery/drop sequences for every registered channel
 // kind, identical Chamfer samples, and identical aggregates.
+// These tests intentionally exercise the deprecated
+// runMultiUserSession shim: it must stay byte-identical to the
+// conference engine it forwards to.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include <memory>
