@@ -1,15 +1,36 @@
-// google-benchmark microbenchmarks for the compression substrates: LZC
-// on the 1.91 KB pose payload (the per-frame sender hot path of the
-// keypoint channel) and the mesh codec on the body template (the
-// traditional channel hot path). These quantify the codec contribution
-// to the Table 1 extraction overheads.
+// Microbenchmarks + the codec v2 Pareto sweep.
+//
+// Part 1 (google-benchmark): per-call costs of the compression
+// substrates — LZC and the codec v2 pipeline on the 1.91 KB pose
+// payload (the per-frame sender hot path of the keypoint channel) and
+// the mesh codec on the body template (the traditional channel hot
+// path). These quantify the codec contribution to the Table 1
+// extraction overheads.
+//
+// Part 2 (after the microbenches): the full sweep over
+// filter chain x entropy backend x lzc level, run on real serialized
+// pose sequences (Talk + Collaborate, per-frame payloads exactly as the
+// keypoint channel sends them). Emits BENCH_codec_pareto.json with the
+// ratio-vs-throughput frontier for regression tracking, and exits
+// nonzero if any combination fails its bit-exact round trip — CI runs
+// this binary as a correctness gate, not just a stopwatch.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "semholo/body/animation.hpp"
 #include "semholo/body/body_model.hpp"
+#include "semholo/compress/codec2.hpp"
 #include "semholo/compress/lzc.hpp"
 #include "semholo/compress/meshcodec.hpp"
 #include "semholo/compress/texturecodec.hpp"
+#include "semholo/core/telemetry.hpp"
 
 namespace semholo {
 namespace {
@@ -41,6 +62,39 @@ void BM_LzcDecompressPosePayload(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_LzcDecompressPosePayload);
+
+void BM_Codec2CompressPosePayload(benchmark::State& state) {
+    const auto payload = posePayload();
+    const auto options = compress::poseCodecDefaults();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::codec2Encode(payload, options));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(payload.size()));
+    state.counters["enc_bytes"] = static_cast<double>(
+        compress::codec2Encode(payload, options).size());
+}
+BENCHMARK(BM_Codec2CompressPosePayload);
+
+void BM_Codec2DecompressPosePayload(benchmark::State& state) {
+    const auto container =
+        compress::codec2Encode(posePayload(), compress::poseCodecDefaults());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::codec2Decode(container));
+    }
+}
+BENCHMARK(BM_Codec2DecompressPosePayload);
+
+void BM_FilterPosePayload(benchmark::State& state) {
+    const auto payload = posePayload();
+    const auto chain = compress::poseCodecDefaults().filters;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::applyFilters(chain, payload));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_FilterPosePayload);
 
 void BM_MeshEncode(benchmark::State& state) {
     const mesh::TriMesh& m = sharedModel().templateMesh();
@@ -83,7 +137,235 @@ void BM_PoseSerialize(benchmark::State& state) {
 }
 BENCHMARK(BM_PoseSerialize);
 
+// ---------------------------------------------------------------------
+// Pareto sweep: filter chain x backend x lzc maxChainSteps level over
+// real serialized pose sequences.
+
+struct SweepRow {
+    std::string chain;
+    std::string backend;
+    int level{};  // lzc maxChainSteps; 0 for the Store backend
+    std::size_t rawBytes{};
+    std::size_t encBytes{};
+    double encMs{};
+    double decMs{};
+    bool roundTripOk{true};
+    bool pareto{false};
+
+    double ratio() const {
+        return encBytes > 0 ? static_cast<double>(rawBytes) /
+                                  static_cast<double>(encBytes)
+                            : 0.0;
+    }
+    double encMBps() const {
+        return encMs > 0.0 ? static_cast<double>(rawBytes) / 1e6 / (encMs / 1e3)
+                           : 0.0;
+    }
+    double decMBps() const {
+        return decMs > 0.0 ? static_cast<double>(rawBytes) / 1e6 / (decMs / 1e3)
+                           : 0.0;
+    }
+};
+
+double wallMs(const std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+int runParetoSweep() {
+    bench::banner(
+        "Codec v2 Pareto sweep: filter chain x backend x level on pose streams");
+
+    // The workload: per-frame pose payloads exactly as the keypoint
+    // channel sends them, from two motion sequences.
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::size_t rawBytes = 0;
+    for (const body::MotionKind kind :
+         {body::MotionKind::Talk, body::MotionKind::Collaborate}) {
+        const body::MotionGenerator gen(kind);
+        for (const body::Pose& pose : gen.sequence(64, 30.0)) {
+            frames.push_back(body::serializePose(pose));
+            rawBytes += frames.back().size();
+        }
+    }
+
+    using compress::EntropyBackend;
+    using compress::FilterChain;
+    using compress::FilterOp;
+    const std::vector<FilterChain> chains = {
+        FilterChain{.ops = {}, .stride = 8},
+        FilterChain{.ops = {FilterOp::DeltaDiff}, .stride = 8},
+        FilterChain{.ops = {FilterOp::ByteTranspose}, .stride = 8},
+        FilterChain{.ops = {FilterOp::ByteTranspose, FilterOp::DeltaDiff},
+                    .stride = 8},
+        FilterChain{.ops = {FilterOp::ByteTranspose, FilterOp::XorDiff},
+                    .stride = 8},
+        FilterChain{.ops = {FilterOp::Bitshuffle}, .stride = 8},
+        FilterChain{.ops = {FilterOp::Bitshuffle, FilterOp::DeltaDiff},
+                    .stride = 8},
+    };
+    const std::vector<int> lzcLevels = {4, 64, 256};
+    constexpr int kRepeats = 3;
+
+    std::vector<SweepRow> rows;
+    bool allRoundTripsOk = true;
+    for (const FilterChain& chain : chains) {
+        for (const EntropyBackend backend :
+             {EntropyBackend::Store, EntropyBackend::Lzc}) {
+            const std::vector<int> levels =
+                backend == EntropyBackend::Lzc ? lzcLevels : std::vector<int>{0};
+            for (const int level : levels) {
+                compress::Codec2Options options;
+                options.filters = chain;
+                options.backend = backend;
+                options.lzc.maxChainSteps = level;
+
+                SweepRow row;
+                row.chain = compress::filterChainName(chain);
+                row.backend = backend == EntropyBackend::Lzc ? "lzc" : "store";
+                row.level = level;
+                row.rawBytes = rawBytes;
+
+                std::vector<std::vector<std::uint8_t>> encoded(frames.size());
+                row.encMs = 1e30;
+                for (int rep = 0; rep < kRepeats; ++rep) {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    for (std::size_t f = 0; f < frames.size(); ++f)
+                        encoded[f] = compress::codec2Encode(frames[f], options);
+                    row.encMs = std::min(row.encMs, wallMs(t0));
+                }
+                row.encBytes = 0;
+                for (const auto& e : encoded) row.encBytes += e.size();
+
+                std::vector<std::optional<std::vector<std::uint8_t>>> decoded(
+                    frames.size());
+                row.decMs = 1e30;
+                for (int rep = 0; rep < kRepeats; ++rep) {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    for (std::size_t f = 0; f < frames.size(); ++f)
+                        decoded[f] = compress::codec2Decode(encoded[f]);
+                    row.decMs = std::min(row.decMs, wallMs(t0));
+                }
+                for (std::size_t f = 0; f < frames.size(); ++f) {
+                    if (!decoded[f] || *decoded[f] != frames[f]) {
+                        row.roundTripOk = false;
+                        allRoundTripsOk = false;
+                    }
+                }
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+
+    // Pareto frontier on (ratio, encode throughput): a row is on the
+    // frontier when no other row is at least as good on both axes and
+    // strictly better on one.
+    for (SweepRow& row : rows) {
+        row.pareto = true;
+        for (const SweepRow& other : rows) {
+            if (&other == &row) continue;
+            const bool geq = other.ratio() >= row.ratio() &&
+                             other.encMBps() >= row.encMBps();
+            const bool strict = other.ratio() > row.ratio() ||
+                                other.encMBps() > row.encMBps();
+            if (geq && strict) {
+                row.pareto = false;
+                break;
+            }
+        }
+    }
+
+    // Acceptance probe: does some filter chain strictly dominate plain
+    // lzc (better ratio at >= equal encode throughput) at the default
+    // level?
+    const SweepRow* plain = nullptr;
+    for (const SweepRow& row : rows)
+        if (row.chain == "none" && row.backend == "lzc" && row.level == 64)
+            plain = &row;
+    std::string dominatingChain;
+    double dominatingRatio = 0.0;
+    if (plain != nullptr) {
+        for (const SweepRow& row : rows) {
+            if (row.backend != "lzc" || row.chain == "none") continue;
+            if (row.ratio() > plain->ratio() &&
+                row.encMBps() >= plain->encMBps() &&
+                row.ratio() > dominatingRatio) {
+                dominatingRatio = row.ratio();
+                dominatingChain = row.chain + "@" + std::to_string(row.level);
+            }
+        }
+    }
+
+    bench::Table table({"filter chain", "backend", "level", "enc KB", "ratio",
+                        "enc MB/s", "dec MB/s", "round trip", "pareto"});
+    core::telemetry::JsonWriter json;
+    json.beginObject();
+    json.field("schema_version", core::telemetry::kBenchSchemaVersion);
+    json.field("bench", std::string("codec_pareto"));
+    json.field("frames", static_cast<std::uint64_t>(frames.size()));
+    json.field("raw_bytes", static_cast<std::uint64_t>(rawBytes));
+    json.beginArray("rows");
+    for (const SweepRow& row : rows) {
+        table.addRow({row.chain, row.backend, std::to_string(row.level),
+                      bench::fmt("%.1f", static_cast<double>(row.encBytes) / 1e3),
+                      bench::fmt("%.3f", row.ratio()),
+                      bench::fmt("%.1f", row.encMBps()),
+                      bench::fmt("%.1f", row.decMBps()),
+                      row.roundTripOk ? "ok" : "FAIL", row.pareto ? "*" : ""});
+        json.beginObject()
+            .field("chain", row.chain)
+            .field("backend", row.backend)
+            .field("level", static_cast<std::uint64_t>(row.level))
+            .field("enc_bytes", static_cast<std::uint64_t>(row.encBytes))
+            .field("ratio", row.ratio())
+            .field("enc_mbps", row.encMBps())
+            .field("dec_mbps", row.decMBps())
+            .field("round_trip", std::string(row.roundTripOk ? "ok" : "fail"))
+            .field("pareto", std::string(row.pareto ? "yes" : "no"))
+            .endObject();
+    }
+    json.endArray();
+    if (plain != nullptr) {
+        json.field("plain_lzc_ratio", plain->ratio());
+        json.field("plain_lzc_enc_mbps", plain->encMBps());
+    }
+    json.field("dominating_chain", dominatingChain);
+    json.field("all_round_trips",
+               std::string(allRoundTripsOk ? "ok" : "fail"));
+    json.endObject();
+    table.print();
+
+    if (std::FILE* f = std::fopen("BENCH_codec_pareto.json", "w")) {
+        std::fputs(json.str().c_str(), f);
+        std::fputs("\n", f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_codec_pareto.json\n");
+    }
+
+    if (plain != nullptr) {
+        std::printf(
+            "\nplain lzc@64: ratio %.3f at %.1f MB/s; %s\n", plain->ratio(),
+            plain->encMBps(),
+            dominatingChain.empty()
+                ? "WARNING: no filter chain dominates plain lzc on this host"
+                : ("dominated by " + dominatingChain).c_str());
+    }
+    if (!allRoundTripsOk) {
+        std::printf("FAIL: at least one (chain x backend x level) combination "
+                    "did not round-trip bit-exactly\n");
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 }  // namespace semholo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return semholo::runParetoSweep();
+}

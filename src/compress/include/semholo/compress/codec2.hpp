@@ -1,0 +1,64 @@
+// Codec v2: the versioned container that composes a pre-filter chain
+// (semholo/compress/filter.hpp) with an entropy backend. The container
+// header self-describes every decode parameter — backend, element
+// stride, and filter chain — and the lzc backend stream carries its own
+// options byte, so decoding needs nothing out of band: the encoder's
+// parameters always travel with the bytes. This is the keypoint/foveated
+// pose wire format and the text-delta payload format.
+//
+// Layout:
+//   [0] magic 0xC2            [1] container version (1)
+//   [2] backend               [3] element stride (>= 1)
+//   [4] filter op count k     [5..5+k) filter op bytes
+//   [5+k..] backend payload (lzc stream, or raw filtered bytes for
+//           Store — filters are size-preserving so the length is
+//           implied by the container)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "semholo/compress/filter.hpp"
+#include "semholo/compress/lzc.hpp"
+
+namespace semholo::compress {
+
+enum class EntropyBackend : std::uint8_t {
+    Store = 0,  // filters only: raw filtered bytes (for GB/s paths and
+                // as the sweep's filter-throughput baseline)
+    Lzc = 1,    // the LZMA-class range coder
+};
+
+inline constexpr std::uint8_t kCodec2Magic = 0xC2;
+inline constexpr std::uint8_t kCodec2Version = 1;
+
+struct Codec2Options {
+    FilterChain filters{};
+    EntropyBackend backend{EntropyBackend::Lzc};
+    LzcOptions lzc{};
+};
+
+// Default pipeline for the serialized pose stream: split the 8-byte
+// double lanes, then entropy-code (the sweep's Pareto pick for the
+// Table-2 keypoint payload).
+Codec2Options poseCodecDefaults();
+
+// Default pipeline for text payloads: no filters (byte lanes carry no
+// meaning in UTF-8 captions), lzc backend.
+Codec2Options textCodecDefaults();
+
+// Encode 'data' into a self-describing container. A malformed filter
+// chain in 'options' (zero stride, overlong, unknown op) degrades to no
+// filtering rather than producing an undecodable stream.
+std::vector<std::uint8_t> codec2Encode(std::span<const std::uint8_t> data,
+                                       const Codec2Options& options = {});
+
+// Decode a container; every parameter comes from the header. Returns
+// nullopt on unknown magic/version/backend/filter bytes, malformed
+// chains, or a corrupt backend payload.
+std::optional<std::vector<std::uint8_t>> codec2Decode(
+    std::span<const std::uint8_t> container);
+
+}  // namespace semholo::compress

@@ -1,0 +1,64 @@
+// Composable pre-filters for structured float streams (the codec v2
+// front end, modeled on aras-p/float_compr_tester): byte-transpose /
+// stream-split across per-element byte lanes, byte-wise delta and xor
+// diffing, and a bit-plane shuffle. Every filter is lossless and
+// size-preserving, so a chain can run ahead of any entropy backend and
+// be inverted exactly on decode. The serialized pose payload is rows of
+// 8-byte doubles whose high bytes barely change frame to frame —
+// grouping those lanes (transpose/bitshuffle) and differencing them
+// (delta/xor) is what lets a generic LZ pass approach
+// structured-float-codec ratios.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace semholo::compress {
+
+enum class FilterOp : std::uint8_t {
+    // Stream-split: byte lane b of every 'stride'-byte element becomes
+    // one contiguous plane (lane-major order).
+    ByteTranspose = 1,
+    // Byte-wise difference with the previous byte (prev starts at 0).
+    DeltaDiff = 2,
+    // Byte-wise xor with the previous byte (prev starts at 0).
+    XorDiff = 3,
+    // Bit-plane shuffle: bit p of every 'stride'-byte element becomes a
+    // contiguous run of bits (plane-major order).
+    Bitshuffle = 4,
+};
+
+bool isValidFilterOp(std::uint8_t raw);
+std::string filterOpName(FilterOp op);
+
+// An ordered filter chain plus the element stride (bytes per logical
+// element) the transpose/bitshuffle stages split on. Chains are applied
+// front to back on encode and inverted back to front on decode.
+struct FilterChain {
+    std::vector<FilterOp> ops;
+    std::uint8_t stride{8};  // sizeof(double): the pose payload lanes
+
+    bool empty() const { return ops.empty(); }
+};
+
+// Longest chain a codec v2 container may carry (sanity bound for
+// untrusted headers; real chains are 1-3 ops).
+inline constexpr std::size_t kMaxFilterChainOps = 8;
+
+// Human-readable chain label, e.g. "transpose+delta" or "none".
+std::string filterChainName(const FilterChain& chain);
+
+// Apply the chain front to back. Output size always equals input size.
+std::vector<std::uint8_t> applyFilters(const FilterChain& chain,
+                                       std::span<const std::uint8_t> data);
+
+// Invert the chain back to front. Returns nullopt only for a malformed
+// chain (stride 0 or too many ops) — data itself cannot fail since all
+// filters are bijections.
+std::optional<std::vector<std::uint8_t>> invertFilters(
+    const FilterChain& chain, std::span<const std::uint8_t> data);
+
+}  // namespace semholo::compress

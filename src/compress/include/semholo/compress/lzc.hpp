@@ -2,6 +2,13 @@
 // feeding the adaptive binary range coder). Used wherever the paper uses
 // LZMA — most importantly compressing the 1.91 KB keypoint payload of
 // Table 2 — and as the entropy backend of the mesh and text codecs.
+//
+// Wire format v2 (one byte of self-description): every stream starts
+// with a format byte carrying the wire version and the encoder's
+// literal-context setting, so decompression needs no out-of-band
+// options. v1 streams (raw size header only) are no longer produced or
+// accepted; every producer in this repo compresses and decompresses
+// with the same build.
 #pragma once
 
 #include <cstdint>
@@ -15,14 +22,32 @@ struct LzcOptions {
     // Maximum match-finder chain walks per position (speed/ratio knob).
     int maxChainSteps{64};
     // Context bits of the previous byte used for literal coding.
+    // Valid range is [0, 3] (the literal model has at most 8 contexts);
+    // out-of-range values are clamped before use, so encoder and
+    // decoder agree by construction.
     int literalContextBits{3};
 };
 
-// Compress 'data'. Output embeds the uncompressed size.
+// The literal-context range the literal model actually supports.
+inline constexpr int kLzcMaxLiteralContextBits = 3;
+
+// 'literalContextBits' clamped to the supported [0, 3] range — the
+// single source of truth both the encoder and the decoder use.
+int lzcClampedLiteralContextBits(int literalContextBits);
+
+// Wire layout: [format byte][u32le uncompressed size][range-coded
+// payload]. The format byte is (kLzcFormatTag | literalContextBits).
+inline constexpr std::uint8_t kLzcFormatTag = 0x20;   // high nibble: wire v2
+inline constexpr std::uint8_t kLzcFormatMask = 0xFC;  // low 2 bits: ctx bits
+inline constexpr std::size_t kLzcHeaderBytes = 5;
+
+// Compress 'data'. Output embeds the format byte and uncompressed size.
 std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
                                       const LzcOptions& options = {});
 
-// Decompress; returns nullopt on malformed input.
+// Decompress; returns nullopt on malformed input (short or unknown
+// header, absurd size, truncated or corrupt payload). All decode
+// parameters come from the stream header — never from caller options.
 std::optional<std::vector<std::uint8_t>> lzcDecompress(
     std::span<const std::uint8_t> compressed);
 

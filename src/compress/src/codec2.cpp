@@ -1,0 +1,92 @@
+#include "semholo/compress/codec2.hpp"
+
+namespace semholo::compress {
+
+namespace {
+
+constexpr std::size_t kFixedHeaderBytes = 5;
+
+bool chainEncodable(const FilterChain& chain) {
+    if (chain.stride == 0) return false;
+    if (chain.ops.size() > kMaxFilterChainOps) return false;
+    for (const FilterOp op : chain.ops)
+        if (!isValidFilterOp(static_cast<std::uint8_t>(op))) return false;
+    return true;
+}
+
+}  // namespace
+
+Codec2Options poseCodecDefaults() {
+    Codec2Options options;
+    // The Pareto sweep's pick on the serialized pose stream: splitting
+    // the 8-byte double lanes alone beats transpose+delta there (the
+    // range coder's context modeling already captures the smooth
+    // per-lane drift; differencing only whitens it).
+    options.filters.ops = {FilterOp::ByteTranspose};
+    options.filters.stride = 8;
+    options.backend = EntropyBackend::Lzc;
+    return options;
+}
+
+Codec2Options textCodecDefaults() {
+    Codec2Options options;
+    options.backend = EntropyBackend::Lzc;
+    return options;
+}
+
+std::vector<std::uint8_t> codec2Encode(std::span<const std::uint8_t> data,
+                                       const Codec2Options& options) {
+    FilterChain chain = options.filters;
+    if (!chainEncodable(chain)) chain = FilterChain{.ops = {}, .stride = 1};
+
+    std::vector<std::uint8_t> out;
+    out.reserve(kFixedHeaderBytes + chain.ops.size() + data.size() / 2 + 16);
+    out.push_back(kCodec2Magic);
+    out.push_back(kCodec2Version);
+    out.push_back(static_cast<std::uint8_t>(options.backend));
+    out.push_back(chain.stride);
+    out.push_back(static_cast<std::uint8_t>(chain.ops.size()));
+    for (const FilterOp op : chain.ops)
+        out.push_back(static_cast<std::uint8_t>(op));
+
+    const std::vector<std::uint8_t> filtered = applyFilters(chain, data);
+    if (options.backend == EntropyBackend::Store) {
+        out.insert(out.end(), filtered.begin(), filtered.end());
+    } else {
+        const auto payload = lzcCompress(filtered, options.lzc);
+        out.insert(out.end(), payload.begin(), payload.end());
+    }
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>> codec2Decode(
+    std::span<const std::uint8_t> container) {
+    if (container.size() < kFixedHeaderBytes) return std::nullopt;
+    if (container[0] != kCodec2Magic) return std::nullopt;
+    if (container[1] != kCodec2Version) return std::nullopt;
+    const std::uint8_t backendRaw = container[2];
+    if (backendRaw > static_cast<std::uint8_t>(EntropyBackend::Lzc))
+        return std::nullopt;
+    const auto backend = static_cast<EntropyBackend>(backendRaw);
+
+    FilterChain chain;
+    chain.stride = container[3];
+    if (chain.stride == 0) return std::nullopt;
+    const std::size_t opCount = container[4];
+    if (opCount > kMaxFilterChainOps) return std::nullopt;
+    if (container.size() < kFixedHeaderBytes + opCount) return std::nullopt;
+    for (std::size_t i = 0; i < opCount; ++i) {
+        const std::uint8_t raw = container[kFixedHeaderBytes + i];
+        if (!isValidFilterOp(raw)) return std::nullopt;
+        chain.ops.push_back(static_cast<FilterOp>(raw));
+    }
+
+    const auto payload = container.subspan(kFixedHeaderBytes + opCount);
+    if (backend == EntropyBackend::Store)
+        return invertFilters(chain, payload);
+    const auto filtered = lzcDecompress(payload);
+    if (!filtered) return std::nullopt;
+    return invertFilters(chain, *filtered);
+}
+
+}  // namespace semholo::compress

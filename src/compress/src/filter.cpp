@@ -1,0 +1,203 @@
+#include "semholo/compress/filter.hpp"
+
+namespace semholo::compress {
+
+namespace {
+
+// Transpose/bitshuffle operate on the largest prefix that is a whole
+// number of 'stride'-byte elements; trailing remainder bytes pass
+// through unchanged (the pose payload's 4-byte frame id shifts the
+// lanes by a constant offset, which keeps them consistent — only the
+// final partial element, if any, is left in place).
+
+void byteTranspose(std::span<const std::uint8_t> src, std::uint8_t* dst,
+                   std::size_t stride) {
+    const std::size_t rows = src.size() / stride;
+    for (std::size_t lane = 0; lane < stride; ++lane) {
+        const std::uint8_t* in = src.data() + lane;
+        std::uint8_t* out = dst + lane * rows;
+        for (std::size_t r = 0; r < rows; ++r) {
+            out[r] = *in;
+            in += stride;
+        }
+    }
+    for (std::size_t i = rows * stride; i < src.size(); ++i) dst[i] = src[i];
+}
+
+void byteUntranspose(std::span<const std::uint8_t> src, std::uint8_t* dst,
+                     std::size_t stride) {
+    const std::size_t rows = src.size() / stride;
+    for (std::size_t lane = 0; lane < stride; ++lane) {
+        const std::uint8_t* in = src.data() + lane * rows;
+        std::uint8_t* out = dst + lane;
+        for (std::size_t r = 0; r < rows; ++r) {
+            *out = in[r];
+            out += stride;
+        }
+    }
+    for (std::size_t i = rows * stride; i < src.size(); ++i) dst[i] = src[i];
+}
+
+void deltaEncode(std::uint8_t* data, std::size_t n) {
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t v = data[i];
+        data[i] = static_cast<std::uint8_t>(v - prev);
+        prev = v;
+    }
+}
+
+void deltaDecode(std::uint8_t* data, std::size_t n) {
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        prev = static_cast<std::uint8_t>(prev + data[i]);
+        data[i] = prev;
+    }
+}
+
+void xorEncode(std::uint8_t* data, std::size_t n) {
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t v = data[i];
+        data[i] = static_cast<std::uint8_t>(v ^ prev);
+        prev = v;
+    }
+}
+
+void xorDecode(std::uint8_t* data, std::size_t n) {
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        prev = static_cast<std::uint8_t>(prev ^ data[i]);
+        data[i] = prev;
+    }
+}
+
+// Bit-plane shuffle over whole elements: output bit (plane * rows + r)
+// is bit 'plane' of element r, planes packed back to back. The prefix
+// holds exactly rows * stride * 8 bits, so no per-plane padding is
+// needed and the transform is a bit permutation (trivially invertible).
+void bitshuffle(std::span<const std::uint8_t> src, std::uint8_t* dst,
+                std::size_t stride) {
+    const std::size_t rows = src.size() / stride;
+    const std::size_t prefix = rows * stride;
+    for (std::size_t i = 0; i < prefix; ++i) dst[i] = 0;
+    for (std::size_t plane = 0; plane < stride * 8; ++plane) {
+        const std::size_t laneByte = plane >> 3;
+        const int bit = static_cast<int>(plane & 7);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const int v = (src[r * stride + laneByte] >> bit) & 1;
+            const std::size_t outBit = plane * rows + r;
+            dst[outBit >> 3] |=
+                static_cast<std::uint8_t>(v << static_cast<int>(outBit & 7));
+        }
+    }
+    for (std::size_t i = prefix; i < src.size(); ++i) dst[i] = src[i];
+}
+
+void unbitshuffle(std::span<const std::uint8_t> src, std::uint8_t* dst,
+                  std::size_t stride) {
+    const std::size_t rows = src.size() / stride;
+    const std::size_t prefix = rows * stride;
+    for (std::size_t i = 0; i < prefix; ++i) dst[i] = 0;
+    for (std::size_t plane = 0; plane < stride * 8; ++plane) {
+        const std::size_t laneByte = plane >> 3;
+        const int bit = static_cast<int>(plane & 7);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t inBit = plane * rows + r;
+            const int v = (src[inBit >> 3] >> static_cast<int>(inBit & 7)) & 1;
+            dst[r * stride + laneByte] |=
+                static_cast<std::uint8_t>(v << bit);
+        }
+    }
+    for (std::size_t i = prefix; i < src.size(); ++i) dst[i] = src[i];
+}
+
+bool chainValid(const FilterChain& chain) {
+    if (chain.stride == 0) return false;
+    if (chain.ops.size() > kMaxFilterChainOps) return false;
+    for (const FilterOp op : chain.ops)
+        if (!isValidFilterOp(static_cast<std::uint8_t>(op))) return false;
+    return true;
+}
+
+}  // namespace
+
+bool isValidFilterOp(std::uint8_t raw) {
+    return raw >= static_cast<std::uint8_t>(FilterOp::ByteTranspose) &&
+           raw <= static_cast<std::uint8_t>(FilterOp::Bitshuffle);
+}
+
+std::string filterOpName(FilterOp op) {
+    switch (op) {
+        case FilterOp::ByteTranspose: return "transpose";
+        case FilterOp::DeltaDiff: return "delta";
+        case FilterOp::XorDiff: return "xor";
+        case FilterOp::Bitshuffle: return "bitshuffle";
+    }
+    return "unknown";
+}
+
+std::string filterChainName(const FilterChain& chain) {
+    if (chain.ops.empty()) return "none";
+    std::string name;
+    for (const FilterOp op : chain.ops) {
+        if (!name.empty()) name += '+';
+        name += filterOpName(op);
+    }
+    return name;
+}
+
+std::vector<std::uint8_t> applyFilters(const FilterChain& chain,
+                                       std::span<const std::uint8_t> data) {
+    std::vector<std::uint8_t> cur(data.begin(), data.end());
+    if (!chainValid(chain) || data.empty()) return cur;
+    std::vector<std::uint8_t> tmp(data.size());
+    for (const FilterOp op : chain.ops) {
+        switch (op) {
+            case FilterOp::ByteTranspose:
+                byteTranspose(cur, tmp.data(), chain.stride);
+                cur.swap(tmp);
+                break;
+            case FilterOp::DeltaDiff:
+                deltaEncode(cur.data(), cur.size());
+                break;
+            case FilterOp::XorDiff:
+                xorEncode(cur.data(), cur.size());
+                break;
+            case FilterOp::Bitshuffle:
+                bitshuffle(cur, tmp.data(), chain.stride);
+                cur.swap(tmp);
+                break;
+        }
+    }
+    return cur;
+}
+
+std::optional<std::vector<std::uint8_t>> invertFilters(
+    const FilterChain& chain, std::span<const std::uint8_t> data) {
+    if (!chainValid(chain)) return std::nullopt;
+    std::vector<std::uint8_t> cur(data.begin(), data.end());
+    if (data.empty()) return cur;
+    std::vector<std::uint8_t> tmp(data.size());
+    for (auto it = chain.ops.rbegin(); it != chain.ops.rend(); ++it) {
+        switch (*it) {
+            case FilterOp::ByteTranspose:
+                byteUntranspose(cur, tmp.data(), chain.stride);
+                cur.swap(tmp);
+                break;
+            case FilterOp::DeltaDiff:
+                deltaDecode(cur.data(), cur.size());
+                break;
+            case FilterOp::XorDiff:
+                xorDecode(cur.data(), cur.size());
+                break;
+            case FilterOp::Bitshuffle:
+                unbitshuffle(cur, tmp.data(), chain.stride);
+                cur.swap(tmp);
+                break;
+        }
+    }
+    return cur;
+}
+
+}  // namespace semholo::compress

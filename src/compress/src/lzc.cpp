@@ -17,6 +17,9 @@ constexpr int kLenBits = 9;        // match length - kMinMatch in [0, 271)
 constexpr int kDistSlotBits = 5;   // distance slot 0..31
 constexpr std::uint32_t kWindow = 1u << 20;
 constexpr std::uint32_t kHashSize = 1u << 16;
+// Initial output reservation cap: the size header is untrusted until
+// the payload actually decodes, so never pre-allocate more than this.
+constexpr std::size_t kMaxInitialReserve = 64u * 1024u;
 
 std::uint32_t hash3(const std::uint8_t* p) {
     // Multiplicative hash over 3 bytes.
@@ -36,7 +39,10 @@ int distanceSlot(std::uint32_t dist) {
 
 struct Models {
     BitProb isMatch[2]{};  // context: previous op was match?
-    std::array<std::array<BitProb, 256>, 8> literal{};  // ctx: prev byte top bits
+    // Literal contexts: prev byte's top 'literalContextBits' bits. The
+    // clamped option selects how many of the 8 rows are live; encoder
+    // and decoder derive the same count from the stream's format byte.
+    std::array<std::array<BitProb, 256>, 1 << kLzcMaxLiteralContextBits> literal{};
     std::array<BitProb, (1u << kLenBits) - 1> len{};
     std::array<BitProb, (1u << kDistSlotBits) - 1> distSlot{};
 };
@@ -47,9 +53,16 @@ void putU32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
 
 }  // namespace
 
+int lzcClampedLiteralContextBits(int literalContextBits) {
+    return std::clamp(literalContextBits, 0, kLzcMaxLiteralContextBits);
+}
+
 std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
                                       const LzcOptions& options) {
+    const int ctxBits = lzcClampedLiteralContextBits(options.literalContextBits);
     std::vector<std::uint8_t> header;
+    header.push_back(
+        static_cast<std::uint8_t>(kLzcFormatTag | static_cast<unsigned>(ctxBits)));
     putU32le(header, static_cast<std::uint32_t>(data.size()));
     if (data.empty()) return header;
 
@@ -60,7 +73,7 @@ std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
     std::vector<std::int32_t> head(kHashSize, -1);
     std::vector<std::int32_t> prev(data.size(), -1);
 
-    const int ctxShift = 8 - options.literalContextBits;
+    const int ctxShift = 8 - ctxBits;
     std::size_t pos = 0;
     bool lastWasMatch = false;
     while (pos < data.size()) {
@@ -108,9 +121,8 @@ std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
             enc.encodeBit(models->isMatch[lastWasMatch ? 1 : 0], 0);
             const std::uint8_t ctx =
                 pos > 0 ? static_cast<std::uint8_t>(data[pos - 1] >> ctxShift) : 0;
-            enc.encodeTree(
-                std::span<BitProb>(models->literal[ctx & 7].data(), 256),
-                data[pos], 8);
+            enc.encodeTree(std::span<BitProb>(models->literal[ctx].data(), 256),
+                           data[pos], 8);
             if (pos + kMinMatch <= data.size()) {
                 const std::uint32_t h = hash3(&data[pos]);
                 prev[pos] = head[h];
@@ -130,19 +142,25 @@ std::vector<std::uint8_t> lzcCompress(std::span<const std::uint8_t> data,
 
 std::optional<std::vector<std::uint8_t>> lzcDecompress(
     std::span<const std::uint8_t> compressed) {
-    if (compressed.size() < 4) return std::nullopt;
+    if (compressed.size() < kLzcHeaderBytes) return std::nullopt;
+    const std::uint8_t format = compressed[0];
+    if ((format & kLzcFormatMask) != kLzcFormatTag) return std::nullopt;
+    const int ctxBits = static_cast<int>(format & ~kLzcFormatMask);
     std::uint32_t size = 0;
     for (int i = 0; i < 4; ++i)
-        size |= static_cast<std::uint32_t>(compressed[i]) << (8 * i);
+        size |= static_cast<std::uint32_t>(compressed[1 + i]) << (8 * i);
     std::vector<std::uint8_t> out;
     if (size == 0) return out;
     // Guard against absurd headers (corrupt input).
     if (size > (1u << 30)) return std::nullopt;
-    out.reserve(size);
+    // The size is still untrusted until the payload decodes: cap the
+    // up-front allocation so a ~12-byte corrupt packet cannot force a
+    // 1 GiB reserve; the vector grows geometrically past the cap.
+    out.reserve(std::min<std::size_t>(size, kMaxInitialReserve));
 
     auto models = std::make_unique<Models>();
-    RangeDecoder dec(compressed.subspan(4));
-    const int ctxShift = 8 - LzcOptions{}.literalContextBits;
+    RangeDecoder dec(compressed.subspan(kLzcHeaderBytes));
+    const int ctxShift = 8 - ctxBits;
 
     bool lastWasMatch = false;
     while (out.size() < size) {
@@ -162,11 +180,11 @@ std::optional<std::vector<std::uint8_t>> lzcDecompress(
             const std::uint8_t ctx =
                 out.empty() ? 0 : static_cast<std::uint8_t>(out.back() >> ctxShift);
             out.push_back(static_cast<std::uint8_t>(dec.decodeTree(
-                std::span<BitProb>(models->literal[ctx & 7].data(), 256), 8)));
+                std::span<BitProb>(models->literal[ctx].data(), 256), 8)));
             lastWasMatch = false;
         }
     }
     return out;
 }
 
-}  // namespace compress
+}  // namespace semholo::compress

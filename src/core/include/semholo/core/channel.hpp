@@ -17,6 +17,7 @@
 #include "semholo/body/animation.hpp"
 #include "semholo/body/body_model.hpp"
 #include "semholo/capture/image.hpp"
+#include "semholo/compress/codec2.hpp"
 #include "semholo/gaze/gaze.hpp"
 #include "semholo/geometry/transform.hpp"
 #include "semholo/mesh/trimesh.hpp"
@@ -139,7 +140,10 @@ std::unique_ptr<SemanticChannel> makeTraditionalChannel(
 
 struct KeypointChannelOptions {
     int reconResolution{64};
-    bool compressPayload{true};  // LZC over the 1.91 KB pose payload
+    bool compressPayload{true};  // codec v2 over the 1.91 KB pose payload
+    // Filter chain + entropy backend for the pose payload. The container
+    // self-describes, so the decode side needs no matching options.
+    compress::Codec2Options codec = compress::poseCodecDefaults();
     body::ShapeParams shape{};
     // Simulated DL extraction latency added per frame (direct RGB-D
     // detection path; see capture::DetectorCostModel).
@@ -181,6 +185,9 @@ struct FoveatedOptions {
     int peripheralResolution{32};
     body::ShapeParams shape{};
     bool compress{true};
+    // Codec v2 pipeline for the peripheral pose payload (self-describing
+    // container; see KeypointChannelOptions::codec).
+    compress::Codec2Options codec = compress::poseCodecDefaults();
     // Saccadic omission (section 3.1): during a saccade vision is
     // suppressed, so the foveal mesh is omitted entirely (keypoints
     // only) and the *next* foveal region is aimed at the predicted

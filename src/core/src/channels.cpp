@@ -3,7 +3,7 @@
 #include <chrono>
 #include <cstring>
 
-#include "semholo/compress/lzc.hpp"
+#include "semholo/compress/codec2.hpp"
 #include "semholo/compress/meshcodec.hpp"
 #include "semholo/gaze/foveation.hpp"
 #include "semholo/recon/keypoint_recon.hpp"
@@ -130,7 +130,9 @@ public:
         out.frameId = frame.pose.frameId;
         const auto t0 = std::chrono::steady_clock::now();
         const auto payload = body::serializePose(frame.pose);
-        out.data = options_.compressPayload ? compress::lzcCompress(payload) : payload;
+        out.data = options_.compressPayload
+                       ? compress::codec2Encode(payload, options_.codec)
+                       : payload;
         out.measuredExtractMs = msSince(t0);
         out.simulatedExtractMs = options_.simulatedDetectMs;
         return out;
@@ -142,7 +144,7 @@ public:
         const auto t0 = std::chrono::steady_clock::now();
         std::optional<body::Pose> pose;
         if (options_.compressPayload) {
-            const auto payload = compress::lzcDecompress(encoded.data);
+            const auto payload = compress::codec2Decode(encoded.data);
             if (payload) pose = body::deserializePose(*payload);
         } else {
             pose = body::deserializePose(encoded.data);
@@ -277,7 +279,8 @@ public:
         }
         // Peripheral: the 1.91 KB pose payload.
         auto poseBytes = body::serializePose(frame.pose);
-        if (options_.compress) poseBytes = compress::lzcCompress(poseBytes);
+        if (options_.compress)
+            poseBytes = compress::codec2Encode(poseBytes, options_.codec);
 
         putU32(out.data, static_cast<std::uint32_t>(fovealBytes.size()));
         out.data.insert(out.data.end(), fovealBytes.begin(), fovealBytes.end());
@@ -302,7 +305,7 @@ public:
 
         std::optional<body::Pose> pose;
         if (options_.compress) {
-            const auto payload = compress::lzcDecompress(poseSpan);
+            const auto payload = compress::codec2Decode(poseSpan);
             if (payload) pose = body::deserializePose(*payload);
         } else {
             pose = body::deserializePose(poseSpan);

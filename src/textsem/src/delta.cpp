@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "semholo/compress/lzc.hpp"
+#include "semholo/compress/codec2.hpp"
 
 namespace semholo::textsem {
 
@@ -22,7 +22,8 @@ std::vector<std::uint8_t> packChannels(const TextFrame& frame, bool globalPresen
     }
     const std::span<const std::uint8_t> bytes(
         reinterpret_cast<const std::uint8_t*>(joined.data()), joined.size());
-    return compress::lzcCompress(bytes);
+    // Codec v2 with the text profile: no byte-lane filters, lzc backend.
+    return compress::codec2Encode(bytes, compress::textCodecDefaults());
 }
 
 }  // namespace
@@ -65,7 +66,7 @@ DeltaDecoder::DeltaDecoder(const CaptionOptions& options,
 std::optional<body::Pose> DeltaDecoder::decode(const DeltaPacket& packet) {
     if (!packet.keyframe && !haveState_) return std::nullopt;
 
-    const auto joinedOpt = compress::lzcDecompress(packet.payload);
+    const auto joinedOpt = compress::codec2Decode(packet.payload);
     if (!joinedOpt) return std::nullopt;
     const std::string joined(joinedOpt->begin(), joinedOpt->end());
 

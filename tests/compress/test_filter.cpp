@@ -1,0 +1,150 @@
+#include "semholo/compress/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace semholo::compress {
+namespace {
+
+std::vector<std::uint8_t> randomBytes(std::size_t n, std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> uni(0, 255);
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(uni(rng));
+    return data;
+}
+
+std::vector<std::uint8_t> doubleLanes(std::size_t count) {
+    // Slowly varying doubles: the pose payload's byte-lane structure.
+    std::vector<std::uint8_t> data;
+    for (std::size_t i = 0; i < count; ++i) {
+        const double d = std::sin(static_cast<double>(i) * 0.01) * 0.25;
+        const auto* p = reinterpret_cast<const std::uint8_t*>(&d);
+        data.insert(data.end(), p, p + sizeof(double));
+    }
+    return data;
+}
+
+void expectInverts(const FilterChain& chain,
+                   const std::vector<std::uint8_t>& data) {
+    const auto filtered = applyFilters(chain, data);
+    ASSERT_EQ(filtered.size(), data.size());
+    const auto back = invertFilters(chain, filtered);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data) << filterChainName(chain) << " stride "
+                           << static_cast<int>(chain.stride) << " n "
+                           << data.size();
+}
+
+const std::vector<std::vector<FilterOp>> kAllChains = {
+    {},
+    {FilterOp::ByteTranspose},
+    {FilterOp::DeltaDiff},
+    {FilterOp::XorDiff},
+    {FilterOp::Bitshuffle},
+    {FilterOp::ByteTranspose, FilterOp::DeltaDiff},
+    {FilterOp::ByteTranspose, FilterOp::XorDiff},
+    {FilterOp::Bitshuffle, FilterOp::DeltaDiff},
+    {FilterOp::DeltaDiff, FilterOp::ByteTranspose, FilterOp::XorDiff,
+     FilterOp::Bitshuffle},
+};
+
+TEST(Filter, EveryChainInvertsAtManySizesAndStrides) {
+    for (const auto& ops : kAllChains) {
+        for (const std::uint8_t stride : {1, 2, 4, 8, 16}) {
+            FilterChain chain{.ops = ops, .stride = stride};
+            for (const std::size_t n :
+                 {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+                  std::size_t{9}, std::size_t{63}, std::size_t{64},
+                  std::size_t{65}, std::size_t{1000}, std::size_t{1956}}) {
+                expectInverts(chain, randomBytes(n, 17u + static_cast<unsigned>(n)));
+            }
+        }
+    }
+}
+
+TEST(Filter, PoseLikeDoublesInvert) {
+    for (const auto& ops : kAllChains) {
+        FilterChain chain{.ops = ops, .stride = 8};
+        expectInverts(chain, doubleLanes(244));
+    }
+}
+
+TEST(Filter, TransposeGroupsLanes) {
+    // 3 elements of stride 4: lane bytes become contiguous planes.
+    const std::vector<std::uint8_t> data = {0, 1, 2, 3, 10, 11, 12, 13,
+                                            20, 21, 22, 23};
+    FilterChain chain{.ops = {FilterOp::ByteTranspose}, .stride = 4};
+    const auto filtered = applyFilters(chain, data);
+    const std::vector<std::uint8_t> expected = {0, 10, 20, 1, 11, 21,
+                                                2, 12, 22, 3, 13, 23};
+    EXPECT_EQ(filtered, expected);
+}
+
+TEST(Filter, TransposeTailPassesThrough) {
+    // 9 bytes at stride 4: one whole element + 5 tail bytes unchanged in
+    // place (the transform only permutes the element-aligned prefix...
+    // prefix is 2 elements = 8 bytes here, tail is 1 byte).
+    const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8, 99};
+    FilterChain chain{.ops = {FilterOp::ByteTranspose}, .stride = 4};
+    const auto filtered = applyFilters(chain, data);
+    ASSERT_EQ(filtered.size(), data.size());
+    EXPECT_EQ(filtered.back(), 99);
+    expectInverts(chain, data);
+}
+
+TEST(Filter, DeltaMakesConstantRunsZero) {
+    const std::vector<std::uint8_t> data(64, 42);
+    FilterChain chain{.ops = {FilterOp::DeltaDiff}, .stride = 1};
+    const auto filtered = applyFilters(chain, data);
+    EXPECT_EQ(filtered[0], 42);
+    for (std::size_t i = 1; i < filtered.size(); ++i)
+        EXPECT_EQ(filtered[i], 0u);
+}
+
+TEST(Filter, XorMakesConstantRunsZero) {
+    const std::vector<std::uint8_t> data(64, 0xA5);
+    FilterChain chain{.ops = {FilterOp::XorDiff}, .stride = 1};
+    const auto filtered = applyFilters(chain, data);
+    EXPECT_EQ(filtered[0], 0xA5);
+    for (std::size_t i = 1; i < filtered.size(); ++i)
+        EXPECT_EQ(filtered[i], 0u);
+}
+
+TEST(Filter, BitshuffleIsAPureBitPermutation) {
+    const auto data = randomBytes(512, 5);
+    FilterChain chain{.ops = {FilterOp::Bitshuffle}, .stride = 8};
+    const auto filtered = applyFilters(chain, data);
+    // Population count is preserved by any bit permutation.
+    auto popcount = [](const std::vector<std::uint8_t>& v) {
+        int bits = 0;
+        for (const std::uint8_t b : v) bits += __builtin_popcount(b);
+        return bits;
+    };
+    EXPECT_EQ(popcount(filtered), popcount(data));
+    expectInverts(chain, data);
+}
+
+TEST(Filter, MalformedChainRejectedOnInvert) {
+    FilterChain zeroStride{.ops = {FilterOp::ByteTranspose}, .stride = 0};
+    EXPECT_FALSE(invertFilters(zeroStride, randomBytes(16, 1)).has_value());
+    FilterChain overlong;
+    overlong.stride = 8;
+    overlong.ops.assign(kMaxFilterChainOps + 1, FilterOp::DeltaDiff);
+    EXPECT_FALSE(invertFilters(overlong, randomBytes(16, 2)).has_value());
+}
+
+TEST(Filter, ChainNames) {
+    EXPECT_EQ(filterChainName(FilterChain{}), "none");
+    FilterChain chain{.ops = {FilterOp::ByteTranspose, FilterOp::DeltaDiff},
+                      .stride = 8};
+    EXPECT_EQ(filterChainName(chain), "transpose+delta");
+    EXPECT_TRUE(isValidFilterOp(static_cast<std::uint8_t>(FilterOp::Bitshuffle)));
+    EXPECT_FALSE(isValidFilterOp(0));
+    EXPECT_FALSE(isValidFilterOp(200));
+}
+
+}  // namespace
+}  // namespace semholo::compress

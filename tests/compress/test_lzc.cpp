@@ -4,6 +4,7 @@
 
 #include <random>
 #include <string>
+#include <tuple>
 
 #include "semholo/body/animation.hpp"
 #include "semholo/body/pose.hpp"
@@ -86,12 +87,125 @@ TEST(Lzc, TruncatedInputRejected) {
     const auto compressed = lzcCompress(bytesOf("some compressible payload data"));
     // Header truncated.
     EXPECT_FALSE(lzcDecompress(std::span(compressed).subspan(0, 3)).has_value());
+    EXPECT_FALSE(
+        lzcDecompress(std::span(compressed).subspan(0, kLzcHeaderBytes - 1))
+            .has_value());
 }
 
 TEST(Lzc, CorruptSizeHeaderRejected) {
     auto compressed = lzcCompress(bytesOf("abc"));
-    compressed[3] = 0x7F;  // absurd size
+    compressed[4] = 0x7F;  // absurd size (top byte of the u32le size)
     EXPECT_FALSE(lzcDecompress(compressed).has_value());
+}
+
+TEST(Lzc, UnknownFormatByteRejected) {
+    auto compressed = lzcCompress(bytesOf("format check payload"));
+    ASSERT_EQ(compressed[0] & kLzcFormatMask, kLzcFormatTag);
+    for (const std::uint8_t bad : {0x00, 0x10, 0x24, 0x40, 0xFF}) {
+        auto corrupt = compressed;
+        corrupt[0] = bad;
+        EXPECT_FALSE(lzcDecompress(corrupt).has_value())
+            << "format byte " << static_cast<int>(bad) << " accepted";
+    }
+}
+
+TEST(Lzc, HeaderCarriesEncoderContextBits) {
+    // The regression this wire format exists for: any non-default
+    // literalContextBits used to corrupt the round trip because the
+    // decoder hardcoded the default. The format byte must carry the
+    // clamped setting.
+    const auto data = bytesOf("the quick brown fox jumps over the lazy dog");
+    for (int bits = 0; bits <= kLzcMaxLiteralContextBits; ++bits) {
+        LzcOptions options;
+        options.literalContextBits = bits;
+        const auto compressed = lzcCompress(data, options);
+        EXPECT_EQ(compressed[0] & ~kLzcFormatMask, bits);
+        const auto back = lzcDecompress(compressed);
+        ASSERT_TRUE(back.has_value()) << "bits=" << bits;
+        EXPECT_EQ(*back, data) << "bits=" << bits;
+    }
+}
+
+TEST(Lzc, HugeSizeHeaderDoesNotPreallocate) {
+    // A tiny packet claiming a ~1 GiB payload must fail cleanly (the
+    // initial reserve is capped, the payload exhausts immediately).
+    std::vector<std::uint8_t> packet = {
+        static_cast<std::uint8_t>(kLzcFormatTag | 3),
+        0xFF, 0xFF, 0xFF, 0x3F,  // size = 2^30 - 1: passes the size guard
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+    EXPECT_FALSE(lzcDecompress(packet).has_value());
+}
+
+// Options grid: every (literalContextBits x maxChainSteps) pair must
+// round-trip bit-exactly — including the formerly-corrupting
+// out-of-range context values and degenerate chain depths.
+class LzcOptionsGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LzcOptionsGrid, RoundTripsPoseAndStructuredData) {
+    LzcOptions options;
+    options.literalContextBits = std::get<0>(GetParam());
+    options.maxChainSteps = std::get<1>(GetParam());
+
+    const body::MotionGenerator gen(body::MotionKind::Talk);
+    const auto pose = body::serializePose(gen.poseAt(0.25));
+    std::vector<std::vector<std::uint8_t>> datasets = {pose,
+                                                       bytesOf("aaaaabbbbbab")};
+    std::mt19937 rng(77);
+    std::uniform_int_distribution<int> uni(0, 255);
+    datasets.emplace_back(4096);
+    for (auto& b : datasets.back()) b = static_cast<std::uint8_t>(uni(rng));
+
+    for (const auto& data : datasets) {
+        const auto compressed = lzcCompress(data, options);
+        const auto back = lzcDecompress(compressed);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LzcOptionsGrid,
+    ::testing::Combine(
+        // Includes values that used to alias contexts (> 3) or shift by
+        // more than the byte width (< 0) before clamping existed.
+        ::testing::Values(-2, 0, 1, 2, 3, 4, 8, 100),
+        ::testing::Values(0, 1, 4, 64, 1024)));
+
+TEST(Lzc, CorruptionFuzzNeverCrashes) {
+    // Bit flips, truncations and garbage tails on a real compressed pose
+    // payload: decode must return nullopt or the exact original — never
+    // crash or trip the sanitizers.
+    const body::MotionGenerator gen(body::MotionKind::Wave);
+    const auto data = body::serializePose(gen.poseAt(1.0));
+    const auto compressed = lzcCompress(data);
+
+    for (std::size_t bit = 0; bit < compressed.size() * 8; bit += 5) {
+        auto corrupt = compressed;
+        corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        const auto back = lzcDecompress(corrupt);  // must not crash / UB
+        // A flip that breaks the format tag must be rejected outright
+        // (the codec carries no integrity hash, so payload flips may
+        // still decode to some byte string — that is by design).
+        if ((corrupt[0] & kLzcFormatMask) != kLzcFormatTag)
+            EXPECT_FALSE(back.has_value());
+    }
+    // Truncations at every length: no integrity hash means a cut
+    // through the range-coder tail may still decode, but the size
+    // header pins the output length of any successful decode.
+    for (std::size_t len = 0; len < compressed.size(); ++len) {
+        const auto back =
+            lzcDecompress(std::span(compressed).subspan(0, len));
+        if (back.has_value()) EXPECT_EQ(back->size(), data.size());
+    }
+    std::mt19937 rng(123);
+    std::uniform_int_distribution<int> uni(0, 255);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<std::uint8_t> garbage(
+            static_cast<std::size_t>(uni(rng)) + 5);
+        for (auto& b : garbage) b = static_cast<std::uint8_t>(uni(rng));
+        (void)lzcDecompress(garbage);  // must not crash / UB
+    }
 }
 
 TEST(Lzc, LongMatchesAcrossWindow) {
