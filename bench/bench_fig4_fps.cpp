@@ -31,7 +31,9 @@
 
 #include "bench_util.hpp"
 #include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
 #include "semholo/core/telemetry.hpp"
+#include "semholo/core/thread_pool.hpp"
 #include "semholo/recon/keypoint_recon.hpp"
 #include "semholo/recon/sparse_recon.hpp"
 
@@ -104,8 +106,10 @@ int main() {
                 row.sparseStats.blocksTotal = r.stats.blocksTotal;
                 row.sparseStats.blocksSampled = r.stats.blocksSampled;
                 row.sparseStats.blocksSkipped = r.stats.blocksSkipped;
+                row.sparseStats.blocksCoarseFilled = r.stats.blocksCoarseFilled;
                 row.sparseStats.nodesEvaluated = r.stats.nodesEvaluated;
                 row.sparseStats.nodesTotal = r.stats.nodesTotal;
+                row.sparseStats.certTests = r.stats.certTests;
             }
             sparseUnitCost = row.sparseMs.p50() / (static_cast<double>(res) * res);
         }
@@ -124,6 +128,7 @@ int main() {
     json.beginObject();
     json.field("schema_version", core::telemetry::kBenchSchemaVersion);
     json.field("bench", std::string("fig4_fps"));
+    json.field("simd_backend", std::string(body::bodyBatchBackend()));
     json.beginArray("rows");
     for (const Row& row : rows) {
         const double denseMs = row.denseMs.p50();
@@ -161,6 +166,8 @@ int main() {
             .field("sparse_fps_p50", 1000.0 / sparseMs)
             .field("blocks_total", row.sparseStats.blocksTotal)
             .field("blocks_skipped", row.sparseStats.blocksSkipped)
+            .field("blocks_coarse_filled", row.sparseStats.blocksCoarseFilled)
+            .field("cert_tests", row.sparseStats.certTests)
             .field("node_eval_fraction", row.sparseStats.evalFraction())
             .field("laptop_dense", std::string(fitsDense ? "yes" : "no"))
             .field("laptop_sparse", std::string(fitsSparse ? "yes" : "no"))
@@ -168,6 +175,70 @@ int main() {
     }
     json.endArray();
     table.print();
+
+    // ---- Ablation: SIMD batch x octree certificates, one core ----------
+    // Each lever off in turn, on a single worker so the numbers are the
+    // per-core cost the 30-FPS budget is judged against. The batch
+    // kernel and the octree both leave the mesh byte-identical, so any
+    // row disagreeing on output is a bug, not a tradeoff.
+    bench::banner("Ablation at the Figure-4 anchor resolution (1 worker)");
+    const int ablRes = std::min(maxRes, 128);
+    core::ThreadPool oneCore(1);
+    struct AblationRow {
+        const char* name;
+        bool simd, octree;
+        core::telemetry::Histogram ms;
+        mesh::FieldSampleStats stats;
+    };
+    AblationRow ablations[] = {
+        {"scalar+flat", false, false, {}, {}},
+        {"scalar+octree", false, true, {}, {}},
+        {"simd+flat", true, false, {}, {}},
+        {"simd+octree", true, true, {}, {}},
+    };
+    for (AblationRow& abl : ablations) {
+        recon::ReconstructionOptions opt;
+        opt.resolution = ablRes;
+        opt.mode = recon::ReconMode::Sparse;
+        opt.device = recon::DeviceProfile::host();
+        opt.pool = &oneCore;
+        opt.simdBatch = abl.simd;
+        opt.octreeCertificates = abl.octree;
+        for (int i = 0; i < 3; ++i) {
+            const auto r = recon::reconstructFromPose(pose, opt);
+            abl.ms.record(r.totalMs());
+            abl.stats.nodesEvaluated = r.stats.nodesEvaluated;
+            abl.stats.nodesTotal = r.stats.nodesTotal;
+            abl.stats.certTests = r.stats.certTests;
+            abl.stats.blocksCoarseFilled = r.stats.blocksCoarseFilled;
+        }
+    }
+    const double ablBaseMs = ablations[0].ms.p50();
+    bench::Table ablTable({"config", "ms (p50)", "FPS", "speedup vs scalar+flat",
+                           "node eval fraction", "cert tests",
+                           "coarse-filled blocks"});
+    json.beginArray("ablation");
+    for (const AblationRow& abl : ablations) {
+        const double ms = abl.ms.p50();
+        ablTable.addRow({abl.name, bench::fmt("%.1f", ms),
+                         bench::fmt("%.2f", 1000.0 / ms),
+                         bench::fmt("%.2fx", ablBaseMs / ms),
+                         bench::fmt("%.3f", abl.stats.evalFraction()),
+                         std::to_string(abl.stats.certTests),
+                         std::to_string(abl.stats.blocksCoarseFilled)});
+        json.beginObject()
+            .field("config", std::string(abl.name))
+            .field("resolution", static_cast<std::uint64_t>(ablRes))
+            .field("ms_p50", ms)
+            .field("fps_p50", 1000.0 / ms)
+            .field("speedup_vs_scalar_flat", ablBaseMs / ms)
+            .field("node_eval_fraction", abl.stats.evalFraction())
+            .field("cert_tests", abl.stats.certTests)
+            .field("blocks_coarse_filled", abl.stats.blocksCoarseFilled)
+            .endObject();
+    }
+    json.endArray();
+    ablTable.print();
 
     // ---- Temporal block cache over an animated sequence -----------------
     bench::banner("Temporal cache: Talk sequence, re-sampling moved blocks only");

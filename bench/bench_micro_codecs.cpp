@@ -96,6 +96,33 @@ void BM_FilterPosePayload(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterPosePayload);
 
+// The production bitshuffle (8 rows per 64-bit transpose) against the
+// bit-at-a-time reference it must stay byte-identical to; the ratio of
+// these two rows is the speedup the transpose path buys.
+void BM_BitshuffleFast(benchmark::State& state) {
+    const auto payload = posePayload();
+    const compress::FilterChain chain{.ops = {compress::FilterOp::Bitshuffle},
+                                      .stride = 8};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::applyFilters(chain, payload));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_BitshuffleFast);
+
+void BM_BitshuffleScalarReference(benchmark::State& state) {
+    const auto payload = posePayload();
+    std::vector<std::uint8_t> out(payload.size());
+    for (auto _ : state) {
+        compress::detail::bitshuffleScalar(payload, out.data(), 8);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_BitshuffleScalarReference);
+
 void BM_MeshEncode(benchmark::State& state) {
     const mesh::TriMesh& m = sharedModel().templateMesh();
     compress::MeshCodecOptions opt;

@@ -4,8 +4,13 @@
 //   -> LZC compression -> [Internet] -> reconstruction -> metrics
 //
 // Writes the ground-truth and reconstructed meshes as OBJ files you can
-// open in any viewer.
+// open in any viewer, under an output/ directory next to the binary
+// (SEMHOLO_OUTPUT_DIR overrides) so repeated runs never litter the
+// source tree.
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 
 #include "semholo/body/animation.hpp"
 #include "semholo/compress/lzc.hpp"
@@ -57,10 +62,16 @@ int main() {
                 "PSNR %.1f dB\n",
                 err.chamfer * 1000.0, err.hausdorff * 1000.0, err.psnr);
 
-    mesh::saveOBJ(groundTruth, "quickstart_ground_truth.obj");
-    mesh::saveOBJ(decoded.mesh, "quickstart_reconstruction.obj");
-    std::printf("\nwrote quickstart_ground_truth.obj and "
-                "quickstart_reconstruction.obj\n");
+    const char* outEnv = std::getenv("SEMHOLO_OUTPUT_DIR");
+    const std::filesystem::path outDir = outEnv != nullptr ? outEnv : "output";
+    std::error_code ec;
+    std::filesystem::create_directories(outDir, ec);
+    const std::string gtPath = (outDir / "quickstart_ground_truth.obj").string();
+    const std::string reconPath =
+        (outDir / "quickstart_reconstruction.obj").string();
+    mesh::saveOBJ(groundTruth, gtPath);
+    mesh::saveOBJ(decoded.mesh, reconPath);
+    std::printf("\nwrote %s and %s\n", gtPath.c_str(), reconPath.c_str());
     std::printf("bandwidth at 30 FPS: %.2f Mbps (traditional raw mesh: %.1f Mbps)\n",
                 encoded.bytes() * 8.0 * 30.0 / 1e6,
                 groundTruth.rawGeometryBytes() * 8.0 * 30.0 / 1e6);

@@ -98,6 +98,11 @@ struct PosedCapsule {
 // has no zero crossing within distance r of c.
 struct BodyField {
     ScalarField field;  // thread-safe; shared by all sampler workers
+    // SIMD batch evaluator (SoA points): bit-identical to calling
+    // 'field' per point — including per-lane bone-pruning decisions —
+    // on every backend (see geometry/simd.hpp for the determinism
+    // contract). BlockSampler uses this for whole-block evaluation.
+    mesh::BatchScalarField batch;
     float lipschitz{1.0f};
     float margin{0.0f};
     geom::AABB bounds;  // loose world bounds (same rule as bodyBounds)
@@ -128,6 +133,11 @@ BodyField makeBodyField(const Pose& pose,
 // Loose world-space bounds of the posed body (for grid placement).
 geom::AABB bodyBounds(const Pose& pose,
                       const Skeleton& skeleton = Skeleton::canonical());
+
+// Name of the kernel BodyField::batch dispatches to on this machine:
+// "avx2" when the CPU + build support it, else the baseline backend
+// ("neon"/"scalar"). SEMHOLO_SIMD=scalar forces the baseline.
+const char* bodyBatchBackend();
 
 // Per-vertex skinning: up to 4 (joint, weight) pairs.
 struct SkinWeights {

@@ -1,0 +1,4 @@
+// Portable baseline batch kernel: compiled with the project's default
+// architecture flags (SSE2 on x86-64, NEON on aarch64, scalar elsewhere).
+#define SEMHOLO_BODY_BATCH_FN evaluateBodyBatchBaseline
+#include "body_batch_kernel.inl"

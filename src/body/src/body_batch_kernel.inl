@@ -1,0 +1,187 @@
+// Batch body-field kernel, included by body_batch_base.cpp /
+// body_batch_avx2.cpp with SEMHOLO_BODY_BATCH_FN set to the entry-point
+// name. The per-lane float sequence mirrors the scalar closure in
+// body_model.cpp operation for operation (same associativity, same
+// comparison order, no FMA) so each lane's result is bit-identical to a
+// per-point BodyField::field call — the property the sparse pipeline's
+// dense-extraction byte-identity tests pin down.
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "body_batch.hpp"
+#include "semholo/geometry/simd.hpp"
+
+#ifndef SEMHOLO_BODY_BATCH_FN
+#error "SEMHOLO_BODY_BATCH_FN must name the kernel entry point"
+#endif
+
+namespace semholo::body::detail {
+
+namespace {
+
+constexpr int kW = 8;  // one AVX2 register; 2x SSE/NEON on the baseline
+using f32 = geom::simd::f32xN<kW>;
+using b32 = geom::simd::b32xN<kW>;
+
+}  // namespace
+
+void SEMHOLO_BODY_BATCH_FN(const BodyBatchData& data, const float* xs,
+                           const float* ys, const float* zs, float* out,
+                           std::size_t n, std::uint64_t& blended,
+                           std::uint64_t& pruned) {
+    const f32 zero = f32::broadcast(0.0f);
+    const f32 one = f32::broadcast(1.0f);
+    const f32 half = f32::broadcast(0.5f);
+    const f32 kBlend = f32::broadcast(kFieldBlend);
+
+    std::uint64_t blendTally = 0;
+    std::uint64_t pruneTally = 0;
+
+    float bufX[kW], bufY[kW], bufZ[kW], bufOut[kW];
+    float warpX[kW], warpY[kW], warpZ[kW];
+
+    for (std::size_t base = 0; base < n; base += kW) {
+        const int valid = static_cast<int>(std::min<std::size_t>(kW, n - base));
+        // Original (unwarped) coordinates: the clothing displacement is a
+        // function of the raw query point, not the expression-warped one.
+        const float* origX = xs + base;
+        const float* origY = ys + base;
+        const float* origZ = zs + base;
+        if (valid < kW) {
+            // Pad the tail with the last valid point so every lane holds
+            // finite data; padded lanes are never stored or counted.
+            for (int i = 0; i < kW; ++i) {
+                const std::size_t j =
+                    base + static_cast<std::size_t>(std::min(i, valid - 1));
+                bufX[i] = xs[j];
+                bufY[i] = ys[j];
+                bufZ[i] = zs[j];
+            }
+            origX = bufX;
+            origY = bufY;
+            origZ = bufZ;
+        }
+
+        const float* qxp = origX;
+        const float* qyp = origY;
+        const float* qzp = origZ;
+        if (data.hasExpression) {
+            // Expression warp is a short, branchy, face-local computation
+            // — evaluated per lane with the exact scalar code path.
+            for (int i = 0; i < kW; ++i) {
+                const Vec3f p{origX[i], origY[i], origZ[i]};
+                Vec3f q = p;
+                const Vec3f pHeadLocal = data.headInv.apply(p) + data.headRest;
+                const Vec3f offset = expressionOffset(pHeadLocal, data.expr);
+                if (offset.norm2() > 0.0f) q = p - data.headXf.applyVector(offset);
+                warpX[i] = q.x;
+                warpY[i] = q.y;
+                warpZ[i] = q.z;
+            }
+            qxp = warpX;
+            qyp = warpY;
+            qzp = warpZ;
+        }
+
+        const f32 qx = f32::load(qxp);
+        const f32 qy = f32::load(qyp);
+        const f32 qz = f32::load(qzp);
+
+        b32 validMask;
+        for (int i = 0; i < kW; ++i) validMask.lane[i] = i < valid ? -1 : 0;
+
+        f32 d = f32::broadcast(std::numeric_limits<float>::max());
+        for (std::size_t c = 0; c < data.count; ++c) {
+            b32 pruneMask;
+            for (int i = 0; i < kW; ++i) pruneMask.lane[i] = 0;
+            if (data.bonePruning) {
+                // Mirror: t = d + kFieldBlend + rmax; prune when t < 0
+                // or aabbDistance2(q, lo, hi) > t * t.
+                const f32 t = d + kBlend + f32::broadcast(data.rmax[c]);
+                const f32 dx = geom::simd::max(
+                    geom::simd::max(f32::broadcast(data.lox[c]) - qx, zero),
+                    qx - f32::broadcast(data.hix[c]));
+                const f32 dy = geom::simd::max(
+                    geom::simd::max(f32::broadcast(data.loy[c]) - qy, zero),
+                    qy - f32::broadcast(data.hiy[c]));
+                const f32 dz = geom::simd::max(
+                    geom::simd::max(f32::broadcast(data.loz[c]) - qz, zero),
+                    qz - f32::broadcast(data.hiz[c]));
+                const f32 dist2 = dx * dx + dy * dy + dz * dz;
+                pruneMask = geom::simd::cmpLt(t, zero) |
+                            geom::simd::cmpGt(dist2, t * t);
+                if ((pruneMask | ~validMask).all()) {
+                    pruneTally +=
+                        static_cast<std::uint64_t>((pruneMask & validMask).count());
+                    continue;
+                }
+            }
+
+            // capsuleDistance: pointSegmentDistance with the same
+            // degenerate-segment branch (len2 is per capsule, so the
+            // branch is uniform across lanes), then the radius lerp.
+            const f32 pax = qx - f32::broadcast(data.ax[c]);
+            const f32 pay = qy - f32::broadcast(data.ay[c]);
+            const f32 paz = qz - f32::broadcast(data.az[c]);
+            f32 tSeg = zero;
+            f32 segDist;
+            if (data.len2[c] < 1e-12f) {
+                segDist = geom::simd::sqrt(pax * pax + pay * pay + paz * paz);
+            } else {
+                const f32 abx = f32::broadcast(data.abx[c]);
+                const f32 aby = f32::broadcast(data.aby[c]);
+                const f32 abz = f32::broadcast(data.abz[c]);
+                const f32 dot = pax * abx + pay * aby + paz * abz;
+                tSeg = geom::simd::clamp(dot / f32::broadcast(data.len2[c]),
+                                         zero, one);
+                // q - (a + ab * t), then its norm.
+                const f32 cx = f32::broadcast(data.ax[c]) + abx * tSeg;
+                const f32 cy = f32::broadcast(data.ay[c]) + aby * tSeg;
+                const f32 cz = f32::broadcast(data.az[c]) + abz * tSeg;
+                const f32 ex = qx - cx;
+                const f32 ey = qy - cy;
+                const f32 ez = qz - cz;
+                segDist = geom::simd::sqrt(ex * ex + ey * ey + ez * ez);
+            }
+            const f32 cd =
+                segDist -
+                (f32::broadcast(data.ra[c]) + f32::broadcast(data.drr[c]) * tSeg);
+
+            // smin(d, cd, kFieldBlend) with the scalar's exact ordering:
+            // h = clamp(0.5 + 0.5*(cd - d)/k, 0, 1);
+            // result = lerp(cd, d, h) - k*h*(1 - h).
+            const f32 h =
+                geom::simd::clamp(half + half * (cd - d) / kBlend, zero, one);
+            const f32 folded = (cd + (d - cd) * h) - kBlend * h * (one - h);
+
+            if (data.bonePruning) {
+                d = geom::simd::select(pruneMask, d, folded);
+                pruneTally +=
+                    static_cast<std::uint64_t>((pruneMask & validMask).count());
+                blendTally +=
+                    static_cast<std::uint64_t>((~pruneMask & validMask).count());
+            } else {
+                d = folded;
+                blendTally += static_cast<std::uint64_t>(valid);
+            }
+        }
+
+        d.store(bufOut);
+        if (data.clothingDetail) {
+            for (int i = 0; i < valid; ++i) {
+                const Vec3f p{origX[i], origY[i], origZ[i]};
+                bufOut[i] += clothingFoldDisplacement(data.rootInv.apply(p),
+                                                      data.clothingAmplitude);
+            }
+        }
+        std::memcpy(out + base, bufOut,
+                    static_cast<std::size_t>(valid) * sizeof(float));
+    }
+
+    blended += blendTally;
+    pruned += pruneTally;
+}
+
+}  // namespace semholo::body::detail

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "body_batch.hpp"
 #include "semholo/core/thread_pool.hpp"
+#include "semholo/geometry/simd.hpp"
 #include "semholo/mesh/isosurface.hpp"
 
 namespace semholo::body {
@@ -92,17 +94,7 @@ Vec3f expressionOffset(Vec3f restPosition, const ExpressionParams& expression) {
     return offset;
 }
 
-namespace {
-
-// Procedural clothing folds: high-frequency displacement confined to the
-// clothed body regions (pelvis-local frame so folds move with the root).
-float clothingFoldDisplacement(Vec3f pLocal, float amplitude) {
-    if (pLocal.y > 0.45f || pLocal.y < -0.95f) return 0.0f;  // skin regions
-    return amplitude * std::sin(55.0f * pLocal.y) *
-           std::sin(35.0f * pLocal.x + 20.0f * pLocal.z);
-}
-
-}  // namespace
+using detail::clothingFoldDisplacement;
 
 ScalarField bodySignedDistance(const Pose& pose, const Skeleton& skeleton,
                                const BodyFieldOptions& options) {
@@ -198,7 +190,27 @@ float aabbDistance2(Vec3f p, Vec3f lo, Vec3f hi) {
     return dx * dx + dy * dy + dz * dz;
 }
 
+using BatchKernel = void (*)(const detail::BodyBatchData&, const float*,
+                             const float*, const float*, float*, std::size_t,
+                             std::uint64_t&, std::uint64_t&);
+
+BatchKernel pickBatchKernel() {
+#if defined(SEMHOLO_HAVE_AVX2_KERNELS)
+    if (!geom::simd::forcedScalar() && geom::simd::cpuHasAvx2())
+        return &detail::evaluateBodyBatchAvx2;
+#endif
+    return &detail::evaluateBodyBatchBaseline;
+}
+
 }  // namespace
+
+const char* bodyBatchBackend() {
+#if defined(SEMHOLO_HAVE_AVX2_KERNELS)
+    if (!geom::simd::forcedScalar() && geom::simd::cpuHasAvx2()) return "avx2";
+#endif
+    if (geom::simd::forcedScalar()) return "scalar";
+    return geom::simd::backendName(geom::simd::baselineBackend());
+}
 
 BodyField makeBodyField(const Pose& pose, const Skeleton& skeleton,
                         const BodyFieldOptions& options) {
@@ -283,7 +295,7 @@ BodyField makeBodyField(const Pose& pose, const Skeleton& skeleton,
 
     const bool hasExpression = a0 > 0.0f || a1 > 0.0f || a2 > 0.0f || a3 > 0.0f;
 
-    out.field = [bones, prune = std::move(prune), expr, hasExpression, headXf,
+    out.field = [bones, prune, expr, hasExpression, headXf,
                  headInv, headRest, rootInv, options,
                  stats = out.stats](Vec3f p) {
         Vec3f q = p;
@@ -314,6 +326,54 @@ BodyField makeBodyField(const Pose& pose, const Skeleton& skeleton,
         stats->add(blended, pruned);
         return d;
     };
+
+    // SoA batch evaluator: same math, eight lanes at a time. The kernel
+    // mirrors the closure above operation for operation, so batch and
+    // per-point results are bit-identical (the test suites assert this).
+    {
+        auto data = std::make_shared<detail::BodyBatchData>();
+        data->count = bones.size();
+        for (const PosedBone& b : bones) {
+            data->ax.push_back(b.a.x);
+            data->ay.push_back(b.a.y);
+            data->az.push_back(b.a.z);
+            const Vec3f ab = b.b - b.a;
+            data->abx.push_back(ab.x);
+            data->aby.push_back(ab.y);
+            data->abz.push_back(ab.z);
+            data->len2.push_back(ab.norm2());
+            data->ra.push_back(b.ra);
+            data->drr.push_back(b.rb - b.ra);
+        }
+        for (const BonePruneData& bd : prune) {
+            data->lox.push_back(bd.lo.x);
+            data->loy.push_back(bd.lo.y);
+            data->loz.push_back(bd.lo.z);
+            data->hix.push_back(bd.hi.x);
+            data->hiy.push_back(bd.hi.y);
+            data->hiz.push_back(bd.hi.z);
+            data->rmax.push_back(bd.rmax);
+        }
+        data->bonePruning = options.bonePruning;
+        data->hasExpression = hasExpression;
+        data->expr = expr;
+        data->headXf = headXf;
+        data->headInv = headInv;
+        data->headRest = headRest;
+        data->clothingDetail = options.clothingDetail;
+        data->clothingAmplitude = options.clothingAmplitude;
+        data->rootInv = rootInv;
+        const BatchKernel kernel = pickBatchKernel();
+        out.batch = [data, kernel, stats = out.stats](
+                        const float* xs, const float* ys, const float* zs,
+                        float* vals, std::size_t n) {
+            std::uint64_t blended = 0;
+            std::uint64_t pruned = 0;
+            kernel(*data, xs, ys, zs, vals, n, blended, pruned);
+            stats->add(static_cast<std::uint32_t>(blended),
+                       static_cast<std::uint32_t>(pruned));
+        };
+    }
 
     // Analytic block certificate. For any query q within 'radius' of the
     // center c, with crude (but 1-Lipschitz-in-q) per-capsule bounds:

@@ -51,6 +51,17 @@ inline constexpr std::size_t kMaxFilterChainOps = 8;
 // Human-readable chain label, e.g. "transpose+delta" or "none".
 std::string filterChainName(const FilterChain& chain);
 
+namespace detail {
+// Reference bit-plane shuffle, one bit at a time. The production path
+// runs 8 rows per step through a 64-bit transpose; tests assert the two
+// stay byte-identical on every (size, stride) shape. 'dst' must hold
+// src.size() bytes.
+void bitshuffleScalar(std::span<const std::uint8_t> src, std::uint8_t* dst,
+                      std::size_t stride);
+void unbitshuffleScalar(std::span<const std::uint8_t> src, std::uint8_t* dst,
+                        std::size_t stride);
+}  // namespace detail
+
 // Apply the chain front to back. Output size always equals input size.
 std::vector<std::uint8_t> applyFilters(const FilterChain& chain,
                                        std::span<const std::uint8_t> data);

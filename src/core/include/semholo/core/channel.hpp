@@ -77,6 +77,7 @@ struct DecodedFrame {
     std::uint64_t reconBlocksCached{0};
     std::uint64_t reconBonesPruned{0};
     std::uint64_t reconNodesEvaluated{0};
+    std::uint64_t reconCertTests{0};
 };
 
 class SemanticChannel {

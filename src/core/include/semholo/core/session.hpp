@@ -109,6 +109,7 @@ struct FrameStats {
     std::uint64_t reconBlocksCached{};
     std::uint64_t reconBonesPruned{};
     std::uint64_t reconNodesEvaluated{};
+    std::uint64_t reconCertTests{};
 };
 
 struct SessionStats {

@@ -79,6 +79,7 @@ struct Counters {
     std::uint64_t reconBlocksCached{};    // blocks re-used from the cache
     std::uint64_t reconBonesPruned{};     // capsule blends skipped per query
     std::uint64_t reconNodesEvaluated{};  // field evaluations actually run
+    std::uint64_t reconCertTests{};       // analytic certificate invocations
 
     void merge(const Counters& other);
 };
@@ -108,7 +109,7 @@ struct SessionTelemetry {
 //   1: implicit pre-versioned layouts.
 //   2: unified toJsonValue(T) convention; conference documents carry
 //      fairness[].target_rate_mbps and downlinks[] fan-out accounting.
-inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+inline constexpr std::uint64_t kBenchSchemaVersion = 3;
 
 // Minimal JSON document builder shared by the bench exporters, so ad-hoc
 // bench output (speedups, per-row results) lands in the same files as

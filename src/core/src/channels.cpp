@@ -26,6 +26,7 @@ void copyReconStats(const recon::ReconstructionResult& result, DecodedFrame& out
     out.reconBlocksCached = result.stats.blocksCached;
     out.reconBonesPruned = result.stats.bonesPruned;
     out.reconNodesEvaluated = result.stats.nodesEvaluated;
+    out.reconCertTests = result.stats.certTests;
 }
 
 void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {

@@ -74,6 +74,7 @@ void finalizeSessionStats(SessionStats& stats, const SessionConfig& config) {
             t.counters.reconBlocksCached += frame.reconBlocksCached;
             t.counters.reconBonesPruned += frame.reconBonesPruned;
             t.counters.reconNodesEvaluated += frame.reconNodesEvaluated;
+            t.counters.reconCertTests += frame.reconCertTests;
             ++reconCount;
         }
         sumStage += std::max(frame.extractMs, frame.reconMs);

@@ -35,6 +35,7 @@ inline void copyReconCounters(FrameStats& frame, const DecodedFrame& decoded) {
     frame.reconBlocksCached = decoded.reconBlocksCached;
     frame.reconBonesPruned = decoded.reconBonesPruned;
     frame.reconNodesEvaluated = decoded.reconNodesEvaluated;
+    frame.reconCertTests = decoded.reconCertTests;
 }
 
 // Compute every frame-derived aggregate of 'stats' (means, percentiles,

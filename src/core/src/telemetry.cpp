@@ -120,6 +120,7 @@ void Counters::merge(const Counters& other) {
     reconBlocksCached += other.reconBlocksCached;
     reconBonesPruned += other.reconBonesPruned;
     reconNodesEvaluated += other.reconNodesEvaluated;
+    reconCertTests += other.reconCertTests;
 }
 
 void SessionTelemetry::merge(const SessionTelemetry& other) {
@@ -188,6 +189,7 @@ std::string toJsonValue(const SessionTelemetry& t) {
         .field("recon_blocks_cached", t.counters.reconBlocksCached)
         .field("recon_bones_pruned", t.counters.reconBonesPruned)
         .field("recon_nodes_evaluated", t.counters.reconNodesEvaluated)
+        .field("recon_cert_tests", t.counters.reconCertTests)
         .endObject();
     w.endObject();
     return w.str();

@@ -61,6 +61,18 @@ struct FieldSampleOptions {
     // only act near the face. The caller must fold any temporal-cache
     // tolerance into the certificate itself.
     std::function<bool(geom::Vec3f center, float radius)> certificate;
+    // Optional SoA batch evaluator paired with the field (must return
+    // bit-identical values — see BatchScalarField). When set, fully
+    // sampled blocks evaluate all their nodes in one call instead of one
+    // std::function dispatch per node.
+    BatchScalarField batch;
+    // Test certificates on a coarse-to-fine octree of block nodes before
+    // touching individual blocks: one certificate test at depth k covers
+    // up to 8^k blocks, and a certified coarse node fills its whole
+    // subtree from a single field probe. Only engages when an analytic
+    // certificate is set; verdicts stay exact (a coarse node's ball
+    // contains every descendant block's guard region).
+    bool hierarchical{true};
 };
 
 struct FieldSampleStats {
@@ -68,8 +80,12 @@ struct FieldSampleStats {
     std::size_t blocksSampled{};    // fully evaluated this pass
     std::size_t blocksSkipped{};    // certified surface-free, filled
     std::size_t blocksCached{};     // reused from a previous pass
+    // Of blocksSkipped, how many were filled from a certified octree
+    // ancestor rather than their own leaf test.
+    std::size_t blocksCoarseFilled{};
     std::uint64_t nodesEvaluated{}; // field evaluations incl. block centers
     std::uint64_t nodesTotal{};     // grid nodes the dense path would touch
+    std::uint64_t certTests{};      // analytic certificate invocations
 
     void merge(const FieldSampleStats& other);
     double evalFraction() const {
@@ -126,6 +142,11 @@ public:
                blocks_.x * ((cy / blockSize_) + blocks_.y * (cz / blockSize_));
     }
 
+    // Bounding ball of an octree node's block range: contains the guard
+    // region of every block in [lo, hi] (block coords, inclusive), so a
+    // certificate that holds on the ball holds for every descendant.
+    void nodeBall(Vec3i lo, Vec3i hi, Vec3f& center, float& radius) const;
+
 private:
     struct BlockRange {
         Vec3i nodeLo;  // first owned node (inclusive)
@@ -133,10 +154,25 @@ private:
     };
     BlockRange blockRange(int block) const;
     Vec3i blockCoord(int block) const;
+    int blockIndex(Vec3i c) const {
+        return c.x + blocks_.x * (c.y + blocks_.y * c.z);
+    }
+    std::uint64_t ownedNodes(int block) const;
+    void fillBlock(int block, float value);
     // Evaluate or fill one block; returns nodes evaluated and whether the
     // block was skipped.
     void processBlock(int block, const ScalarField& field,
                       const FieldSampleOptions& options, FieldSampleStats& stats);
+    // Coarse-to-fine certificate descent: appends blocks needing a leaf
+    // pass to 'work' and coarse fills to 'fills'.
+    struct CoarseFill {
+        int block;
+        float value;
+    };
+    void descend(Vec3i lo, Vec3i hi, const std::vector<std::uint8_t>& dirtyLeaf,
+                 const ScalarField& field, const FieldSampleOptions& options,
+                 FieldSampleStats& stats, std::vector<int>& work,
+                 std::vector<CoarseFill>& fills);
 
     VoxelGrid& grid_;
     int blockSize_{8};

@@ -27,6 +27,14 @@ using geom::Vec3i;
 // over a worker pool.
 using ScalarField = std::function<float(Vec3f)>;
 
+// SoA batch companion to ScalarField: evaluate n query points given as
+// separate x/y/z arrays, writing n results to 'out'. Implementations
+// must return, per point, exactly the value the paired ScalarField
+// returns (bit-identical), so samplers may mix the two freely. Same
+// thread-safety requirement as ScalarField.
+using BatchScalarField = std::function<void(
+    const float* xs, const float* ys, const float* zs, float* out, std::size_t n)>;
+
 struct FieldSampleOptions;
 struct FieldSampleStats;
 

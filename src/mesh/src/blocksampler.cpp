@@ -12,8 +12,10 @@ void FieldSampleStats::merge(const FieldSampleStats& other) {
     blocksSampled += other.blocksSampled;
     blocksSkipped += other.blocksSkipped;
     blocksCached += other.blocksCached;
+    blocksCoarseFilled += other.blocksCoarseFilled;
     nodesEvaluated += other.nodesEvaluated;
     nodesTotal += other.nodesTotal;
+    certTests += other.certTests;
 }
 
 BlockSampler::BlockSampler(VoxelGrid& grid, int blockSize)
@@ -68,6 +70,31 @@ Vec3f BlockSampler::blockCenter(int block) const {
     return (lo + hi) * 0.5f;
 }
 
+std::uint64_t BlockSampler::ownedNodes(int block) const {
+    const BlockRange r = blockRange(block);
+    return static_cast<std::uint64_t>(r.nodeHi.x - r.nodeLo.x + 1) *
+           static_cast<std::uint64_t>(r.nodeHi.y - r.nodeLo.y + 1) *
+           static_cast<std::uint64_t>(r.nodeHi.z - r.nodeLo.z + 1);
+}
+
+void BlockSampler::fillBlock(int block, float value) {
+    const BlockRange r = blockRange(block);
+    for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
+        for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
+            for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x)
+                grid_.at(x, y, z) = value;
+}
+
+void BlockSampler::nodeBall(Vec3i lo, Vec3i hi, Vec3f& center,
+                            float& radius) const {
+    // Guard bounds are monotone in block coordinates, so the union over
+    // the range is the box spanned by the two corner blocks' guards.
+    const geom::AABB first = blockGuardBounds(blockIndex(lo));
+    const geom::AABB last = blockGuardBounds(blockIndex(hi));
+    center = (first.lo + last.hi) * 0.5f;
+    radius = (last.hi - center).norm();
+}
+
 void BlockSampler::processBlock(int block, const ScalarField& field,
                                 const FieldSampleOptions& options,
                                 FieldSampleStats& stats) {
@@ -88,6 +115,7 @@ void BlockSampler::processBlock(int block, const ScalarField& field,
         bool certified;
         if (options.certificate) {
             // Analytic certificate: no field probe needed to decide.
+            ++stats.certTests;
             certified = options.certificate(center, guardRadius_);
             if (certified) {
                 d = field(center);
@@ -102,23 +130,111 @@ void BlockSampler::processBlock(int block, const ScalarField& field,
         if (certified) {
             // Fill with the (correctly signed) center value so extraction
             // cells that straddle this block see a consistent field.
-            for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
-                for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
-                    for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x)
-                        grid_.at(x, y, z) = d;
+            fillBlock(block, d);
             ++stats.blocksSkipped;
             surfaceFree_[static_cast<std::size_t>(block)] = 1;
             return;
         }
     }
 
-    for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
-        for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
-            for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x)
-                grid_.at(x, y, z) = field(grid_.nodePosition(x, y, z));
+    if (options.batch) {
+        // SoA batch evaluation: one call for the whole block instead of
+        // one std::function dispatch per node. Buffers are thread_local
+        // so parallel sampling allocates once per worker.
+        static thread_local std::vector<float> xs, ys, zs, vals;
+        const auto n = static_cast<std::size_t>(owned);
+        xs.resize(n);
+        ys.resize(n);
+        zs.resize(n);
+        vals.resize(n);
+        std::size_t i = 0;
+        for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
+            for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
+                for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x, ++i) {
+                    const Vec3f p = grid_.nodePosition(x, y, z);
+                    xs[i] = p.x;
+                    ys[i] = p.y;
+                    zs[i] = p.z;
+                }
+        options.batch(xs.data(), ys.data(), zs.data(), vals.data(), n);
+        i = 0;
+        for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
+            for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
+                for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x, ++i)
+                    grid_.at(x, y, z) = vals[i];
+    } else {
+        for (int z = r.nodeLo.z; z <= r.nodeHi.z; ++z)
+            for (int y = r.nodeLo.y; y <= r.nodeHi.y; ++y)
+                for (int x = r.nodeLo.x; x <= r.nodeHi.x; ++x)
+                    grid_.at(x, y, z) = field(grid_.nodePosition(x, y, z));
+    }
     stats.nodesEvaluated += owned;
     ++stats.blocksSampled;
     surfaceFree_[static_cast<std::size_t>(block)] = 0;
+}
+
+void BlockSampler::descend(Vec3i lo, Vec3i hi,
+                           const std::vector<std::uint8_t>& dirtyLeaf,
+                           const ScalarField& field,
+                           const FieldSampleOptions& options,
+                           FieldSampleStats& stats, std::vector<int>& work,
+                           std::vector<CoarseFill>& fills) {
+    // Skip subtrees with no dirty block (their leaves were already
+    // accounted as cached by the prefilter).
+    bool anyDirty = false;
+    for (int z = lo.z; z <= hi.z && !anyDirty; ++z)
+        for (int y = lo.y; y <= hi.y && !anyDirty; ++y)
+            for (int x = lo.x; x <= hi.x && !anyDirty; ++x)
+                anyDirty = dirtyLeaf[static_cast<std::size_t>(
+                               blockIndex({x, y, z}))] != 0;
+    if (!anyDirty) return;
+
+    if (lo.x == hi.x && lo.y == hi.y && lo.z == hi.z) {
+        // Single block: processBlock runs the leaf certificate as usual.
+        work.push_back(blockIndex(lo));
+        return;
+    }
+
+    // One coarse test covers the whole range: the node ball contains
+    // every descendant's guard region, so a certificate that holds here
+    // holds for each block individually — and the field's sign is
+    // constant across the ball, so one probe's value is a valid fill for
+    // every dirty block beneath (extraction cells touching filled nodes
+    // lie wholly inside the certified region; see the header proof).
+    Vec3f center;
+    float radius;
+    nodeBall(lo, hi, center, radius);
+    ++stats.certTests;
+    if (options.certificate(center, radius)) {
+        const float d = field(center);
+        ++stats.nodesEvaluated;
+        for (int z = lo.z; z <= hi.z; ++z)
+            for (int y = lo.y; y <= hi.y; ++y)
+                for (int x = lo.x; x <= hi.x; ++x) {
+                    const int b = blockIndex({x, y, z});
+                    if (dirtyLeaf[static_cast<std::size_t>(b)] == 0) continue;
+                    fills.push_back({b, d});
+                    ++stats.blocksSkipped;
+                    ++stats.blocksCoarseFilled;
+                    stats.nodesTotal += ownedNodes(b);
+                    surfaceFree_[static_cast<std::size_t>(b)] = 1;
+                }
+        return;
+    }
+
+    // Not certifiable at this scale: recurse into up to eight octants.
+    const Vec3i mid{lo.x + (hi.x - lo.x) / 2, lo.y + (hi.y - lo.y) / 2,
+                    lo.z + (hi.z - lo.z) / 2};
+    for (int oz = 0; oz < 2; ++oz)
+        for (int oy = 0; oy < 2; ++oy)
+            for (int ox = 0; ox < 2; ++ox) {
+                const Vec3i clo{ox ? mid.x + 1 : lo.x, oy ? mid.y + 1 : lo.y,
+                                oz ? mid.z + 1 : lo.z};
+                const Vec3i chi{ox ? hi.x : mid.x, oy ? hi.y : mid.y,
+                                oz ? hi.z : mid.z};
+                if (clo.x > chi.x || clo.y > chi.y || clo.z > chi.z) continue;
+                descend(clo, chi, dirtyLeaf, field, options, stats, work, fills);
+            }
 }
 
 FieldSampleStats BlockSampler::sample(const ScalarField& field,
@@ -130,17 +246,34 @@ FieldSampleStats BlockSampler::sample(const ScalarField& field,
 
     std::vector<int> work;
     work.reserve(static_cast<std::size_t>(count));
-    for (int b = 0; b < count; ++b) {
-        if (dirty != nullptr && (*dirty)[static_cast<std::size_t>(b)] == 0) {
-            ++total.blocksCached;
-            const BlockRange r = blockRange(b);
-            total.nodesTotal +=
-                static_cast<std::uint64_t>(r.nodeHi.x - r.nodeLo.x + 1) *
-                static_cast<std::uint64_t>(r.nodeHi.y - r.nodeLo.y + 1) *
-                static_cast<std::uint64_t>(r.nodeHi.z - r.nodeLo.z + 1);
-            continue;
+    const bool useOctree = options.blockPruning && options.hierarchical &&
+                           static_cast<bool>(options.certificate) && count > 1;
+    if (useOctree) {
+        std::vector<std::uint8_t> dirtyLeaf(static_cast<std::size_t>(count), 1);
+        for (int b = 0; b < count; ++b) {
+            if (dirty != nullptr && (*dirty)[static_cast<std::size_t>(b)] == 0) {
+                dirtyLeaf[static_cast<std::size_t>(b)] = 0;
+                ++total.blocksCached;
+                total.nodesTotal += ownedNodes(b);
+            }
         }
-        work.push_back(b);
+        // Serial descent decides every block's fate (cert tests are a few
+        // capsule-distance bounds each); the expensive full samples fan
+        // out below. Coarse fills are applied here — memory-bound writes
+        // whose values never depend on scheduling.
+        std::vector<CoarseFill> fills;
+        descend({0, 0, 0}, {blocks_.x - 1, blocks_.y - 1, blocks_.z - 1},
+                dirtyLeaf, field, options, total, work, fills);
+        for (const CoarseFill& f : fills) fillBlock(f.block, f.value);
+    } else {
+        for (int b = 0; b < count; ++b) {
+            if (dirty != nullptr && (*dirty)[static_cast<std::size_t>(b)] == 0) {
+                ++total.blocksCached;
+                total.nodesTotal += ownedNodes(b);
+                continue;
+            }
+            work.push_back(b);
+        }
     }
 
     if (options.pool == nullptr || options.pool->size() <= 1 || work.size() <= 1) {
@@ -167,6 +300,7 @@ FieldSampleStats BlockSampler::sample(const ScalarField& field,
         total.blocksSkipped += s.blocksSkipped;
         total.nodesEvaluated += s.nodesEvaluated;
         total.nodesTotal += s.nodesTotal;
+        total.certTests += s.certTests;
     }
     return total;
 }

@@ -38,14 +38,29 @@ struct ReconstructionOptions {
     // off the mesh is bit-identical to Dense, with it on the surface
     // agrees to ~1e-4 (rounding only). Dense is the legacy serial path.
     ReconMode mode{ReconMode::Sparse};
-    // Block edge length in nodes for sparse sampling.
-    int blockSize{8};
+    // Block edge length in nodes for sparse sampling. 0 picks a
+    // resolution-dependent size (see resolveBlockSize): smaller blocks at
+    // low resolutions so the guard radius shrinks enough for certificates
+    // to fire — the octree amortizes the extra per-block tests.
+    int blockSize{0};
     // Worker pool for sparse sampling; nullptr uses the process-wide
     // shared pool. Results do not depend on the pool's worker count.
     core::ThreadPool* pool{nullptr};
     // Per-query capsule pruning inside the field (sparse mode only).
     bool bonePruning{true};
+    // Evaluate sampled blocks through BodyField::batch (SIMD lanes)
+    // instead of one field call per node. Bit-identical output either
+    // way; off is the scalar ablation row in bench_fig4.
+    bool simdBatch{true};
+    // Test skip certificates on a coarse-to-fine octree and key the
+    // temporal cache's support scan on octree nodes (sparse mode only).
+    // Off reverts to flat per-block tests — the other ablation row.
+    bool octreeCertificates{true};
 };
+
+// The block size 'blockSize' resolves to at a given grid resolution
+// (returns it unchanged when positive).
+int resolveBlockSize(int blockSize, int resolution);
 
 // Counters from one sparse reconstruction (all zero in dense mode).
 struct ReconstructionStats {
@@ -53,8 +68,10 @@ struct ReconstructionStats {
     std::size_t blocksSampled{0};
     std::size_t blocksSkipped{0};   // certified surface-free, filled cheaply
     std::size_t blocksCached{0};    // reused from a previous frame
+    std::size_t blocksCoarseFilled{0};  // skipped via a certified octree ancestor
     std::uint64_t nodesEvaluated{0};
     std::uint64_t nodesTotal{0};
+    std::uint64_t certTests{0};     // analytic certificate invocations
     std::uint64_t bonesBlended{0};  // capsule blends actually executed
     std::uint64_t bonesPruned{0};   // capsule blends skipped via bounds
 };

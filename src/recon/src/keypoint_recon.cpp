@@ -17,11 +17,23 @@ double msSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+int resolveBlockSize(int blockSize, int resolution) {
+    if (blockSize > 0) return blockSize;
+    // The guard radius scales with blockSize * cellSize, and blocks only
+    // skip when the certificate clears it: at low resolutions 8-node
+    // blocks have guards so wide almost nothing certifies
+    // (node_eval_fraction ~1 at 32^3/64^3 in BENCH_fig4). Halving the
+    // edge quarters the guard; the octree keeps the 8x block count from
+    // costing 8x certificate tests.
+    return resolution <= 160 ? 4 : 8;
+}
+
 ReconstructionResult reconstructFromPose(const body::Pose& pose,
                                          const ReconstructionOptions& options) {
     ReconstructionResult result;
+    const int blockSize = resolveBlockSize(options.blockSize, options.resolution);
     result.gridBytes = reconstructionWorkingSetBytes(options.resolution,
-                                                     options.mode, options.blockSize);
+                                                     options.mode, blockSize);
     if (!options.device.fitsInMemory(result.gridBytes)) {
         result.failureReason = "out of memory on " + options.device.name;
         return result;
@@ -51,13 +63,15 @@ ReconstructionResult reconstructFromPose(const body::Pose& pose,
             body::makeBodyField(pose, body::Skeleton::canonical(), fieldOpt);
 
         mesh::FieldSampleOptions sampling;
-        sampling.blockSize = options.blockSize;
+        sampling.blockSize = blockSize;
         sampling.pool = options.pool != nullptr ? options.pool : &core::sharedPool();
         sampling.lipschitz = body.lipschitz;
         sampling.margin = body.margin;
         sampling.certificate = [&body](geom::Vec3f center, float radius) {
             return body.certificate(center, radius, 0.0f);
         };
+        if (options.simdBatch) sampling.batch = body.batch;
+        sampling.hierarchical = options.octreeCertificates;
 
         auto t0 = std::chrono::steady_clock::now();
         mesh::VoxelGrid grid(body.bounds, res);
@@ -69,8 +83,10 @@ ReconstructionResult reconstructFromPose(const body::Pose& pose,
         result.stats.blocksSampled = fs.blocksSampled;
         result.stats.blocksSkipped = fs.blocksSkipped;
         result.stats.blocksCached = fs.blocksCached;
+        result.stats.blocksCoarseFilled = fs.blocksCoarseFilled;
         result.stats.nodesEvaluated = fs.nodesEvaluated;
         result.stats.nodesTotal = fs.nodesTotal;
+        result.stats.certTests = fs.certTests;
         result.stats.bonesBlended = body.stats->bonesBlended();
         result.stats.bonesPruned = body.stats->bonesPruned();
 

@@ -1,6 +1,7 @@
 #include "semholo/recon/sparse_recon.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -58,6 +59,8 @@ float capsuleMovement(const body::PosedCapsule& now, const body::PosedCapsule& p
 SparseReconstructor::SparseReconstructor(const SparseReconstructorOptions& options)
     : options_(options) {
     options_.recon.mode = ReconMode::Sparse;
+    options_.recon.blockSize =
+        resolveBlockSize(options_.recon.blockSize, options_.recon.resolution);
 }
 
 void SparseReconstructor::invalidate() {
@@ -150,51 +153,184 @@ ReconstructionResult SparseReconstructor::reconstruct(const body::Pose& pose) {
         const float guard = sampler_->guardRadius();
         const float blend3 = 3.0f * body::kFieldBlend;
 
-        auto scanBlocks = [&](std::size_t begin, std::size_t end) {
-            for (std::size_t b = begin; b < end; ++b) {
-                const int block = static_cast<int>(b);
-                const Vec3f center = sampler_->blockCenter(block);
-                // Smallest capsule-distance upper bound at the center:
-                // either endpoint is on the segment, so the nearer one
-                // minus the smaller radius bounds the capsule distance.
-                float ubMin = std::numeric_limits<float>::max();
-                for (std::size_t i = 0; i < n; ++i) {
+        // One block's support + drift bookkeeping, restricted to the
+        // candidate capsules 'cand' (in the flat scan cand = all bits).
+        // Candidate restriction is exact: a capsule excluded at an octree
+        // ancestor provably neither enters the block's mask nor attains
+        // its smallest upper bound, so masks equal the flat scan's.
+        auto scanLeaf = [&](int block, std::uint64_t cand) {
+            const auto b = static_cast<std::size_t>(block);
+            const Vec3f center = sampler_->blockCenter(block);
+            // Smallest capsule-distance upper bound at the center:
+            // either endpoint is on the segment, so the nearer one
+            // minus the smaller radius bounds the capsule distance.
+            float ubMin = std::numeric_limits<float>::max();
+            for (std::uint64_t m = cand; m != 0; m &= m - 1) {
+                const auto i = static_cast<std::size_t>(std::countr_zero(m));
+                const body::PosedCapsule& c = body.capsules[i];
+                const float endDist =
+                    std::min((center - c.a).norm(), (center - c.b).norm());
+                ubMin = std::min(ubMin, endDist - caps[i].rmin);
+            }
+            const float threshold = ubMin + body.lipschitz * guard + blend3;
+
+            std::uint64_t mask = 0;
+            for (std::uint64_t m = cand; m != 0; m &= m - 1) {
+                const auto i = static_cast<std::size_t>(std::countr_zero(m));
+                const float lb = aabbDistance(center, caps[i].lo, caps[i].hi) -
+                                 caps[i].rmax - guard;
+                if (lb <= threshold) mask |= 1ull << i;
+            }
+            support[b] = mask;
+
+            if (!cacheUsable) return;
+            float drift = 0.0f;
+            const std::uint64_t active = mask | prevSupport_[b];
+            for (std::uint64_t m = active; m != 0; m &= m - 1)
+                drift = std::max(
+                    drift, moves[static_cast<std::size_t>(std::countr_zero(m))]);
+            if (exprDelta > 0.0f &&
+                sampler_->blockGuardBounds(block).intersects(faceUnion))
+                drift += exprDelta;
+            accumDrift_[b] += drift;
+            dirty[b] = accumDrift_[b] > options_.cacheTolerance ? 1 : 0;
+        };
+
+        if (options_.recon.octreeCertificates) {
+            // Octree-keyed scan: candidate capsule sets narrow on the way
+            // down (one conservative test per capsule per node instead of
+            // per block), and subtrees none of whose candidate or
+            // previously-supporting capsules moved reuse last frame's
+            // masks wholesale. Every verdict is provably identical to the
+            // flat scan's; only the work is hierarchical.
+            const std::uint64_t allMask =
+                n >= 64 ? ~0ull : ((1ull << n) - 1ull);
+            std::uint64_t movedMask = 0;
+            if (cacheUsable)
+                for (std::size_t i = 0; i < n; ++i)
+                    if (moves[i] > 0.0f) movedMask |= 1ull << i;
+            const mesh::Vec3i bg = sampler_->blockGrid();
+            const auto blockAt = [&bg](int x, int y, int z) {
+                return x + bg.x * (y + bg.y * z);
+            };
+
+            auto scanNode = [&](auto&& self, mesh::Vec3i lo, mesh::Vec3i hi,
+                                std::uint64_t inherited) -> void {
+                if (lo.x == hi.x && lo.y == hi.y && lo.z == hi.z) {
+                    scanLeaf(blockAt(lo.x, lo.y, lo.z), inherited);
+                    return;
+                }
+                Vec3f center;
+                float radius;
+                sampler_->nodeBall(lo, hi, center, radius);
+
+                // Node-level candidate test. B + radius bounds every
+                // descendant's ubMin from above (endpoint distances are
+                // 1-Lipschitz in the query point), and each candidate
+                // lower bound weakens by at most radius — so a capsule
+                // failing this test fails every leaf test below. The
+                // epsilon keeps float rounding from ever flipping an
+                // exclusion the real-valued proof would not make.
+                float B = std::numeric_limits<float>::max();
+                for (std::uint64_t m = inherited; m != 0; m &= m - 1) {
+                    const auto i =
+                        static_cast<std::size_t>(std::countr_zero(m));
                     const body::PosedCapsule& c = body.capsules[i];
                     const float endDist =
                         std::min((center - c.a).norm(), (center - c.b).norm());
-                    ubMin = std::min(ubMin, endDist - caps[i].rmin);
+                    B = std::min(B, endDist - caps[i].rmin);
                 }
-                const float threshold = ubMin + body.lipschitz * guard + blend3;
-
-                std::uint64_t mask = 0;
-                for (std::size_t i = 0; i < n; ++i) {
+                const float nodeThreshold = B + radius +
+                                            body.lipschitz * guard + blend3 +
+                                            1e-4f;
+                std::uint64_t cand = 0;
+                for (std::uint64_t m = inherited; m != 0; m &= m - 1) {
+                    const auto i =
+                        static_cast<std::size_t>(std::countr_zero(m));
                     const float lb =
                         aabbDistance(center, caps[i].lo, caps[i].hi) -
-                        caps[i].rmax - guard;
-                    if (lb <= threshold) mask |= 1ull << i;
+                        caps[i].rmax - guard - radius;
+                    if (lb <= nodeThreshold) cand |= 1ull << i;
                 }
-                support[b] = mask;
 
-                if (!cacheUsable) continue;
-                float drift = 0.0f;
-                const std::uint64_t active = mask | prevSupport_[b];
-                for (std::size_t i = 0; i < n; ++i)
-                    if (active & (1ull << i)) drift = std::max(drift, moves[i]);
-                if (exprDelta > 0.0f &&
-                    sampler_->blockGuardBounds(block).intersects(faceUnion))
-                    drift += exprDelta;
-                accumDrift_[b] += drift;
-                dirty[b] = accumDrift_[b] > options_.cacheTolerance ? 1 : 0;
-            }
-        };
-        const std::size_t chunks = std::min<std::size_t>(
-            blocks, std::max<std::size_t>(1, pool->size() * 4));
-        if (chunks <= 1) {
-            scanBlocks(0, blocks);
+                if (cacheUsable) {
+                    std::uint64_t prevUnion = 0;
+                    for (int z = lo.z; z <= hi.z; ++z)
+                        for (int y = lo.y; y <= hi.y; ++y)
+                            for (int x = lo.x; x <= hi.x; ++x)
+                                prevUnion |= prevSupport_[static_cast<std::size_t>(
+                                    blockAt(x, y, z))];
+                    // The node ball contains every descendant guard box,
+                    // so a ball clear of the face union means no leaf
+                    // pays the expression term either.
+                    const bool faceClear =
+                        exprDelta <= 0.0f ||
+                        aabbDistance(center, faceUnion.lo, faceUnion.hi) >
+                            radius;
+                    if (faceClear && (movedMask & (cand | prevUnion)) == 0) {
+                        // Nothing that can touch this subtree moved:
+                        // masks are unchanged and drift increments are
+                        // zero, frame over frame.
+                        for (int z = lo.z; z <= hi.z; ++z)
+                            for (int y = lo.y; y <= hi.y; ++y)
+                                for (int x = lo.x; x <= hi.x; ++x) {
+                                    const auto b = static_cast<std::size_t>(
+                                        blockAt(x, y, z));
+                                    support[b] = prevSupport_[b];
+                                    dirty[b] = accumDrift_[b] >
+                                                       options_.cacheTolerance
+                                                   ? 1
+                                                   : 0;
+                                }
+                        return;
+                    }
+                } else if (cand == 0) {
+                    // Fresh frame (everything dirty anyway): no capsule
+                    // can support any block below.
+                    for (int z = lo.z; z <= hi.z; ++z)
+                        for (int y = lo.y; y <= hi.y; ++y)
+                            for (int x = lo.x; x <= hi.x; ++x)
+                                support[static_cast<std::size_t>(
+                                    blockAt(x, y, z))] = 0;
+                    return;
+                }
+
+                const mesh::Vec3i mid{lo.x + (hi.x - lo.x) / 2,
+                                      lo.y + (hi.y - lo.y) / 2,
+                                      lo.z + (hi.z - lo.z) / 2};
+                for (int oz = 0; oz < 2; ++oz)
+                    for (int oy = 0; oy < 2; ++oy)
+                        for (int ox = 0; ox < 2; ++ox) {
+                            const mesh::Vec3i clo{ox ? mid.x + 1 : lo.x,
+                                                  oy ? mid.y + 1 : lo.y,
+                                                  oz ? mid.z + 1 : lo.z};
+                            const mesh::Vec3i chi{ox ? hi.x : mid.x,
+                                                  oy ? hi.y : mid.y,
+                                                  oz ? hi.z : mid.z};
+                            if (clo.x > chi.x || clo.y > chi.y ||
+                                clo.z > chi.z)
+                                continue;
+                            self(self, clo, chi, cand);
+                        }
+            };
+            scanNode(scanNode, {0, 0, 0},
+                     {bg.x - 1, bg.y - 1, bg.z - 1}, allMask);
         } else {
-            pool->parallelFor(chunks, [&](std::size_t c) {
-                scanBlocks(blocks * c / chunks, blocks * (c + 1) / chunks);
-            });
+            const std::uint64_t allMask =
+                n >= 64 ? ~0ull : ((1ull << n) - 1ull);
+            auto scanBlocks = [&](std::size_t begin, std::size_t end) {
+                for (std::size_t b = begin; b < end; ++b)
+                    scanLeaf(static_cast<int>(b), allMask);
+            };
+            const std::size_t chunks = std::min<std::size_t>(
+                blocks, std::max<std::size_t>(1, pool->size() * 4));
+            if (chunks <= 1) {
+                scanBlocks(0, blocks);
+            } else {
+                pool->parallelFor(chunks, [&](std::size_t c) {
+                    scanBlocks(blocks * c / chunks, blocks * (c + 1) / chunks);
+                });
+            }
         }
     }
 
@@ -210,6 +346,8 @@ ReconstructionResult SparseReconstructor::reconstruct(const body::Pose& pose) {
                                geom::Vec3f center, float radius) {
         return body.certificate(center, radius, slack);
     };
+    if (ro.simdBatch) sampling.batch = body.batch;
+    sampling.hierarchical = ro.octreeCertificates;
     const mesh::FieldSampleStats fs =
         sampler_->sample(body.field, sampling, cacheUsable ? &dirty : nullptr);
     result.fieldSampleMs = msSince(t0);
@@ -232,8 +370,10 @@ ReconstructionResult SparseReconstructor::reconstruct(const body::Pose& pose) {
     result.stats.blocksSampled = fs.blocksSampled;
     result.stats.blocksSkipped = fs.blocksSkipped;
     result.stats.blocksCached = fs.blocksCached;
+    result.stats.blocksCoarseFilled = fs.blocksCoarseFilled;
     result.stats.nodesEvaluated = fs.nodesEvaluated;
     result.stats.nodesTotal = fs.nodesTotal;
+    result.stats.certTests = fs.certTests;
     result.stats.bonesBlended = body.stats->bonesBlended();
     result.stats.bonesPruned = body.stats->bonesPruned();
 

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "semholo/body/animation.hpp"
+#include "semholo/body/body_model.hpp"
+
+namespace semholo::body {
+namespace {
+
+using geom::Vec3f;
+
+std::vector<Vec3f> randomPoints(const geom::AABB& bounds, std::size_t n,
+                                std::uint32_t seed) {
+    std::mt19937 rng(seed);
+    // Pad outward so lanes also hit the pruning fast path far from the
+    // body, not just the blended interior.
+    const Vec3f lo = bounds.lo - Vec3f{0.3f, 0.3f, 0.3f};
+    const Vec3f hi = bounds.hi + Vec3f{0.3f, 0.3f, 0.3f};
+    std::uniform_real_distribution<float> ux(lo.x, hi.x);
+    std::uniform_real_distribution<float> uy(lo.y, hi.y);
+    std::uniform_real_distribution<float> uz(lo.z, hi.z);
+    std::vector<Vec3f> pts(n);
+    for (auto& p : pts) p = {ux(rng), uy(rng), uz(rng)};
+    return pts;
+}
+
+// The batch kernel must return, per point, EXACTLY the bits the scalar
+// field returns — zero tolerance. That is the determinism contract that
+// keeps sparse reconstruction byte-identical to dense whichever backend
+// (scalar, AVX2) the dispatcher picked on this host; any widening here
+// (FMA contraction, reassociation) is a build bug, not slack to absorb.
+void expectBatchBitIdentical(const Pose& pose, const BodyFieldOptions& options,
+                             std::uint32_t seed) {
+    const BodyField body = makeBodyField(pose, Skeleton::canonical(), options);
+    ASSERT_TRUE(body.batch);
+    // Odd count exercises the padded tail lanes.
+    const auto pts = randomPoints(body.bounds, 1003, seed);
+    std::vector<float> xs, ys, zs;
+    for (const Vec3f& p : pts) {
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+        zs.push_back(p.z);
+    }
+    std::vector<float> batched(pts.size());
+    body.batch(xs.data(), ys.data(), zs.data(), batched.data(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(batched[i], body.field(pts[i])) << "point " << i;
+    }
+}
+
+TEST(BodyBatch, BitIdenticalToScalarFieldPlain) {
+    BodyFieldOptions opt;
+    opt.bonePruning = false;
+    expectBatchBitIdentical(Pose{}, opt, 1);
+}
+
+TEST(BodyBatch, BitIdenticalToScalarFieldWithPruning) {
+    BodyFieldOptions opt;
+    opt.bonePruning = true;
+    expectBatchBitIdentical(MotionGenerator(MotionKind::Wave).poseAt(0.7), opt, 2);
+}
+
+TEST(BodyBatch, BitIdenticalToScalarFieldWithExpression) {
+    // Talk drives jaw/expression coefficients: the per-lane scalar
+    // face-warp pre-pass must agree with the scalar path bit for bit.
+    BodyFieldOptions opt;
+    opt.bonePruning = true;
+    expectBatchBitIdentical(MotionGenerator(MotionKind::Talk).poseAt(0.5), opt, 3);
+}
+
+TEST(BodyBatch, BitIdenticalToScalarFieldWithClothing) {
+    BodyFieldOptions opt;
+    opt.bonePruning = true;
+    opt.clothingDetail = true;
+    expectBatchBitIdentical(MotionGenerator(MotionKind::Collaborate).poseAt(1.1),
+                            opt, 4);
+}
+
+TEST(BodyBatch, CountersMatchScalarTallies) {
+    const Pose pose = MotionGenerator(MotionKind::Wave).poseAt(0.4);
+    BodyFieldOptions opt;
+    opt.bonePruning = true;
+    // Scalar pass tallies.
+    const BodyField scalarBody = makeBodyField(pose, Skeleton::canonical(), opt);
+    const auto pts = randomPoints(scalarBody.bounds, 512, 5);
+    for (const Vec3f& p : pts) scalarBody.field(p);
+    // Batch pass over the same points on a fresh field.
+    const BodyField batchBody = makeBodyField(pose, Skeleton::canonical(), opt);
+    std::vector<float> xs, ys, zs, out(pts.size());
+    for (const Vec3f& p : pts) {
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+        zs.push_back(p.z);
+    }
+    batchBody.batch(xs.data(), ys.data(), zs.data(), out.data(), pts.size());
+    EXPECT_EQ(batchBody.stats->bonesBlended(), scalarBody.stats->bonesBlended());
+    EXPECT_EQ(batchBody.stats->bonesPruned(), scalarBody.stats->bonesPruned());
+}
+
+TEST(BodyBatch, BackendNameIsReported) {
+    const char* name = bodyBatchBackend();
+    ASSERT_NE(name, nullptr);
+    EXPECT_TRUE(std::string(name) == "avx2" || std::string(name) == "scalar" ||
+                std::string(name) == "neon")
+        << name;
+}
+
+}  // namespace
+}  // namespace semholo::body

@@ -127,6 +127,36 @@ TEST(Filter, BitshuffleIsAPureBitPermutation) {
     expectInverts(chain, data);
 }
 
+TEST(Filter, BitshuffleMatchesScalarReferenceEverywhere) {
+    // The 8-rows-at-a-time transpose path must be byte-identical to the
+    // bit-at-a-time reference on every alignment shape: rows % 8 from 0
+    // through 7, odd strides, tails, and the empty prefix.
+    std::uint32_t seed = 100;
+    for (const std::size_t stride : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+        for (const std::size_t rows : {0u, 1u, 5u, 8u, 9u, 16u, 63u, 64u, 200u}) {
+            for (const std::size_t tail : {0u, 1u, 3u}) {
+                const std::size_t n = rows * stride + tail;
+                if (n == 0) continue;
+                const auto data = randomBytes(n, seed++);
+                FilterChain chain{.ops = {FilterOp::Bitshuffle},
+                                  .stride = static_cast<std::uint8_t>(stride)};
+                const auto fast = applyFilters(chain, data);
+                std::vector<std::uint8_t> ref(n);
+                detail::bitshuffleScalar(data, ref.data(), stride);
+                ASSERT_EQ(fast, ref) << "stride " << stride << " rows " << rows
+                                     << " tail " << tail;
+                const auto back = invertFilters(chain, fast);
+                ASSERT_TRUE(back.has_value());
+                std::vector<std::uint8_t> refBack(n);
+                detail::unbitshuffleScalar(fast, refBack.data(), stride);
+                ASSERT_EQ(*back, refBack) << "stride " << stride << " rows "
+                                          << rows << " tail " << tail;
+                ASSERT_EQ(*back, data);
+            }
+        }
+    }
+}
+
 TEST(Filter, MalformedChainRejectedOnInvert) {
     FilterChain zeroStride{.ops = {FilterOp::ByteTranspose}, .stride = 0};
     EXPECT_FALSE(invertFilters(zeroStride, randomBytes(16, 1)).has_value());

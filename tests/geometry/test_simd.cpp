@@ -1,0 +1,104 @@
+#include "semholo/geometry/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+namespace semholo::geom::simd {
+namespace {
+
+using f32x8 = f32xN<8>;
+using b32x8 = b32xN<8>;
+
+TEST(Simd, LoadStoreRoundTrips) {
+    float in[8] = {1.0f, -2.5f, 0.0f, 3.25f, -0.125f, 1e6f, -1e-6f, 42.0f};
+    const f32x8 v = f32x8::load(in);
+    float out[8] = {};
+    v.store(out);
+    EXPECT_EQ(std::memcmp(in, out, sizeof in), 0);
+}
+
+TEST(Simd, ArithmeticMatchesScalarPerLane) {
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<float> uni(-10.0f, 10.0f);
+    for (int trial = 0; trial < 100; ++trial) {
+        float a[8], b[8];
+        for (int i = 0; i < 8; ++i) {
+            a[i] = uni(rng);
+            b[i] = uni(rng);
+        }
+        const f32x8 va = f32x8::load(a), vb = f32x8::load(b);
+        float sum[8], dif[8], prd[8], quo[8], mn[8], mx[8], sq[8], cl[8];
+        (va + vb).store(sum);
+        (va - vb).store(dif);
+        (va * vb).store(prd);
+        (va / vb).store(quo);
+        min(va, vb).store(mn);
+        max(va, vb).store(mx);
+        sqrt(max(va, f32x8::broadcast(0.0f))).store(sq);
+        clamp(va, f32x8::broadcast(-1.0f), f32x8::broadcast(1.0f)).store(cl);
+        for (int i = 0; i < 8; ++i) {
+            // Bit-equality, not approximate: the determinism contract.
+            EXPECT_EQ(sum[i], a[i] + b[i]);
+            EXPECT_EQ(dif[i], a[i] - b[i]);
+            EXPECT_EQ(prd[i], a[i] * b[i]);
+            EXPECT_EQ(quo[i], a[i] / b[i]);
+            EXPECT_EQ(mn[i], a[i] < b[i] ? a[i] : b[i]);
+            EXPECT_EQ(mx[i], a[i] > b[i] ? a[i] : b[i]);
+            EXPECT_EQ(sq[i], std::sqrt(a[i] > 0.0f ? a[i] : 0.0f));
+            EXPECT_EQ(cl[i], a[i] < -1.0f ? -1.0f : (a[i] > 1.0f ? 1.0f : a[i]));
+        }
+    }
+}
+
+TEST(Simd, CompareSelectAndMaskOps) {
+    float a[8] = {1, 5, 3, 7, 2, 8, 0, -4};
+    float b[8] = {4, 4, 4, 4, 4, 4, 4, 4};
+    const f32x8 va = f32x8::load(a), vb = f32x8::load(b);
+    const b32x8 lt = cmpLt(va, vb);
+    const b32x8 gt = cmpGt(va, vb);
+    EXPECT_TRUE(lt.any());
+    EXPECT_FALSE(lt.all());
+    EXPECT_EQ(lt.count(), 5);
+    EXPECT_EQ(gt.count(), 3);
+    EXPECT_EQ((lt | gt).count(), 8);
+    EXPECT_FALSE((lt & gt).any());
+    EXPECT_EQ((~lt).count(), 3);
+    float sel[8];
+    select(lt, va, vb).store(sel);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(sel[i], a[i] < b[i] ? a[i] : b[i]);
+}
+
+TEST(Simd, BitTranspose8x8MapsBitRCToCR) {
+    // Treating the u64 as an 8x8 bit matrix (byte r = row r), the
+    // transpose must map bit (8r + c) to bit (8c + r) — the property the
+    // compress::filter bitshuffle fast path relies on.
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+            const std::uint64_t x = std::uint64_t{1} << (8 * r + c);
+            EXPECT_EQ(bitTranspose8x8(x), std::uint64_t{1} << (8 * c + r))
+                << "r=" << r << " c=" << c;
+        }
+    }
+}
+
+TEST(Simd, BitTranspose8x8IsAnInvolution) {
+    std::mt19937_64 rng(11);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const std::uint64_t x = rng();
+        EXPECT_EQ(bitTranspose8x8(bitTranspose8x8(x)), x);
+    }
+}
+
+TEST(Simd, BackendNamesAreStable) {
+    EXPECT_STREQ(backendName(Backend::Scalar), "scalar");
+    EXPECT_STREQ(backendName(Backend::Avx2), "avx2");
+    EXPECT_STREQ(backendName(Backend::Neon), "neon");
+    // Whatever the host is, the baseline backend must name itself.
+    EXPECT_NE(backendName(baselineBackend()), nullptr);
+}
+
+}  // namespace
+}  // namespace semholo::geom::simd
