@@ -25,11 +25,13 @@
 // p50s, not single runs) and are exported to BENCH_fig4.json so perf
 // PRs can track the reconstruction trajectory.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "bench_util.hpp"
+#include "semholo/mesh/isosurface.hpp"
 #include "semholo/body/animation.hpp"
 #include "semholo/body/body_model.hpp"
 #include "semholo/core/telemetry.hpp"
@@ -68,8 +70,12 @@ int main() {
     struct Row {
         int resolution{};
         core::telemetry::Histogram denseMs, sparseMs;
+        // Extraction-stage slice of the totals above (measured rows only).
+        core::telemetry::Histogram denseExtractMs, sparseExtractMs;
         bool denseMeasured{}, sparseMeasured{};
         mesh::FieldSampleStats sparseStats;  // from the last sparse repeat
+        std::uint64_t activeCells{};         // from the last sparse repeat
+        std::uint64_t reusedTopologyBlocks{};
     };
     std::vector<Row> rows;
     // Cost models for the unmeasured tail, fitted on the LARGEST measured
@@ -90,8 +96,11 @@ int main() {
             opt.resolution = res;
             opt.mode = recon::ReconMode::Dense;
             opt.device = recon::DeviceProfile::host();
-            for (int i = 0; i < repeats; ++i)
-                row.denseMs.record(recon::reconstructFromPose(pose, opt).totalMs());
+            for (int i = 0; i < repeats; ++i) {
+                const auto r = recon::reconstructFromPose(pose, opt);
+                row.denseMs.record(r.totalMs());
+                row.denseExtractMs.record(r.extractMs);
+            }
             denseUnitCost =
                 row.denseMs.p50() / (static_cast<double>(res) * res * res);
         }
@@ -103,6 +112,9 @@ int main() {
             for (int i = 0; i < repeats; ++i) {
                 const auto r = recon::reconstructFromPose(pose, opt);
                 row.sparseMs.record(r.totalMs());
+                row.sparseExtractMs.record(r.extractMs);
+                row.activeCells = r.stats.activeCells;
+                row.reusedTopologyBlocks = r.stats.reusedTopologyBlocks;
                 row.sparseStats.blocksTotal = r.stats.blocksTotal;
                 row.sparseStats.blocksSampled = r.stats.blocksSampled;
                 row.sparseStats.blocksSkipped = r.stats.blocksSkipped;
@@ -162,6 +174,11 @@ int main() {
             .field("sparse_samples", static_cast<std::uint64_t>(row.sparseMs.count()))
             .field("sparse_ms_p50", row.sparseMs.p50())
             .field("sparse_ms_p95", row.sparseMs.p95())
+            .field("dense_extract_ms_p50", row.denseExtractMs.p50())
+            .field("extract_ms_p50", row.sparseExtractMs.p50())
+            .field("extract_ms_p95", row.sparseExtractMs.p95())
+            .field("active_cells", row.activeCells)
+            .field("reused_topology_blocks", row.reusedTopologyBlocks)
             .field("speedup", speedup)
             .field("sparse_fps_p50", 1000.0 / sparseMs)
             .field("blocks_total", row.sparseStats.blocksTotal)
@@ -240,6 +257,82 @@ int main() {
     json.endArray();
     ablTable.print();
 
+    // ---- Extraction: block-local table-driven vs legacy, single core ----
+    // Same sampled grid, same options, both extractors serial — the
+    // speedup is a pure algorithmic ratio, immune to machine speed. The
+    // two extractors must emit the same triangle set (canonical soup
+    // equality); a mismatch is a correctness bug and fails the run.
+    bench::banner("Extraction: block-local marching tetrahedra vs legacy (1 core)");
+    const int extRes = std::min(maxRes, 128);
+    bool extractionMatch = true;
+    {
+        body::BodyFieldOptions fieldOpt;
+        const body::BodyField body =
+            body::makeBodyField(pose, body::Skeleton::canonical(), fieldOpt);
+        const int extBlock = recon::resolveBlockSize(0, extRes);
+        mesh::VoxelGrid grid(body.bounds, {extRes, extRes, extRes});
+        mesh::BlockSampler sampler(grid, extBlock);
+        mesh::FieldSampleOptions sampling;
+        sampling.blockSize = extBlock;
+        sampling.lipschitz = body.lipschitz;
+        sampling.margin = body.margin;
+        sampling.certificate = [&body](geom::Vec3f c, float r) {
+            return body.certificate(c, r, 0.0f);
+        };
+        sampling.batch = body.batch;
+        sampler.sample(body.field, sampling);
+
+        mesh::IsoSurfaceOptions extOpt;  // recon-path config for both sides
+        extOpt.weldVertices = false;
+        core::telemetry::Histogram legacyMs, blockMs;
+        mesh::ExtractStats es;
+        mesh::TriMesh legacyMesh, blockMesh;
+        for (int i = 0; i < 5; ++i) {
+            auto t0 = std::chrono::steady_clock::now();
+            legacyMesh = mesh::extractIsoSurfaceLegacy(grid, sampler, extOpt);
+            legacyMs.record(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+            t0 = std::chrono::steady_clock::now();
+            blockMesh = mesh::extractIsoSurface(grid, &sampler, extOpt, nullptr, &es);
+            blockMs.record(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+        }
+
+        const auto legacySoup = mesh::canonicalTriangleSoup(legacyMesh);
+        const auto blockSoup = mesh::canonicalTriangleSoup(blockMesh);
+        extractionMatch = legacySoup.size() == blockSoup.size();
+        for (std::size_t i = 0; extractionMatch && i < legacySoup.size(); ++i)
+            for (int v = 0; v < 3 && extractionMatch; ++v)
+                extractionMatch = legacySoup[i][v].x == blockSoup[i][v].x &&
+                                  legacySoup[i][v].y == blockSoup[i][v].y &&
+                                  legacySoup[i][v].z == blockSoup[i][v].z;
+
+        const double extSpeedup =
+            blockMs.p50() > 0.0 ? legacyMs.p50() / blockMs.p50() : 0.0;
+        bench::Table ext({"resolution", "legacy ms (p50)", "block ms (p50)",
+                          "speedup (1 core)", "active cells", "triangles",
+                          "canonical match"});
+        ext.addRow({std::to_string(extRes), bench::fmt("%.1f", legacyMs.p50()),
+                    bench::fmt("%.1f", blockMs.p50()),
+                    bench::fmt("%.2fx", extSpeedup),
+                    std::to_string(es.activeCells),
+                    std::to_string(blockMesh.triangleCount()),
+                    extractionMatch ? "yes" : "NO"});
+        ext.print();
+        json.beginObject("extraction")
+            .field("resolution", static_cast<std::uint64_t>(extRes))
+            .field("legacy_ms_p50", legacyMs.p50())
+            .field("block_ms_p50", blockMs.p50())
+            .field("speedup_single_core", extSpeedup)
+            .field("canonical_match", std::string(extractionMatch ? "yes" : "no"))
+            .field("active_cells", es.activeCells)
+            .field("vertices", es.vertices)
+            .field("triangles", es.triangles)
+            .endObject();
+    }
+
     // ---- Temporal block cache over an animated sequence -----------------
     bench::banner("Temporal cache: Talk sequence, re-sampling moved blocks only");
     const int seqRes = std::min(maxRes, 96);
@@ -250,7 +343,7 @@ int main() {
     recon::SparseReconstructor cached(seqOpt);
     body::MotionGenerator talk(body::MotionKind::Talk);
     core::telemetry::Histogram cachedMs, freshMs;
-    std::uint64_t cachedBlocks = 0, totalBlocks = 0;
+    std::uint64_t cachedBlocks = 0, totalBlocks = 0, reusedTopology = 0;
     for (int f = 0; f < seqFrames; ++f) {
         const body::Pose p = talk.poseAt(static_cast<double>(f) / 15.0);
         const auto r = cached.reconstruct(p);
@@ -258,6 +351,7 @@ int main() {
             cachedMs.record(r.totalMs());
             cachedBlocks += r.stats.blocksCached;
             totalBlocks += r.stats.blocksTotal;
+            reusedTopology += r.stats.reusedTopologyBlocks;
         }
         recon::ReconstructionOptions fresh = seqOpt.recon;
         fresh.mode = recon::ReconMode::Sparse;
@@ -280,6 +374,7 @@ int main() {
         .field("cached_ms_p50", cachedMs.p50())
         .field("fresh_ms_p50", freshMs.p50())
         .field("cache_hit_ratio", hitRatio)
+        .field("reused_topology_blocks", reusedTopology)
         .endObject();
     json.endObject();
     {
@@ -298,5 +393,12 @@ int main() {
         "profile cannot hold dense 512/1024 grids (section 4.2) but the sparse\n"
         "working set fits. Sparse reconstruction prunes interior/exterior blocks,\n"
         "so its cost tracks the surface shell (~R^2) instead of the volume.\n");
+    if (!extractionMatch) {
+        std::fprintf(stderr,
+                     "FAIL: block extractor and legacy extractor disagree on the "
+                     "triangle set at %d^3\n",
+                     extRes);
+        return 1;
+    }
     return 0;
 }

@@ -12,7 +12,10 @@ ratio computed inside one run of the benchmark on one machine:
   * the ablation's simd+octree row must actually beat scalar+flat
     (otherwise the SIMD dispatch or the octree descent silently
     regressed to the slow path);
-  * the temporal cache must still be reusing blocks.
+  * the temporal cache must still be reusing blocks;
+  * the block-local table-driven extractor must beat the legacy serial
+    extractor on the same sampled grid, single core (the "extraction"
+    section), and must have emitted the identical triangle set.
 
 Exit status 0 = gate passed. Any failure prints the offending metric
 and exits 1 so the CI step fails.
@@ -41,14 +44,16 @@ def main() -> None:
                     help="minimum simd+octree speedup over scalar+flat")
     ap.add_argument("--min-cache-hit", type=float, default=0.30,
                     help="minimum temporal block cache-hit ratio")
+    ap.add_argument("--min-extract-speedup", type=float, default=2.0,
+                    help="minimum block-extractor vs legacy single-core speedup")
     args = ap.parse_args()
 
     with open(args.json_path) as f:
         data = json.load(f)
 
-    if data.get("schema_version", 0) < 3:
-        fail(f"schema_version {data.get('schema_version')} < 3 "
-             "(bench binary predates the SIMD/octree instrumentation)")
+    if data.get("schema_version", 0) < 4:
+        fail(f"schema_version {data.get('schema_version')} < 4 "
+             "(bench binary predates the extraction instrumentation)")
     backend = data.get("simd_backend")
     if backend not in ("avx2", "neon", "scalar"):
         fail(f"simd_backend missing or unknown: {backend!r}")
@@ -91,6 +96,21 @@ def main() -> None:
     print(f"temporal cache-hit ratio: {hit:.2f} (gate: >= {args.min_cache_hit})")
     if hit < args.min_cache_hit:
         fail("temporal block cache stopped reusing blocks")
+
+    ext = data.get("extraction")
+    if ext is None:
+        fail("extraction section missing")
+    if ext.get("canonical_match") != "yes":
+        fail("block extractor and legacy extractor emitted different "
+             "triangle sets")
+    ext_speedup = ext.get("speedup_single_core", 0.0)
+    print(f"extraction speedup (block vs legacy, 1 core, "
+          f"{ext.get('resolution')}^3): {ext_speedup:.2f}x "
+          f"(gate: >= {args.min_extract_speedup})")
+    if ext_speedup < args.min_extract_speedup:
+        fail("block-local extractor no longer beats the legacy extractor")
+    if ext.get("active_cells", 0) <= 0:
+        fail("extraction section reports zero active cells")
 
     print("PASS: Figure-4 perf gate")
 

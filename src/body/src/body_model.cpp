@@ -450,6 +450,9 @@ BodyModel::BodyModel(const ShapeParams& shape, int templateResolution) : shape_(
     sampling.certificate = [&body](Vec3f center, float radius) {
         return body.certificate(center, radius, 0.0f);
     };
+    // The batch evaluator is the field's bit-identical SoA companion, so
+    // routing sampled blocks through it keeps the byte-exact guarantee.
+    sampling.batch = body.batch;
     template_ = mesh::extractIsoSurface(body.field, bodyBounds(rest),
                                         templateResolution, {}, sampling);
     computeSkinWeights();

@@ -78,6 +78,8 @@ struct DecodedFrame {
     std::uint64_t reconBonesPruned{0};
     std::uint64_t reconNodesEvaluated{0};
     std::uint64_t reconCertTests{0};
+    std::uint64_t reconActiveCells{0};
+    std::uint64_t reconReusedTopologyBlocks{0};
 };
 
 class SemanticChannel {

@@ -110,6 +110,8 @@ struct FrameStats {
     std::uint64_t reconBonesPruned{};
     std::uint64_t reconNodesEvaluated{};
     std::uint64_t reconCertTests{};
+    std::uint64_t reconActiveCells{};
+    std::uint64_t reconReusedTopologyBlocks{};
 };
 
 struct SessionStats {

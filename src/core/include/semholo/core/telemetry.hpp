@@ -80,6 +80,9 @@ struct Counters {
     std::uint64_t reconBonesPruned{};     // capsule blends skipped per query
     std::uint64_t reconNodesEvaluated{};  // field evaluations actually run
     std::uint64_t reconCertTests{};       // analytic certificate invocations
+    // Extraction-stage accounting (block-local marching tetrahedra).
+    std::uint64_t reconActiveCells{};           // mixed-sign cells emitted from
+    std::uint64_t reconReusedTopologyBlocks{};  // sign-unchanged topology reuse
 
     void merge(const Counters& other);
 };
@@ -109,7 +112,13 @@ struct SessionTelemetry {
 //   1: implicit pre-versioned layouts.
 //   2: unified toJsonValue(T) convention; conference documents carry
 //      fairness[].target_rate_mbps and downlinks[] fan-out accounting.
-inline constexpr std::uint64_t kBenchSchemaVersion = 3;
+//   3: codec v2 filter pipeline + Pareto sweep documents.
+//   4: per-stage extraction counters (extract_ms histograms,
+//      active_cells, reused_topology_blocks; recon_active_cells /
+//      recon_reused_topology_blocks in session counters) and the
+//      BENCH_fig4 "extraction" section gating the within-run
+//      block-extractor vs legacy speedup.
+inline constexpr std::uint64_t kBenchSchemaVersion = 4;
 
 // Minimal JSON document builder shared by the bench exporters, so ad-hoc
 // bench output (speedups, per-row results) lands in the same files as

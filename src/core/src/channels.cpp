@@ -27,6 +27,8 @@ void copyReconStats(const recon::ReconstructionResult& result, DecodedFrame& out
     out.reconBonesPruned = result.stats.bonesPruned;
     out.reconNodesEvaluated = result.stats.nodesEvaluated;
     out.reconCertTests = result.stats.certTests;
+    out.reconActiveCells = result.stats.activeCells;
+    out.reconReusedTopologyBlocks = result.stats.reusedTopologyBlocks;
 }
 
 void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {

@@ -75,6 +75,8 @@ void finalizeSessionStats(SessionStats& stats, const SessionConfig& config) {
             t.counters.reconBonesPruned += frame.reconBonesPruned;
             t.counters.reconNodesEvaluated += frame.reconNodesEvaluated;
             t.counters.reconCertTests += frame.reconCertTests;
+            t.counters.reconActiveCells += frame.reconActiveCells;
+            t.counters.reconReusedTopologyBlocks += frame.reconReusedTopologyBlocks;
             ++reconCount;
         }
         sumStage += std::max(frame.extractMs, frame.reconMs);

@@ -36,6 +36,8 @@ inline void copyReconCounters(FrameStats& frame, const DecodedFrame& decoded) {
     frame.reconBonesPruned = decoded.reconBonesPruned;
     frame.reconNodesEvaluated = decoded.reconNodesEvaluated;
     frame.reconCertTests = decoded.reconCertTests;
+    frame.reconActiveCells = decoded.reconActiveCells;
+    frame.reconReusedTopologyBlocks = decoded.reconReusedTopologyBlocks;
 }
 
 // Compute every frame-derived aggregate of 'stats' (means, percentiles,

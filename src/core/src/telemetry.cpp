@@ -121,6 +121,8 @@ void Counters::merge(const Counters& other) {
     reconBonesPruned += other.reconBonesPruned;
     reconNodesEvaluated += other.reconNodesEvaluated;
     reconCertTests += other.reconCertTests;
+    reconActiveCells += other.reconActiveCells;
+    reconReusedTopologyBlocks += other.reconReusedTopologyBlocks;
 }
 
 void SessionTelemetry::merge(const SessionTelemetry& other) {
@@ -190,6 +192,8 @@ std::string toJsonValue(const SessionTelemetry& t) {
         .field("recon_bones_pruned", t.counters.reconBonesPruned)
         .field("recon_nodes_evaluated", t.counters.reconNodesEvaluated)
         .field("recon_cert_tests", t.counters.reconCertTests)
+        .field("recon_active_cells", t.counters.reconActiveCells)
+        .field("recon_reused_topology_blocks", t.counters.reconReusedTopologyBlocks)
         .endObject();
     w.endObject();
     return w.str();

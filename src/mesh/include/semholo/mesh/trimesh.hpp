@@ -71,6 +71,14 @@ public:
     }
 };
 
+// Winding-preserving canonical form of a mesh's triangle list: each
+// triangle becomes its three vertex positions, cyclically rotated so the
+// lexicographically smallest position leads, and the list is sorted
+// lexicographically. Two meshes produce equal soups iff they contain the
+// same oriented triangles, independent of vertex numbering and emission
+// order — the equivalence the iso-surface extractors are compared under.
+std::vector<std::array<Vec3f, 3>> canonicalTriangleSoup(const TriMesh& m);
+
 // Basic primitive generators (used in tests and synthetic scenes).
 TriMesh makeBox(Vec3f halfExtents, Vec3f center = {});
 TriMesh makeUVSphere(float radius, int stacks, int slices, Vec3f center = {});

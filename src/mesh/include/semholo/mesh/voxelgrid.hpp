@@ -49,6 +49,17 @@ public:
     // worker count.
     void sample(const ScalarField& field, core::ThreadPool* pool = nullptr);
 
+    // Batch sampling: feed whole x rows of node positions through a SoA
+    // batch evaluator (one call per row instead of one std::function
+    // dispatch per node). 'batch' must be the bit-identical companion of
+    // 'field' (see BatchScalarField); the positions handed to it are
+    // exactly nodePosition(x, y, z), so the sampled grid equals the
+    // per-node path's. Falls back to sample(field, pool) when 'batch' is
+    // empty. 'pool' fans z planes out over workers (nullptr = serial);
+    // results are identical for any worker count.
+    void sample(const ScalarField& field, const BatchScalarField& batch,
+                core::ThreadPool* pool = nullptr);
+
     // Block-sparse sampling: evaluates block centers first and skips
     // whole blocks certified surface-free by the field's Lipschitz bound
     // (see blocksampler.hpp for the bound and the exactness argument).

@@ -189,6 +189,38 @@ std::size_t TriMesh::countBoundaryEdges() const {
     return n;
 }
 
+namespace {
+
+bool lexLess(const Vec3f& a, const Vec3f& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.z < b.z;
+}
+
+}  // namespace
+
+std::vector<std::array<Vec3f, 3>> canonicalTriangleSoup(const TriMesh& m) {
+    std::vector<std::array<Vec3f, 3>> soup;
+    soup.reserve(m.triangles.size());
+    for (const Triangle& t : m.triangles) {
+        const std::array<Vec3f, 3> tri{m.vertices[t.a], m.vertices[t.b],
+                                       m.vertices[t.c]};
+        int lead = 0;
+        for (int i = 1; i < 3; ++i)
+            if (lexLess(tri[i], tri[lead])) lead = i;
+        soup.push_back({tri[lead], tri[(lead + 1) % 3], tri[(lead + 2) % 3]});
+    }
+    std::sort(soup.begin(), soup.end(),
+              [](const std::array<Vec3f, 3>& a, const std::array<Vec3f, 3>& b) {
+                  for (int i = 0; i < 3; ++i) {
+                      if (lexLess(a[i], b[i])) return true;
+                      if (lexLess(b[i], a[i])) return false;
+                  }
+                  return false;
+              });
+    return soup;
+}
+
 TriMesh makeBox(Vec3f he, Vec3f c) {
     TriMesh m;
     // 8 corners.

@@ -74,6 +74,12 @@ struct ReconstructionStats {
     std::uint64_t certTests{0};     // analytic certificate invocations
     std::uint64_t bonesBlended{0};  // capsule blends actually executed
     std::uint64_t bonesPruned{0};   // capsule blends skipped via bounds
+    // Extraction-stage counters (set in both modes — the block-local
+    // extractor runs everywhere; reusedTopologyBlocks is only nonzero on
+    // the temporal path, where SparseReconstructor keeps the topology
+    // cache across frames).
+    std::uint64_t activeCells{0};           // mixed-sign cells emitted from
+    std::uint64_t reusedTopologyBlocks{0};  // blocks whose signs were unchanged
 };
 
 struct ReconstructionResult {

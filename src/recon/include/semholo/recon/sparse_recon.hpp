@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "semholo/mesh/blocksampler.hpp"
+#include "semholo/mesh/isosurface.hpp"
 #include "semholo/recon/keypoint_recon.hpp"
 
 namespace semholo::recon {
@@ -80,6 +81,11 @@ private:
     // and last frame's support bitmask (bit i = capsule i supports).
     std::vector<float> accumDrift_;
     std::vector<std::uint64_t> prevSupport_;
+    // Per-block extraction topology (active cells, case configs, row
+    // counts), reused across frames whenever a block's node signs are
+    // unchanged — the extractor then recomputes only vertex positions.
+    // Flushed with the rest of the cache on rebuild/invalidate.
+    mesh::IsoExtractCache extractCache_;
     bool haveFrame_{false};
     std::size_t frames_{0};
     std::size_t rebuilds_{0};

@@ -54,7 +54,17 @@ ReconstructionResult reconstructFromPose(const body::Pose& pose,
         result.fieldSampleMs = msSince(t0);
 
         t0 = std::chrono::steady_clock::now();
-        result.mesh = mesh::extractIsoSurface(grid);
+        // The extractor emits one vertex per crossing edge (shared
+        // boundaries welded by construction) and the capsule field never
+        // hits the iso value exactly at grid nodes, so the post-weld
+        // pass is pure overhead here — skip it. Dense stays serial: it
+        // is the single-core baseline the sparse speedup is gated
+        // against.
+        mesh::IsoSurfaceOptions iso;
+        iso.weldVertices = false;
+        mesh::ExtractStats es;
+        result.mesh = mesh::extractIsoSurface(grid, nullptr, iso, nullptr, &es);
+        result.stats.activeCells = es.activeCells;
         result.extractMs = msSince(t0);
     } else {
         body::BodyFieldOptions fieldOpt;
@@ -91,7 +101,16 @@ ReconstructionResult reconstructFromPose(const body::Pose& pose,
         result.stats.bonesPruned = body.stats->bonesPruned();
 
         t0 = std::chrono::steady_clock::now();
-        result.mesh = mesh::extractIsoSurface(grid, sampler);
+        // Same weld opt-out as dense (identical meshes either way); the
+        // extraction fans out over the sampling pool — output is
+        // byte-identical for any worker count.
+        mesh::IsoSurfaceOptions iso;
+        iso.weldVertices = false;
+        iso.pool = sampling.pool;
+        mesh::ExtractStats es;
+        result.mesh = mesh::extractIsoSurface(grid, &sampler, iso, nullptr, &es);
+        result.stats.activeCells = es.activeCells;
+        result.stats.reusedTopologyBlocks = es.reusedTopologyBlocks;
         result.extractMs = msSince(t0);
     }
     result.success = !result.mesh.empty();

@@ -68,6 +68,7 @@ void SparseReconstructor::invalidate() {
     prevCapsules_.clear();
     std::fill(accumDrift_.begin(), accumDrift_.end(), 0.0f);
     std::fill(prevSupport_.begin(), prevSupport_.end(), ~0ull);
+    extractCache_.clear();
 }
 
 void SparseReconstructor::rebuildGrid(const geom::AABB& bodyBounds) {
@@ -80,6 +81,7 @@ void SparseReconstructor::rebuildGrid(const geom::AABB& bodyBounds) {
     const auto blocks = static_cast<std::size_t>(sampler_->blockCount());
     accumDrift_.assign(blocks, 0.0f);
     prevSupport_.assign(blocks, ~0ull);
+    extractCache_.clear();
     haveFrame_ = false;
     prevCapsules_.clear();
     if (frames_ > 0) ++rebuilds_;
@@ -378,7 +380,19 @@ ReconstructionResult SparseReconstructor::reconstruct(const body::Pose& pose) {
     result.stats.bonesPruned = body.stats->bonesPruned();
 
     const auto t1 = std::chrono::steady_clock::now();
-    result.mesh = mesh::extractIsoSurface(*grid_, *sampler_);
+    // Block-local extraction over the persistent grid: weld skipped (one
+    // vertex per crossing edge by construction), worker fan-out over the
+    // sampling pool, and the per-block topology cache carried across
+    // frames — a block whose node signs did not change re-emits from its
+    // cached active-cell list, recomputing only vertex positions.
+    mesh::IsoSurfaceOptions iso;
+    iso.weldVertices = false;
+    iso.pool = pool;
+    mesh::ExtractStats es;
+    result.mesh =
+        mesh::extractIsoSurface(*grid_, sampler_.get(), iso, &extractCache_, &es);
+    result.stats.activeCells = es.activeCells;
+    result.stats.reusedTopologyBlocks = es.reusedTopologyBlocks;
     result.extractMs = msSince(t1);
     result.success = !result.mesh.empty();
     if (!result.success) result.failureReason = "empty iso-surface";
