@@ -119,8 +119,8 @@ struct ChannelSpec {
     std::map<std::string, double> params;
 };
 
-// Registered kinds: "traditional", "keypoint", "text", "image",
-// "foveated", "adaptive-mesh", "vector" (stable, sorted).
+// Registered kinds: "adaptive-mesh", "foveated", "image", "keypoint",
+// "synthetic", "text", "traditional", "vector" (stable, sorted).
 std::vector<std::string> listChannelKinds();
 
 // Accepted param keys for one kind (throws on unknown kind).
@@ -231,5 +231,24 @@ struct VectorChannelOptions {
 // must use the same model instance.
 std::unique_ptr<SemanticChannel> makeVectorChannel(const body::BodyModel& model,
                                                    const VectorChannelOptions& options = {});
+
+// Synthetic cost-model channel: a deterministic payload of 'payloadBytes'
+// with configurable *simulated* encode/decode stage costs and no real
+// extraction or reconstruction. Exists for scheduler studies — straggler
+// scenarios mixing encode-heavy and decode-heavy participants exercise
+// the conference stage graph without geometry work dominating the run.
+// With rateAdaptive set, the payload shrinks to fit the reported
+// bandwidth estimate (bytes = min(payloadBytes, est / 8 / fps), floored
+// at minBytes), so degradation ladders and arbiter targets still bite.
+struct SyntheticChannelOptions {
+    std::size_t payloadBytes{4096};
+    double simulatedExtractMs{2.0};
+    double simulatedReconMs{2.0};
+    bool rateAdaptive{true};
+    double fps{30.0};
+    std::size_t minBytes{64};
+};
+std::unique_ptr<SemanticChannel> makeSyntheticChannel(
+    const SyntheticChannelOptions& options = {});
 
 }  // namespace semholo::core

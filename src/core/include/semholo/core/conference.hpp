@@ -135,6 +135,14 @@ struct ConferenceConfig {
     bool enableDownlinks{true};
     // Default per-viewer downlink when Participant::downlink is unset.
     net::LinkConfig downlink{};
+    // Maximum capture ticks in flight in the event-driven stage graph: a
+    // user's tick f encode is released once its own tick f-1 feedback
+    // (and decode) landed AND tick f-depth fully retired, so fast users
+    // pipeline ahead of stragglers by up to this many ticks. 1 reproduces
+    // the legacy per-tick barrier schedule. The value changes scheduling
+    // only, never results: serial and pipelined runs are byte-identical
+    // at any depth and any worker count.
+    std::size_t pipelineDepth{4};
 };
 
 // Run an SFU conference: constructs each participant's channel from its

@@ -83,13 +83,22 @@ public:
     double targetRateBps() const { return targetRateBps_; }
     std::size_t downgrades() const { return downgrades_; }
     std::size_t upgrades() const { return upgrades_; }
-    const std::vector<DegradationDecision>& decisions() const {
-        return decisions_;
-    }
+    // The most recent transitions (up to kDecisionHistoryCap), oldest
+    // first. Long-running sessions keep a bounded window; the exact
+    // lifetime transition counts stay in downgrades()/upgrades().
+    std::vector<DegradationDecision> decisions() const;
+    // Lifetime transition count (== downgrades() + upgrades()), which
+    // may exceed decisions().size() once the history window wraps.
+    std::size_t decisionsRecorded() const { return decisionsRecorded_; }
     void reset();
+
+    // Bounded transition history: a soak pinned at maxLevel must not
+    // grow memory with every oscillation.
+    static constexpr std::size_t kDecisionHistoryCap = 256;
 
 private:
     bool congested(const LinkObservation& obs) const;
+    void recordDecision(const DegradationDecision& decision);
 
     DegradationConfig config_;
     double frameIntervalS_{1.0 / 30.0};
@@ -100,7 +109,10 @@ private:
     int goodStreak_{0};
     std::size_t downgrades_{0};
     std::size_t upgrades_{0};
-    std::vector<DegradationDecision> decisions_;
+    // Ring buffer of the last kDecisionHistoryCap transitions.
+    std::vector<DegradationDecision> decisionRing_;
+    std::size_t decisionHead_{0};
+    std::size_t decisionsRecorded_{0};
 };
 
 }  // namespace semholo::core

@@ -14,11 +14,14 @@
 //    serial engine. In single-user runs the pool absorbs the per-frame
 //    quality evaluation.
 //
-// Multi-user runs are scheduled per capture tick (encode tick ->
-// sequenced link -> per-user feedback -> decode tick), so every
-// participant's throughput estimator and DegradationPolicy observe their
-// own link outcomes before the next tick encodes — the closed loop of
-// the paper's semantic coordinator, at conference scale.
+// Multi-user runs execute as a completion-event-driven stage graph
+// (encode -> sequenced uplink ticket -> downlink fan-out -> decode per
+// user and tick, with explicit dependency edges), so every participant's
+// throughput estimator and DegradationPolicy observe their own link
+// outcomes before their next tick encodes — the closed loop of the
+// paper's semantic coordinator, at conference scale — while users whose
+// feedback already landed may pipeline ahead of stragglers up to
+// ConferenceConfig::pipelineDepth ticks.
 //
 // With TimingModel::Simulated the pipeline clock is fully deterministic,
 // so `workers=1` and `workers=N` produce byte-identical per-frame
@@ -220,6 +223,57 @@ struct DownlinkStats {
     std::vector<DownlinkStreamStats> streams;
 };
 
+// ---- Stage-graph pipeline telemetry ----------------------------------------
+//
+// The conference engine executes as a completion-event-driven stage graph
+// (see DESIGN.md "Event-driven conference stage graph"): every per-user
+// frame is a chain of nodes (encode -> uplink ticket -> downlink fan-out
+// -> decode) with explicit dependency edges, and a retire node per tick
+// bounds how many ticks may be in flight (ConferenceConfig::pipelineDepth).
+// These stats describe how deep the pipeline actually ran and what the
+// event-driven schedule bought over the legacy per-tick barrier.
+
+struct PipelineStageStats {
+    std::string stage;  // "arbiter" | "encode" | "uplink" | "downlink" |
+                        // "decode" | "retire"
+    std::uint64_t nodes{};
+    // Sum of node-body wall time (ms) spent in this stage.
+    double busyMs{};
+    // Peak number of this stage's nodes executing concurrently (1 for the
+    // serial engine and for sequenced stages such as the uplink tickets).
+    std::size_t maxConcurrent{};
+    // Wall latency (ms) from a node's last dependency completing to the
+    // node starting — queueing delay in the worker pool (0 when a node
+    // starts the instant it is released).
+    telemetry::Histogram releaseLatencyMs;
+};
+
+struct PipelineStats {
+    // false: nodes ran in insertion order on the calling thread (serial
+    // engine). true: nodes ran event-driven over the worker pool.
+    bool eventDriven{false};
+    std::size_t workers{1};
+    std::size_t pipelineDepth{1};
+    std::uint64_t nodes{};
+    std::uint64_t edges{};
+    // Peak capture ticks simultaneously in flight (bounded by
+    // pipelineDepth); sampled at each encode-node release.
+    std::size_t maxTicksInFlight{};
+    telemetry::Histogram ticksInFlight;
+    double wallMs{};  // wall time of the graph run itself
+    // Deterministic list-schedule makespans over the recorded per-node
+    // simulated stage costs at 'workers' workers: the event-driven DAG
+    // schedule vs the legacy three-phase tick barrier on the *same*
+    // workload. Pure functions of (graph, costs, workers), so the
+    // speedup is runner-independent and CI-gateable.
+    double simulatedStageGraphMs{};
+    double simulatedBarrierMs{};
+    double simulatedSpeedup{1.0};   // barrier / stage-graph
+    double simulatedIdleMs{};        // workers*makespan - total cost (DAG)
+    double simulatedBarrierIdleMs{}; // same, for the barrier schedule
+    std::vector<PipelineStageStats> stages;
+};
+
 struct MultiSessionStats {
     std::vector<SessionStats> perUser;
     double aggregateMbps{};
@@ -241,6 +295,10 @@ struct MultiSessionStats {
     // per user (perUser[u].telemetry) by the link's senderTag and merged
     // here, so the totals equal the shared link's totals.
     telemetry::SessionTelemetry telemetry;
+    // Stage-graph execution telemetry: node/edge counts, per-stage
+    // occupancy and release latency, pipeline depth actually used, and
+    // the deterministic stage-graph vs tick-barrier schedule comparison.
+    PipelineStats pipeline;
     // Users whose mean end-to-end latency meets 'budgetMs'.
     std::size_t usersWithinLatency(double budgetMs) const;
 };

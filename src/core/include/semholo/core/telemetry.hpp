@@ -118,7 +118,13 @@ struct SessionTelemetry {
 //      recon_reused_topology_blocks in session counters) and the
 //      BENCH_fig4 "extraction" section gating the within-run
 //      block-extractor vs legacy speedup.
-inline constexpr std::uint64_t kBenchSchemaVersion = 4;
+//   5: conference documents carry the stage-graph "pipeline" section
+//      (node/edge counts, per-stage occupancy and release latency,
+//      ticks-in-flight, and the deterministic stage-graph vs tick-barrier
+//      schedule comparison) in every MultiSessionStats value, plus the
+//      BENCH_conference "straggler_pipeline" section gating the
+//      within-run pipelined-vs-barrier tick throughput.
+inline constexpr std::uint64_t kBenchSchemaVersion = 5;
 
 // Minimal JSON document builder shared by the bench exporters, so ad-hoc
 // bench output (speedups, per-row results) lands in the same files as

@@ -133,6 +133,22 @@ const std::map<std::string, RegistryEntry>& registry() {
                 o.safety = p.get("safety", o.safety);
                 return makeAdaptiveMeshChannel(o);
             }};
+        r["synthetic"] = {
+            {"payloadBytes", "simulatedExtractMs", "simulatedReconMs",
+             "rateAdaptive", "fps", "minBytes"},
+            false,
+            [](ParamReader& p, const body::BodyModel*) {
+                SyntheticChannelOptions o;
+                o.payloadBytes = p.getSize("payloadBytes", o.payloadBytes);
+                o.simulatedExtractMs =
+                    p.get("simulatedExtractMs", o.simulatedExtractMs);
+                o.simulatedReconMs =
+                    p.get("simulatedReconMs", o.simulatedReconMs);
+                o.rateAdaptive = p.getBool("rateAdaptive", o.rateAdaptive);
+                o.fps = p.get("fps", o.fps);
+                o.minBytes = p.getSize("minBytes", o.minBytes);
+                return makeSyntheticChannel(o);
+            }};
         r["vector"] = {
             {"latentDim", "trainingFrames", "trainingSeed"},
             true,

@@ -1,5 +1,6 @@
 #include "semholo/core/channel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -342,6 +343,47 @@ private:
     FoveatedOptions options_;
 };
 
+// Synthetic cost-model channel: deterministic payload, configurable
+// simulated stage costs, no geometry. The payload is a repeating pattern
+// seeded by the frame id so byte-identity tests compare real content.
+class SyntheticChannel final : public SemanticChannel {
+public:
+    explicit SyntheticChannel(const SyntheticChannelOptions& options)
+        : options_(options) {}
+
+    std::string name() const override { return "synthetic"; }
+
+    EncodedFrame encode(const FrameContext& frame) override {
+        EncodedFrame out;
+        out.frameId = frame.pose.frameId;
+        std::size_t bytes = options_.payloadBytes;
+        if (options_.rateAdaptive && frame.estimatedBandwidthBps > 0.0 &&
+            options_.fps > 0.0) {
+            const auto budget = static_cast<std::size_t>(
+                frame.estimatedBandwidthBps / 8.0 / options_.fps);
+            bytes = std::min(bytes, budget);
+        }
+        bytes = std::max(bytes, options_.minBytes);
+        out.data.resize(bytes);
+        for (std::size_t i = 0; i < bytes; ++i)
+            out.data[i] = static_cast<std::uint8_t>(
+                (out.frameId * 131u + static_cast<std::uint32_t>(i)) & 0xFF);
+        out.simulatedExtractMs = options_.simulatedExtractMs;
+        return out;
+    }
+
+    DecodedFrame decode(const EncodedFrame& encoded) override {
+        DecodedFrame out;
+        out.frameId = encoded.frameId;
+        out.valid = !encoded.data.empty();
+        out.simulatedReconMs = options_.simulatedReconMs;
+        return out;
+    }
+
+private:
+    SyntheticChannelOptions options_;
+};
+
 }  // namespace
 
 mesh::TriMesh FrameContext::groundTruth() const {
@@ -364,6 +406,11 @@ std::unique_ptr<SemanticChannel> makeTextChannel(const TextChannelOptions& optio
 
 std::unique_ptr<SemanticChannel> makeFoveatedChannel(const FoveatedOptions& options) {
     return std::make_unique<FoveatedChannel>(options);
+}
+
+std::unique_ptr<SemanticChannel> makeSyntheticChannel(
+    const SyntheticChannelOptions& options) {
+    return std::make_unique<SyntheticChannel>(options);
 }
 
 }  // namespace semholo::core

@@ -1,6 +1,6 @@
 // Conference entry points and the bandwidth arbiter. The engine itself
-// (the frame-tick SFU scheduler) lives in multiuser_session.cpp; this
-// file owns the descriptor -> channel construction, the per-tick
+// (the event-driven stage-graph scheduler) lives in multiuser_session.cpp;
+// this file owns the descriptor -> channel construction, the per-tick
 // allocation math, and the JSON export of session / conference stats.
 #include <algorithm>
 #include <numeric>
@@ -255,6 +255,37 @@ std::string toJsonValue(const MultiSessionStats& stats) {
         }
         w.endArray();
     }
+    const PipelineStats& p = stats.pipeline;
+    w.beginObject("pipeline");
+    w.field("event_driven", static_cast<std::uint64_t>(p.eventDriven ? 1 : 0));
+    w.field("workers", static_cast<std::uint64_t>(p.workers));
+    w.field("pipeline_depth", static_cast<std::uint64_t>(p.pipelineDepth));
+    w.field("nodes", p.nodes);
+    w.field("edges", static_cast<std::uint64_t>(p.edges));
+    w.field("max_ticks_in_flight", static_cast<std::uint64_t>(p.maxTicksInFlight));
+    w.field("mean_ticks_in_flight", p.ticksInFlight.mean());
+    w.field("wall_ms", p.wallMs);
+    w.field("simulated_stage_graph_ms", p.simulatedStageGraphMs);
+    w.field("simulated_barrier_ms", p.simulatedBarrierMs);
+    w.field("simulated_speedup", p.simulatedSpeedup);
+    w.field("simulated_idle_ms", p.simulatedIdleMs);
+    w.field("simulated_barrier_idle_ms", p.simulatedBarrierIdleMs);
+    w.beginArray("stages");
+    for (const PipelineStageStats& s : p.stages) {
+        w.beginObject()
+            .field("stage", s.stage)
+            .field("nodes", s.nodes)
+            .field("busy_ms", s.busyMs)
+            .field("max_concurrent", static_cast<std::uint64_t>(s.maxConcurrent))
+            .field("release_latency_count",
+                   static_cast<std::uint64_t>(s.releaseLatencyMs.count()))
+            .field("release_latency_mean_ms", s.releaseLatencyMs.mean())
+            .field("release_latency_p95_ms", s.releaseLatencyMs.p95())
+            .field("release_latency_max_ms", s.releaseLatencyMs.max())
+            .endObject();
+    }
+    w.endArray();
+    w.endObject();
     w.raw("telemetry", telemetry::toJsonValue(stats.telemetry));
     w.endObject();
     return w.str();

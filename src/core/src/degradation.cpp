@@ -34,6 +34,25 @@ bool DegradationPolicy::congested(const LinkObservation& obs) const {
     return false;
 }
 
+void DegradationPolicy::recordDecision(const DegradationDecision& decision) {
+    if (decisionRing_.size() < kDecisionHistoryCap) {
+        decisionRing_.push_back(decision);
+    } else {
+        decisionRing_[decisionHead_] = decision;
+        decisionHead_ = (decisionHead_ + 1) % kDecisionHistoryCap;
+    }
+    ++decisionsRecorded_;
+}
+
+std::vector<DegradationDecision> DegradationPolicy::decisions() const {
+    std::vector<DegradationDecision> out;
+    out.reserve(decisionRing_.size());
+    for (std::size_t i = 0; i < decisionRing_.size(); ++i)
+        out.push_back(
+            decisionRing_[(decisionHead_ + i) % decisionRing_.size()]);
+    return out;
+}
+
 DegradationAction DegradationPolicy::observe(std::uint32_t frameId,
                                              const LinkObservation& obs) {
     if (!config_.enabled) return DegradationAction::Hold;
@@ -44,9 +63,14 @@ DegradationAction DegradationPolicy::observe(std::uint32_t frameId,
             ++level_;
             ++downgrades_;
             badStreak_ = 0;
-            decisions_.push_back({frameId, DegradationAction::StepDown, level_});
+            recordDecision({frameId, DegradationAction::StepDown, level_});
             return DegradationAction::StepDown;
         }
+        // Pinned at maxLevel (or downgrade disabled): the streak keeps
+        // growing with nothing left to trigger. Clamp at the threshold —
+        // >= comparisons behave identically, and a multi-billion-frame
+        // soak cannot overflow the signed counter into UB.
+        badStreak_ = std::min(badStreak_, std::max(config_.downgradeAfter, 1));
     } else {
         ++goodStreak_;
         badStreak_ = 0;
@@ -54,9 +78,11 @@ DegradationAction DegradationPolicy::observe(std::uint32_t frameId,
             --level_;
             ++upgrades_;
             goodStreak_ = 0;
-            decisions_.push_back({frameId, DegradationAction::StepUp, level_});
+            recordDecision({frameId, DegradationAction::StepUp, level_});
             return DegradationAction::StepUp;
         }
+        // Same clamp for a long clean run already at level 0.
+        goodStreak_ = std::min(goodStreak_, std::max(config_.upgradeAfter, 1));
     }
     return DegradationAction::Hold;
 }
@@ -68,7 +94,9 @@ void DegradationPolicy::reset() {
     goodStreak_ = 0;
     downgrades_ = 0;
     upgrades_ = 0;
-    decisions_.clear();
+    decisionRing_.clear();
+    decisionHead_ = 0;
+    decisionsRecorded_ = 0;
 }
 
 }  // namespace semholo::core

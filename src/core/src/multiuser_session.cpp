@@ -1,49 +1,63 @@
-// SFU conference engine: a frame-tick feedback scheduler with downlink
-// fan-out and cross-user bandwidth arbitration. Each capture tick runs
-// five phases:
+// SFU conference engine: a completion-event-driven stage graph. The
+// legacy engine ran each capture tick as three barriered phases (encode
+// fan-out, sequenced uplink, decode fan-out); this engine builds one
+// explicit dependency DAG over typed per-(tick, user) nodes and lets an
+// event-driven executor run every node the instant its dependencies
+// complete — no phase barriers, no tick barriers.
 //
-//   arbiter phase   (sequenced) when a BandwidthArbiter strategy is
-//                   configured, compute per-user uplink target rates
-//                   from the bottleneck's instantaneous capacity, each
-//                   user's offered demand (last wire frame x fps) and
-//                   historical delivered throughput; feed the targets
-//                   into every participant's DegradationPolicy and cap
-//                   the bandwidth estimate their channel sees.
-//   encode phase    every user encodes frame f (worker-pool fan-out when
-//                   a pool is supplied; each user's extractor clock and
-//                   channel state are theirs alone).
-//   uplink phase    (sequenced, user order) the tick's messages traverse
-//                   the shared server-ingest bottleneck — or each user's
-//                   own uplink when ConferenceConfig::sharedUplink is
-//                   false — with identical FIFO interleaving, loss RNG
-//                   draws and congestion for serial and parallel runs;
-//                   per message, the sender's throughput estimator and
-//                   DegradationPolicy observe that user's own outcome.
-//   downlink phase  the server forwards every delivered frame to each
-//                   subscribed viewer over that viewer's own downlink
-//                   LinkSimulator, thinned by the viewer's subscription
-//                   ladder (byteScale per rung). Fanned per viewer: all
-//                   downlink state is viewer-local, so worker count
-//                   cannot change the outcome.
-//   decode phase    every user decodes their delivered frame, advances
-//                   their recon clock and runs the (expensive) Chamfer
-//                   quality eval. (The decode is the per-source
-//                   reference decode — channels are stateful per stream,
-//                   so viewers share the source's reconstruction; the
-//                   downlink path accounts transport, not re-decode.)
+// Node kinds per tick f (inserted in exactly the legacy phase order, so
+// the serial executor *is* the legacy engine):
 //
-// Feedback observed at tick f scales the bandwidth estimate the user's
-// channel sees at tick f+1, exactly like the single-user engines. Serial
-// (pool == nullptr) and parallel runs execute the same per-user call
-// sequence in the same order, so under TimingModel::Simulated they are
-// byte-identical at any worker count (tests/core/test_conference.cpp
-// stresses this with downlinks + arbiter at workers 1/2/8).
+//   A(f) / A(f,u)  arbiter: per-user uplink target rates from the
+//                  bottleneck's instantaneous capacity, offered demands
+//                  (last wire frame x fps) and delivered-throughput
+//                  history. Shared-uplink mode has one conference-wide
+//                  node; per-user uplinks get one node per user.
+//   E(f,u)         encode: the user's channel encodes frame f against
+//                  their extractor clock and bandwidth feedback.
+//   T(f,u)         uplink ticket: the frame traverses the shared
+//                  server-ingest bottleneck (or the user's own uplink).
+//                  Tickets form a chain — global in shared mode, per
+//                  user otherwise — so the (frame, user) link-entry
+//                  order, FIFO interleaving and loss RNG draws are
+//                  identical for serial and pipelined runs. The outcome
+//                  feeds the sender's estimator and DegradationPolicy.
+//   L(f,v)         downlink fan-out: the server forwards the tick's
+//                  delivered frames to viewer v over v's own downlink,
+//                  thinned by v's subscription ladder.
+//   D(f,u)         decode: the user decodes their delivered frame,
+//                  advances their recon clock, runs the sampled Chamfer
+//                  eval, and appends the tick's FrameStats.
+//   R(f)           retire: join of every D(f,*) and L(f,*); recycles the
+//                  tick's ring slot.
+//
+// Edges (the full byte-identity argument is in DESIGN.md):
+//
+//   A(f)   <- T(f-1,*)          targets read last-tick demand/throughput
+//   E(f,u) <- A(f[,u]), D(f-1,u), R(f-depth)
+//   T(f,u) <- E(f,u), previous ticket in its chain
+//   L(f,v) <- T(f,u) per subscribed source, L(f-1,v)
+//   D(f,u) <- T(f,u)            (D(f-1,u) order holds transitively)
+//   R(f)   <- D(f,*), L(f,*), R(f-1)
+//
+// The payoff: a user's tick f+1 encode is released the moment its own
+// tick f feedback lands (plus slot retirement), so enc-heavy and
+// dec-heavy users de-stagger instead of all waiting for the slowest
+// phase member — up to ConferenceConfig::pipelineDepth ticks in flight.
+// Every mutable resource (a user's channel/clock/estimator/policy, a
+// link's FIFO + RNG, a viewer's downlink, the arbiter inputs) is
+// confined to a single dependency chain, so serial (pool == nullptr)
+// and event-driven runs are byte-identical under TimingModel::Simulated
+// at any worker count and any depth (tests/core/test_conference.cpp and
+// test_stage_graph.cpp stress this with downlinks + arbiter).
 //
 // Uplink messages are attributed to their sender via LinkSimulator's
 // senderTag; downlink messages carry (senderTag = source, receiverTag =
 // viewer) so per-(viewer, source) stream accounting lands in
-// MultiSessionStats::downlinks.
+// MultiSessionStats::downlinks. Stage occupancy, release latency and
+// ticks-in-flight land in MultiSessionStats::pipeline.
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -52,12 +66,15 @@
 #include "semholo/core/thread_pool.hpp"
 #include "semholo/net/abr.hpp"
 #include "session_internal.hpp"
+#include "stage_graph.hpp"
 
 namespace semholo::core::internal {
 
 namespace {
 
-// One user's frame in flight during a tick.
+// One user's frame in flight during a tick. Lives in a ring of
+// pipelineDepth tick-slots; E(f,u) rewrites it, T(f,u) fills the
+// transfer, L/D read it, R(f) retires the slot for tick f+depth.
 struct TickFrame {
     FrameStats frame;
     EncodedFrame encoded;
@@ -158,7 +175,9 @@ MultiSessionStats runConferenceTicked(
     // ---- Uplink topology -------------------------------------------------
     // Shared mode: one server-ingest bottleneck every participant's
     // messages traverse (attributed per user by senderTag). Per-user
-    // mode: each participant's own access link.
+    // mode: each participant's own access link. Either way, the link's
+    // observer only runs inside the link's ticket chain, so the per-user
+    // counter writes are sequenced.
     std::vector<net::LinkSimulator> uplinks;
     if (conf.sharedUplink) {
         uplinks.emplace_back(base.link);
@@ -257,215 +276,333 @@ MultiSessionStats runConferenceTicked(
     const BandwidthArbiter arbiter(conf.arbiter);
     std::vector<double> demands(users, 0.0), meanTp(users, 0.0);
 
-    std::vector<TickFrame> tick(users);
-    const auto forEachUser = [&](auto&& fn) {
-        if (pool != nullptr)
-            pool->parallelFor(users, fn);
-        else
-            for (std::size_t u = 0; u < users; ++u) fn(u);
+    // ---- Stage bodies ------------------------------------------------------
+    // Each body captures the tick index and ring slot by value and every
+    // engine resource by reference; the graph edges built below are what
+    // make the captured-by-reference state race-free.
+    const std::size_t depth = std::max<std::size_t>(1, conf.pipelineDepth);
+    std::vector<std::vector<TickFrame>> ring(depth,
+                                             std::vector<TickFrame>(users));
+
+    const auto arbiterSharedBody = [&](double captureTime) {
+        const double capacity = uplinks[0].effectiveRateAt(captureTime);
+        for (std::size_t u = 0; u < users; ++u) {
+            demands[u] = state[u].lastSentBytes > 0
+                             ? static_cast<double>(state[u].lastSentBytes) *
+                                   8.0 * base.fps
+                             : 0.0;
+            meanTp[u] = state[u].throughput.hasEstimate()
+                            ? state[u].throughput.estimate()
+                            : 0.0;
+        }
+        const std::vector<double> targets =
+            arbiter.allocate(capacity, demands, meanTp);
+        for (std::size_t u = 0; u < users; ++u) {
+            state[u].targetRateBps = targets[u];
+            state[u].degrade.setTargetRateBps(targets[u]);
+            state[u].targetSumBps += targets[u];
+            ++state[u].targetTicks;
+        }
+        return 0.0;
     };
 
-    for (std::size_t f = 0; f < base.frames; ++f) {
-        const double captureTime = static_cast<double>(f) / base.fps;
+    // Independent uplinks: each user's target is their own link's
+    // instantaneous capacity with the safety margin.
+    const auto arbiterUserBody = [&](std::size_t u, double captureTime) {
+        const double target =
+            std::max(conf.arbiter.minRateBps,
+                     uplinkFor(u).effectiveRateAt(captureTime) *
+                         conf.arbiter.safety);
+        state[u].targetRateBps = target;
+        state[u].degrade.setTargetRateBps(target);
+        state[u].targetSumBps += target;
+        ++state[u].targetTicks;
+        return 0.0;
+    };
 
-        // Arbiter phase (sequenced): per-user targets from the current
-        // bottleneck capacity — effectiveRateAt folds the bandwidth
-        // trace and fault schedule in, so an outage collapses everyone's
-        // target and the ladders step down before the queue overflows.
+    // Encode: touches only this user's channel, motion generator, clocks
+    // and feedback state, plus the (retired) ring slot it rewrites.
+    const auto encodeBody = [&](std::size_t f, std::size_t slot, std::size_t u,
+                                double captureTime) {
+        TickFrame& p = ring[slot][u];
+        p = TickFrame{};
+        p.captureTime = captureTime;
+        p.frame.frameId = static_cast<std::uint32_t>(f);
+        UserState& us = state[u];
+        if (base.dropWhenBusy && us.extractorFreeAt > captureTime) {
+            p.frame.droppedAtSender = true;
+            return 0.0;
+        }
+        FrameContext ctx;
+        ctx.pose = motions[u].poseAt(captureTime);
+        ctx.pose.frameId = p.frame.frameId;
+        ctx.model = &model;
+        ctx.timestamp = captureTime;
+        ctx.viewerHead = heads[u];
+        // Bandwidth feedback: the throughput estimate, capped at the
+        // arbiter's target when one is set (the target alone seeds the
+        // loop before the first sample — rate-adaptive channels start at
+        // their share instead of blasting the top rung).
+        double est =
+            us.throughput.hasEstimate() ? us.throughput.estimate() : 0.0;
+        if (us.targetRateBps > 0.0)
+            est = est > 0.0 ? std::min(est, us.targetRateBps)
+                            : us.targetRateBps;
+        if (est > 0.0)
+            ctx.estimatedBandwidthBps = est * us.degrade.bandwidthScale();
+        p.encoded = channels[u]->encode(ctx);
+        p.pose = std::move(ctx.pose);
+        p.frame.bytes = p.encoded.bytes();
+        p.frame.extractMs = p.encoded.extractMs();
+        const double stageMs = clockExtractMs(p.encoded, base.timing);
+        p.sendTime = std::max(captureTime, us.extractorFreeAt) + stageMs / 1000.0;
+        us.extractorFreeAt = p.sendTime;
+        p.sent = true;
+        return stageMs;
+    };
+
+    // Uplink ticket: the sequenced link stage. Runs inside its link's
+    // ticket chain, so FIFO queueing, loss RNG draws and congestion see
+    // the same (frame, user) entry order at any worker count; the
+    // outcome feeds this user's estimator and degradation policy before
+    // their next encode is released.
+    const auto uplinkBody = [&](std::size_t slot, std::size_t u) {
+        TickFrame& p = ring[slot][u];
+        if (!p.sent) return 0.0;
+        UserState& us = state[u];
+        net::LinkSimulator& link = uplinkFor(u);
+        const std::size_t queuedAtSend = degradationFor(u).enabled || arbiterOn
+                                             ? link.queuedBytesAt(p.sendTime)
+                                             : 0;
+        p.transfer =
+            link.sendMessage(p.frame.bytes, p.sendTime, base.transfer, u);
+        p.frame.delivered = p.transfer.delivered;
+        p.frame.transferMs = p.transfer.durationS() * 1000.0;
+        us.lastSentBytes = p.frame.bytes;
+        if (p.transfer.delivered && p.frame.bytes > 0) {
+            // Serialization-dominated throughput sample (propagation
+            // subtracted), as in the single-user engines.
+            const double serialS =
+                std::max(1e-5, p.transfer.durationS() -
+                                   link.config().propagationDelayS);
+            us.throughput.addSample(static_cast<double>(p.frame.bytes) * 8.0 /
+                                    serialS);
+        }
+        if (degradationFor(u).enabled) {
+            const DegradationAction action = us.degrade.observe(
+                p.frame.frameId,
+                {p.transfer.delivered, p.transfer.durationS(),
+                 p.transfer.unrecoveredPackets, p.transfer.droppedAtQueue,
+                 p.transfer.faultEvents, queuedAtSend, p.frame.bytes});
+            if (action == DegradationAction::StepDown)
+                ++out.perUser[u].telemetry.counters.degradations;
+            else if (action == DegradationAction::StepUp)
+                ++out.perUser[u].telemetry.counters.upgrades;
+        }
+        return 0.0;
+    };
+
+    // Downlink fan-out for one viewer: reads the tick's uplink results
+    // (read-only — decode also reads them, concurrently), writes only
+    // viewer-local state.
+    const auto downlinkBody = [&](std::size_t slot, std::size_t v) {
+        DownlinkState& d = downs[v];
+        for (const auto& [u, scale] : d.subs) {
+            const TickFrame& p = ring[slot][u];
+            if (!p.sent || !p.transfer.delivered) continue;
+            const auto bytes = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       static_cast<double>(p.frame.bytes) * scale));
+            // Forward when the server received the frame; the clock
+            // keeps per-viewer send times monotonic (per-user uplinks
+            // complete out of user order).
+            const double at = std::max(p.transfer.completionTime, d.clock);
+            const net::TransferResult r =
+                d.link[0].sendMessage(bytes, at, base.transfer, u, v);
+            d.clock = at;
+            DownlinkStreamStats& ss = d.stats.streams[d.streamIndex[u]];
+            ++ss.framesForwarded;
+            ss.bytesForwarded += bytes;
+            ss.packets += r.packets;
+            ss.packetsDelivered += r.deliveredPackets;
+            ss.packetsUnrecovered += r.unrecoveredPackets;
+            if (r.delivered) {
+                ++ss.framesDelivered;
+                ss.bytesDelivered += bytes;
+            }
+            d.transferMsSum += r.durationS() * 1000.0;
+        }
+        return 0.0;
+    };
+
+    // Decode: reads the ring slot (never writes it — the downlink nodes
+    // of the same tick may still be reading), advances this user's recon
+    // clock and (when sampled) runs the Chamfer eval.
+    const auto decodeBody = [&](std::size_t f, std::size_t slot,
+                                std::size_t u) {
+        const TickFrame& p = ring[slot][u];
+        SessionStats& s = out.perUser[u];
+        FrameStats frame = p.frame;
+        if (frame.droppedAtSender) {
+            s.frames.push_back(std::move(frame));
+            return 0.0;
+        }
+        UserState& us = state[u];
+        double stageMs = 0.0;
+        if (p.transfer.delivered) {
+            const double arrival = p.transfer.completionTime;
+            if (base.dropWhenBusy && us.reconFreeAt > arrival) {
+                frame.droppedAtReceiver = true;
+            } else {
+                const DecodedFrame decoded = channels[u]->decode(p.encoded);
+                frame.decoded = decoded.valid;
+                frame.reconMs = decoded.reconMs();
+                copyReconCounters(frame, decoded);
+                stageMs = clockReconMs(decoded, base.timing);
+                const double renderTime =
+                    std::max(arrival, us.reconFreeAt) + stageMs / 1000.0;
+                us.reconFreeAt = renderTime;
+                frame.e2eMs = (renderTime - p.captureTime) * 1000.0;
+                if (decoded.valid && base.qualityEvalInterval > 0 &&
+                    f % base.qualityEvalInterval == 0 &&
+                    !decoded.mesh.empty()) {
+                    evaluateQuality(frame, model, p.pose, decoded.mesh,
+                                    base.qualitySamples);
+                }
+            }
+        } else {
+            frame.e2eMs = (p.transfer.completionTime - p.captureTime) * 1000.0;
+        }
+        s.frames.push_back(std::move(frame));
+        return stageMs;
+    };
+
+    // ---- Graph construction ------------------------------------------------
+    // Nodes are inserted in the legacy per-tick phase order (arbiter,
+    // encodes, tickets, downlinks, decodes, retire), so runSerial() is
+    // the legacy schedule; the edges are everything runParallel() needs.
+    StageGraph graph;
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> prevTicket(users, kNone);
+    std::vector<std::size_t> prevDecode(users, kNone);
+    std::vector<std::size_t> prevDown(users, kNone);
+    std::vector<std::size_t> retireNodes;
+    retireNodes.reserve(base.frames);
+    std::size_t lastTicketGlobal = kNone;
+    std::size_t prevRetire = kNone;
+    std::vector<std::size_t> enc(users), tix(users), dec(users), downNodes;
+
+    for (std::size_t f = 0; f < base.frames; ++f) {
+        const std::size_t slot = f % depth;
+        const double captureTime = static_cast<double>(f) / base.fps;
+        const std::uint32_t tick = static_cast<std::uint32_t>(f);
+
+        // Arbiter: needs every user's previous-tick ticket outcome. In
+        // shared mode the global ticket chain makes one edge from the
+        // last ticket suffice.
+        std::size_t sharedArb = kNone;
+        std::vector<std::size_t> userArb;
         if (arbiterOn) {
             if (conf.sharedUplink) {
-                const double capacity = uplinks[0].effectiveRateAt(captureTime);
-                for (std::size_t u = 0; u < users; ++u) {
-                    demands[u] = state[u].lastSentBytes > 0
-                                     ? static_cast<double>(
-                                           state[u].lastSentBytes) *
-                                           8.0 * base.fps
-                                     : 0.0;
-                    meanTp[u] = state[u].throughput.hasEstimate()
-                                    ? state[u].throughput.estimate()
-                                    : 0.0;
-                }
-                const std::vector<double> targets =
-                    arbiter.allocate(capacity, demands, meanTp);
-                for (std::size_t u = 0; u < users; ++u) {
-                    state[u].targetRateBps = targets[u];
-                    state[u].degrade.setTargetRateBps(targets[u]);
-                    state[u].targetSumBps += targets[u];
-                    ++state[u].targetTicks;
-                }
+                sharedArb = graph.addNode(
+                    StageKind::Arbiter, tick, kNone,
+                    [&, captureTime] { return arbiterSharedBody(captureTime); });
+                if (lastTicketGlobal != kNone)
+                    graph.addEdge(lastTicketGlobal, sharedArb);
             } else {
-                // Independent uplinks: each user's target is their own
-                // link's instantaneous capacity with the safety margin.
+                userArb.assign(users, kNone);
                 for (std::size_t u = 0; u < users; ++u) {
-                    const double target = std::max(
-                        conf.arbiter.minRateBps,
-                        uplinkFor(u).effectiveRateAt(captureTime) *
-                            conf.arbiter.safety);
-                    state[u].targetRateBps = target;
-                    state[u].degrade.setTargetRateBps(target);
-                    state[u].targetSumBps += target;
-                    ++state[u].targetTicks;
+                    userArb[u] = graph.addNode(
+                        StageKind::Arbiter, tick, u, [&, u, captureTime] {
+                            return arbiterUserBody(u, captureTime);
+                        });
+                    if (prevTicket[u] != kNone)
+                        graph.addEdge(prevTicket[u], userArb[u]);
                 }
             }
         }
 
-        // Encode phase: each user's encode touches only their own
-        // channel, motion generator, clocks and feedback state.
-        forEachUser([&](std::size_t u) {
-            TickFrame& p = tick[u];
-            p = TickFrame{};
-            p.captureTime = captureTime;
-            p.frame.frameId = static_cast<std::uint32_t>(f);
-            UserState& us = state[u];
-            if (base.dropWhenBusy && us.extractorFreeAt > captureTime) {
-                p.frame.droppedAtSender = true;
-                return;
-            }
-            FrameContext ctx;
-            ctx.pose = motions[u].poseAt(captureTime);
-            ctx.pose.frameId = p.frame.frameId;
-            ctx.model = &model;
-            ctx.timestamp = captureTime;
-            ctx.viewerHead = heads[u];
-            // Bandwidth feedback: the throughput estimate, capped at the
-            // arbiter's target when one is set (the target alone seeds
-            // the loop before the first sample — rate-adaptive channels
-            // start at their share instead of blasting the top rung).
-            double est = us.throughput.hasEstimate() ? us.throughput.estimate()
-                                                     : 0.0;
-            if (us.targetRateBps > 0.0)
-                est = est > 0.0 ? std::min(est, us.targetRateBps)
-                                : us.targetRateBps;
-            if (est > 0.0)
-                ctx.estimatedBandwidthBps = est * us.degrade.bandwidthScale();
-            p.encoded = channels[u]->encode(ctx);
-            p.pose = std::move(ctx.pose);
-            p.frame.bytes = p.encoded.bytes();
-            p.frame.extractMs = p.encoded.extractMs();
-            p.sendTime = std::max(captureTime, us.extractorFreeAt) +
-                         clockExtractMs(p.encoded, base.timing) / 1000.0;
-            us.extractorFreeAt = p.sendTime;
-            p.sent = true;
-        });
-
-        // Uplink + feedback phase: sequenced on the coordinating thread
-        // in user order — the same (frame, user) interleaving the serial
-        // engine always had, so FIFO queueing, loss RNG draws and
-        // congestion are engine-independent. Each message's outcome
-        // feeds that user's estimator and degradation policy before the
-        // next tick encodes.
+        // Encode: released by this user's own previous decode (channel
+        // state + feedback), the tick's arbiter targets, and the retire
+        // of the ring slot it reuses. That is the pipelining win — no
+        // edge to any *other* user's tick f-1 work.
         for (std::size_t u = 0; u < users; ++u) {
-            TickFrame& p = tick[u];
-            if (!p.sent) continue;
-            UserState& us = state[u];
-            net::LinkSimulator& link = uplinkFor(u);
-            const std::size_t queuedAtSend =
-                degradationFor(u).enabled || arbiterOn
-                    ? link.queuedBytesAt(p.sendTime)
-                    : 0;
-            p.transfer =
-                link.sendMessage(p.frame.bytes, p.sendTime, base.transfer, u);
-            p.frame.delivered = p.transfer.delivered;
-            p.frame.transferMs = p.transfer.durationS() * 1000.0;
-            us.lastSentBytes = p.frame.bytes;
-            if (p.transfer.delivered && p.frame.bytes > 0) {
-                // Serialization-dominated throughput sample (propagation
-                // subtracted), as in the single-user engines.
-                const double serialS = std::max(
-                    1e-5, p.transfer.durationS() -
-                              link.config().propagationDelayS);
-                us.throughput.addSample(static_cast<double>(p.frame.bytes) *
-                                        8.0 / serialS);
-            }
-            if (degradationFor(u).enabled) {
-                const DegradationAction action = us.degrade.observe(
-                    p.frame.frameId,
-                    {p.transfer.delivered, p.transfer.durationS(),
-                     p.transfer.unrecoveredPackets, p.transfer.droppedAtQueue,
-                     p.transfer.faultEvents, queuedAtSend, p.frame.bytes});
-                if (action == DegradationAction::StepDown)
-                    ++out.perUser[u].telemetry.counters.degradations;
-                else if (action == DegradationAction::StepUp)
-                    ++out.perUser[u].telemetry.counters.upgrades;
-            }
+            enc[u] = graph.addNode(StageKind::Encode, tick, u,
+                                   [&, f, slot, u, captureTime] {
+                                       return encodeBody(f, slot, u,
+                                                         captureTime);
+                                   });
+            if (prevDecode[u] != kNone) graph.addEdge(prevDecode[u], enc[u]);
+            const std::size_t arbNode =
+                sharedArb != kNone ? sharedArb
+                                   : (userArb.empty() ? kNone : userArb[u]);
+            if (arbNode != kNone) graph.addEdge(arbNode, enc[u]);
+            if (f >= depth) graph.addEdge(retireNodes[f - depth], enc[u]);
         }
 
-        // Downlink phase: the server fans every delivered frame out to
-        // its subscribed viewers. Fanned per viewer — each viewer's
-        // downlink simulator, clock and stream counters are theirs
-        // alone, and the tick's uplink results are read-only here — so
-        // serial and parallel runs stay byte-identical.
+        // Uplink tickets: the per-link entry-order chain.
+        for (std::size_t u = 0; u < users; ++u) {
+            tix[u] = graph.addNode(StageKind::Uplink, tick, u,
+                                   [&, slot, u] { return uplinkBody(slot, u); });
+            graph.addEdge(enc[u], tix[u]);
+            if (conf.sharedUplink) {
+                if (lastTicketGlobal != kNone)
+                    graph.addEdge(lastTicketGlobal, tix[u]);
+                lastTicketGlobal = tix[u];
+            } else if (prevTicket[u] != kNone) {
+                graph.addEdge(prevTicket[u], tix[u]);
+            }
+            prevTicket[u] = tix[u];
+        }
+
+        // Downlink fan-out: one node per viewer with subscriptions.
+        downNodes.clear();
         if (conf.enableDownlinks) {
-            forEachUser([&](std::size_t v) {
-                DownlinkState& d = downs[v];
-                for (const auto& [u, scale] : d.subs) {
-                    const TickFrame& p = tick[u];
-                    if (!p.sent || !p.transfer.delivered) continue;
-                    const auto bytes = std::max<std::size_t>(
-                        1, static_cast<std::size_t>(
-                               static_cast<double>(p.frame.bytes) * scale));
-                    // Forward when the server received the frame; the
-                    // clock keeps per-viewer send times monotonic (per-
-                    // user uplinks complete out of user order).
-                    const double at = std::max(p.transfer.completionTime,
-                                               d.clock);
-                    const net::TransferResult r = d.link[0].sendMessage(
-                        bytes, at, base.transfer, u, v);
-                    d.clock = at;
-                    DownlinkStreamStats& ss =
-                        d.stats.streams[d.streamIndex[u]];
-                    ++ss.framesForwarded;
-                    ss.bytesForwarded += bytes;
-                    ss.packets += r.packets;
-                    ss.packetsDelivered += r.deliveredPackets;
-                    ss.packetsUnrecovered += r.unrecoveredPackets;
-                    if (r.delivered) {
-                        ++ss.framesDelivered;
-                        ss.bytesDelivered += bytes;
-                    }
-                    d.transferMsSum += r.durationS() * 1000.0;
+            for (std::size_t v = 0; v < users; ++v) {
+                if (downs[v].subs.empty()) continue;
+                const std::size_t node =
+                    graph.addNode(StageKind::Downlink, tick, v, [&, slot, v] {
+                        return downlinkBody(slot, v);
+                    });
+                for (const auto& [u, scale] : downs[v].subs) {
+                    (void)scale;
+                    graph.addEdge(tix[u], node);
                 }
-            });
+                if (prevDown[v] != kNone) graph.addEdge(prevDown[v], node);
+                prevDown[v] = node;
+                downNodes.push_back(node);
+            }
         }
 
-        // Decode phase: each user decodes their own arrival, advances
-        // their recon clock and (when sampled) runs the Chamfer eval.
-        forEachUser([&](std::size_t u) {
-            TickFrame& p = tick[u];
-            SessionStats& s = out.perUser[u];
-            FrameStats frame = std::move(p.frame);
-            if (frame.droppedAtSender) {
-                s.frames.push_back(std::move(frame));
-                return;
-            }
-            UserState& us = state[u];
-            if (p.transfer.delivered) {
-                const double arrival = p.transfer.completionTime;
-                if (base.dropWhenBusy && us.reconFreeAt > arrival) {
-                    frame.droppedAtReceiver = true;
-                } else {
-                    const DecodedFrame decoded = channels[u]->decode(p.encoded);
-                    frame.decoded = decoded.valid;
-                    frame.reconMs = decoded.reconMs();
-                    copyReconCounters(frame, decoded);
-                    const double renderTime =
-                        std::max(arrival, us.reconFreeAt) +
-                        clockReconMs(decoded, base.timing) / 1000.0;
-                    us.reconFreeAt = renderTime;
-                    frame.e2eMs = (renderTime - p.captureTime) * 1000.0;
-                    if (decoded.valid && base.qualityEvalInterval > 0 &&
-                        f % base.qualityEvalInterval == 0 &&
-                        !decoded.mesh.empty()) {
-                        evaluateQuality(frame, model, p.pose, decoded.mesh,
-                                        base.qualitySamples);
-                    }
-                }
-            } else {
-                frame.e2eMs = (p.transfer.completionTime - p.captureTime) * 1000.0;
-            }
-            s.frames.push_back(std::move(frame));
-        });
+        // Decode. (The D(f-1,u) order needed for frames.push_back holds
+        // transitively: D(f,u) <- T(f,u) <- E(f,u) <- D(f-1,u).)
+        for (std::size_t u = 0; u < users; ++u) {
+            dec[u] = graph.addNode(StageKind::Decode, tick, u,
+                                   [&, f, slot, u] {
+                                       return decodeBody(f, slot, u);
+                                   });
+            graph.addEdge(tix[u], dec[u]);
+            prevDecode[u] = dec[u];
+        }
+
+        // Retire: the tick's completion join; releases its ring slot for
+        // tick f + depth.
+        const std::size_t retire =
+            graph.addNode(StageKind::Retire, tick, kNone, [] { return 0.0; });
+        for (std::size_t u = 0; u < users; ++u) graph.addEdge(dec[u], retire);
+        for (const std::size_t node : downNodes) graph.addEdge(node, retire);
+        if (prevRetire != kNone) graph.addEdge(prevRetire, retire);
+        prevRetire = retire;
+        retireNodes.push_back(retire);
     }
+
+    // ---- Run ----------------------------------------------------------------
+    if (pool != nullptr)
+        graph.runParallel(*pool);
+    else
+        graph.runSerial();
+    graph.fillStats(out.pipeline, pool != nullptr ? pool->size() : 1);
+    out.pipeline.pipelineDepth = depth;
 
     // Downlink rollup: per-viewer totals, the conference-wide fan-out
     // totals, and each viewer's share of the fanned-out bytes.

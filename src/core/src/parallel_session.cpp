@@ -1,11 +1,11 @@
-// Parallel session engine. Multi-user runs delegate to the frame-tick
-// scheduler (multiuser_session.cpp) with the per-tick encode and decode
-// phases fanned across the worker pool; the shared-bottleneck
-// LinkSimulator stays a single sequenced stage fed in exactly the serial
+// Parallel session engine. Multi-user runs delegate to the event-driven
+// stage graph (multiuser_session.cpp / stage_graph.hpp): per-(tick, user)
+// nodes released by their dependency edges, with each link's entry order
+// preserved by a sequenced ticket chain fed in exactly the serial
 // engine's (frame, user) order, so congestion semantics are identical
 // and under TimingModel::Simulated the engine is bit-for-bit equivalent
-// to the serial one (asserted by tests/core/test_parallel_session.cpp
-// and tests/core/test_multiuser_degradation.cpp).
+// to the serial one (asserted by tests/core/test_parallel_session.cpp,
+// tests/core/test_conference.cpp and tests/core/test_stage_graph.cpp).
 //
 // Single-user runs keep the sender/link/receiver loop on the calling
 // thread (one channel's encode/decode state is inherently sequential)

@@ -73,14 +73,16 @@ SessionStats runSessionParallel(SemanticChannel& channel,
                                 const body::BodyModel& model,
                                 const SessionConfig& config, std::size_t workers);
 
-// The one conference implementation (multiuser_session.cpp): a frame-
-// tick SFU scheduler — per tick, compute arbiter targets, encode all
-// users (inline when pool == nullptr, fanned across the pool otherwise),
-// carry the tick's messages over the uplink(s) in user order feeding
-// each user's throughput estimator and DegradationPolicy their own
-// outcomes, fan delivered frames out over the per-viewer downlinks, then
-// decode — so serial and parallel runs execute the exact same per-user
-// call sequence and are byte-identical under TimingModel::Simulated.
+// The one conference implementation (multiuser_session.cpp): an
+// event-driven stage graph — per (tick, user) nodes for arbiter targets,
+// encode, sequenced uplink entry (a per-link ticket chain preserving the
+// (frame, user) order), downlink fan-out, decode and tick retirement,
+// with explicit dependency edges. pool == nullptr executes the graph in
+// insertion order (the legacy per-tick phase schedule); otherwise nodes
+// run the moment their dependencies complete, pipelining up to
+// ConferenceConfig::pipelineDepth ticks. Both executors touch every
+// mutable resource in the same per-resource order, so runs are
+// byte-identical under TimingModel::Simulated at any worker count.
 // 'channels' are externally owned, one per conf.participants entry
 // (built by runConference from the descriptors, or supplied verbatim by
 // the deprecated runMultiUserSession shim).

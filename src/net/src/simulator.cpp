@@ -60,6 +60,10 @@ double LinkSimulator::drainDeadline(double from, double bits) const {
     double remaining = bits;
     while (remaining > 1e-9 && t < kMaxHorizonS) {
         const double end = nextBoundaryAfter(t);
+        // FP guard (as in integrateBits): at large t the +1 interval step
+        // underflows and the "next" boundary lands at or before t, which
+        // would spin this walk forever without advancing.
+        if (end <= t) break;
         const double rate = effectiveRateAt(0.5 * (t + end));
         const double segBits = rate * (end - t);
         if (segBits >= remaining) return t + remaining / rate;
@@ -80,8 +84,12 @@ std::size_t LinkSimulator::queuedBytesAt(double time) const {
 
 void LinkSimulator::noteFaultWindows(double start, double end,
                                      TransferResult& result) {
+    // Half-open interval overlap on both sides: the transfer [start, end)
+    // against the window [s, s + d). A transfer completing exactly at a
+    // window's start never entered it (the old 'end >= s' mixed a closed
+    // end into an otherwise half-open test and counted such transfers).
     const auto overlaps = [&](double s, double d) {
-        return start < s + d && end >= s;
+        return start < s + d && end > s;
     };
     for (std::size_t i = 0; i < config_.faults.outages.size(); ++i) {
         const OutageWindow& o = config_.faults.outages[i];

@@ -41,9 +41,9 @@ ChannelSpec cheapSpec(const std::string& kind) {
 
 TEST(ChannelRegistry, ListsAllKindsSorted) {
     const auto kinds = listChannelKinds();
-    const std::vector<std::string> expected{"adaptive-mesh", "foveated", "image",
-                                            "keypoint",      "text",     "traditional",
-                                            "vector"};
+    const std::vector<std::string> expected{
+        "adaptive-mesh", "foveated",    "image", "keypoint",
+        "synthetic",     "text",        "traditional", "vector"};
     EXPECT_EQ(kinds, expected);
     EXPECT_TRUE(std::is_sorted(kinds.begin(), kinds.end()));
 }
@@ -59,8 +59,11 @@ TEST(ChannelRegistry, RoundTripEncodeDecodeEveryKind) {
         EXPECT_GT(encoded.bytes(), 0u);
         const DecodedFrame decoded = channel->decode(encoded);
         EXPECT_TRUE(decoded.valid);
-        // Every kind except image semantics reconstructs geometry.
-        if (kind != "image") EXPECT_FALSE(decoded.mesh.empty());
+        // Every kind except image semantics and the synthetic cost-model
+        // channel reconstructs geometry.
+        if (kind != "image" && kind != "synthetic") {
+            EXPECT_FALSE(decoded.mesh.empty());
+        }
     }
 }
 

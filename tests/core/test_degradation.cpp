@@ -116,6 +116,57 @@ TEST(DegradationPolicy, DisabledPolicyNeverActs) {
     EXPECT_TRUE(policy.decisions().empty());
 }
 
+TEST(DegradationPolicy, LongSoakKeepsBoundedHistoryAndExactCounters) {
+    // Oscillate congested/clean bursts long enough to generate far more
+    // transitions than the history cap holds: memory must stay bounded
+    // (ring buffer) while the lifetime counters stay exact.
+    DegradationConfig cfg = fastPolicy();
+    cfg.maxLevel = 1;  // every burst pair is one down + one up
+    DegradationPolicy policy(cfg, 30.0, 256 * 1024);
+    std::uint32_t frame = 0;
+    const std::size_t cycles = DegradationPolicy::kDecisionHistoryCap * 3;
+    for (std::size_t c = 0; c < cycles; ++c) {
+        for (int i = 0; i < 2; ++i) policy.observe(frame++, congestedObs());
+        for (int i = 0; i < 8; ++i) policy.observe(frame++, cleanObs());
+    }
+    EXPECT_EQ(policy.downgrades(), cycles);
+    EXPECT_EQ(policy.upgrades(), cycles);
+    EXPECT_EQ(policy.decisionsRecorded(), 2 * cycles);
+    const auto decisions = policy.decisions();
+    ASSERT_EQ(decisions.size(), DegradationPolicy::kDecisionHistoryCap);
+    // Oldest-first: frame ids ascend strictly across the retained window,
+    // and the newest retained decision is the last transition made.
+    for (std::size_t i = 1; i < decisions.size(); ++i)
+        EXPECT_LT(decisions[i - 1].frameId, decisions[i].frameId);
+    EXPECT_EQ(decisions.back().action, DegradationAction::StepUp);
+    EXPECT_EQ(decisions.back().level, 0u);
+
+    policy.reset();
+    EXPECT_TRUE(policy.decisions().empty());
+    EXPECT_EQ(policy.decisionsRecorded(), 0u);
+}
+
+TEST(DegradationPolicy, PinnedAtMaxLevelStillUpgradesAfterLongCongestion) {
+    // Regression shape for the unclamped-streak hazard: millions of
+    // congested frames while pinned at maxLevel must neither overflow
+    // the streak counter nor distort the recovery hysteresis — exactly
+    // upgradeAfter clean frames still produce exactly one StepUp.
+    const DegradationConfig cfg = fastPolicy();
+    DegradationPolicy policy(cfg, 30.0, 256 * 1024);
+    std::uint32_t frame = 0;
+    for (int i = 0; i < 1'000'000; ++i) policy.observe(frame++, congestedObs());
+    ASSERT_EQ(policy.level(), cfg.maxLevel);
+    EXPECT_EQ(policy.downgrades(), cfg.maxLevel);
+    for (int i = 0; i < cfg.upgradeAfter - 1; ++i)
+        EXPECT_EQ(policy.observe(frame++, cleanObs()), DegradationAction::Hold);
+    EXPECT_EQ(policy.observe(frame++, cleanObs()), DegradationAction::StepUp);
+    EXPECT_EQ(policy.level(), cfg.maxLevel - 1);
+    // And a long clean run at level 0 is just as safe the other way.
+    for (int i = 0; i < 1'000'000; ++i) policy.observe(frame++, cleanObs());
+    EXPECT_EQ(policy.level(), 0u);
+    EXPECT_EQ(policy.upgrades(), cfg.maxLevel);
+}
+
 // ---- Closed loop through the session engines -----------------------------
 
 SessionConfig faultySessionConfig() {

@@ -132,6 +132,43 @@ TEST(FaultSchedule, DeterministicUnderSeed) {
     }
 }
 
+TEST(FaultSchedule, TransferEndingExactlyAtWindowStartCountsNoEvent) {
+    // faultEvents uses half-open windows on both sides: a transfer
+    // occupying [start, end) against a window [s, s+d). All times below
+    // are exact doubles (1000 bytes = 8000 bits at 32 kbps = 0.25 s), so
+    // the transfer sent at 0.75 finishes precisely at the outage start.
+    // The old overlap test ('end >= s') counted it.
+    LinkConfig cfg = faultFreeLink(32e3, 0.0);
+    cfg.faults.outages.push_back({1.0, 0.5});
+    LinkSimulator sim(cfg);
+    const auto r = sim.sendMessage(1000, 0.75);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_DOUBLE_EQ(r.completionTime, 1.0);
+    EXPECT_EQ(r.faultEvents, 0u);
+}
+
+TEST(FaultSchedule, TransferStartingExactlyAtWindowEndCountsNoEvent) {
+    LinkConfig cfg = faultFreeLink(32e3, 0.0);
+    cfg.faults.outages.push_back({1.0, 0.5});
+    LinkSimulator sim(cfg);
+    const auto r = sim.sendMessage(1000, 1.5);  // window is [1.0, 1.5)
+    ASSERT_TRUE(r.delivered);
+    EXPECT_DOUBLE_EQ(r.completionTime, 1.75);
+    EXPECT_EQ(r.faultEvents, 0u);
+}
+
+TEST(FaultSchedule, TransferCrossingTheWindowCountsOneEvent) {
+    LinkConfig cfg = faultFreeLink(32e3, 0.0);
+    cfg.faults.outages.push_back({1.0, 0.5});
+    LinkSimulator sim(cfg);
+    // Sent at 0.9: drains 3200 bits before the outage, stalls through
+    // it, finishes the remaining 4800 bits after 1.5.
+    const auto r = sim.sendMessage(1000, 0.9);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_DOUBLE_EQ(r.completionTime, 1.65);
+    EXPECT_EQ(r.faultEvents, 1u);
+}
+
 TEST(FaultSchedule, EffectiveRateReflectsFaults) {
     LinkConfig cfg = faultFreeLink(10e6);
     cfg.faults.outages.push_back({1.0, 0.5});

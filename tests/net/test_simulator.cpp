@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace semholo::net {
 namespace {
 
@@ -281,6 +283,40 @@ TEST(LinkSimulator, GoodputNeverExceedsTraceCapacity) {
             r.durationS();
         EXPECT_LE(goodputBps, cfg.bandwidth.maxRate() * 1.01);
     }
+}
+
+TEST(LinkSimulator, DrainDeadlineAdvancesAtLargeTimestamps) {
+    // Regression: drainDeadline walks bandwidth-trace segments via
+    // nextBoundaryAfter, which computes (floor(t/iv) + 1) * iv. Once
+    // floor(t/iv) passes 2^53 the +1 is lost to double rounding, the
+    // "next" boundary lands at or before t, and — unlike integrateBits,
+    // which always had an FP-advance guard — the drain walk spun forever
+    // (t never reached the 1e7 horizon). A fine-grained trace interval
+    // makes this reachable at very ordinary send times.
+    const double iv = 1e-10;
+
+    // Replicate the boundary formula to find a genuinely stalling send
+    // time; exact FP behaviour decides which timestamps collapse, so
+    // search instead of hard-coding one.
+    double stall = -1.0;
+    double t = 1.0e6;
+    for (int i = 0; i < 200000 && t < 9.9e6; ++i, t += 0.1) {
+        const double next = (std::floor(t / iv + 1e-9) + 1.0) * iv;
+        if (next <= t) {
+            stall = t;
+            break;
+        }
+    }
+    ASSERT_GT(stall, 0.0) << "no collapsing timestamp found for iv=" << iv;
+
+    LinkConfig cfg = cleanLink(8e6, 0.0);
+    cfg.bandwidth = BandwidthTrace(std::vector<double>{8e6}, iv);
+    LinkSimulator sim(cfg);
+    // Pre-fix this call never returned. The guard ends the walk at the
+    // stalled boundary instead; completion stays finite and ordered.
+    const auto r = sim.sendMessage(20000, stall);
+    EXPECT_TRUE(std::isfinite(r.completionTime));
+    EXPECT_GE(r.completionTime, stall);
 }
 
 TEST(LinkSimulator, ThirtyFpsRawMeshOverwhelmsBroadband) {
